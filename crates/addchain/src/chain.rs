@@ -1,0 +1,529 @@
+//! The chain representation and its structural predicates.
+
+use core::fmt;
+
+/// A reference to an earlier element of the chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ref {
+    /// `a₋₁ = 0` — the hardwired zero register.
+    Zero,
+    /// `a₀ = 1` — the multiplicand.
+    One,
+    /// `aᵢ` for `i ≥ 1`, the result of step `i - 1` (0-based in [`Chain::steps`]).
+    Step(u32),
+}
+
+impl Ref {
+    fn index_bound_ok(self, current: usize) -> bool {
+        match self {
+            Ref::Zero | Ref::One => true,
+            Ref::Step(i) => (i as usize) < current + 1 && i >= 1,
+        }
+    }
+}
+
+impl fmt::Display for Ref {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ref::Zero => write!(f, "0"),
+            Ref::One => write!(f, "a0"),
+            Ref::Step(i) => write!(f, "a{i}"),
+        }
+    }
+}
+
+/// One chain step — the paper's §5 rule set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Step {
+    /// `aᵢ = aⱼ + aₖ`.
+    Add {
+        /// Left addend.
+        j: Ref,
+        /// Right addend.
+        k: Ref,
+    },
+    /// `aᵢ = (aⱼ << sh) + aₖ` for `sh` in 1..=3 (the shift-and-add family).
+    ShAdd {
+        /// Pre-shift, 1..=3.
+        sh: u32,
+        /// Shifted operand.
+        j: Ref,
+        /// Unshifted addend.
+        k: Ref,
+    },
+    /// `aᵢ = aⱼ - aₖ`.
+    Sub {
+        /// Minuend.
+        j: Ref,
+        /// Subtrahend.
+        k: Ref,
+    },
+    /// `aᵢ = aⱼ << amount` for `amount` in 1..=31.
+    Shl {
+        /// Shifted operand.
+        j: Ref,
+        /// Shift distance, 1..=31.
+        amount: u32,
+    },
+}
+
+impl Step {
+    /// The operands this step reads.
+    #[must_use]
+    pub fn operands(&self) -> (Ref, Option<Ref>) {
+        match *self {
+            Step::Add { j, k } | Step::ShAdd { j, k, .. } | Step::Sub { j, k } => (j, Some(k)),
+            Step::Shl { j, .. } => (j, None),
+        }
+    }
+
+    /// Whether the step is an add or shift-and-add — the only operations with
+    /// trapping variants, hence the only ones allowed in overflow-detecting
+    /// chains.
+    #[must_use]
+    pub fn has_trapping_form(&self) -> bool {
+        matches!(self, Step::Add { .. } | Step::ShAdd { .. })
+    }
+}
+
+/// Errors from [`Chain::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ChainError {
+    /// A step references an element at or after itself (or `a₀`-style index 0).
+    BadRef {
+        /// 0-based step index.
+        at: usize,
+        /// The offending reference.
+        reference: Ref,
+    },
+    /// A shift amount outside 1..=31 (paper: `n < 31`) or shift-add outside 1..=3.
+    BadShift {
+        /// 0-based step index.
+        at: usize,
+        /// The offending amount.
+        amount: u32,
+    },
+    /// Intermediate values overflowed the evaluator's 128-bit range.
+    ValueOverflow {
+        /// 0-based step index.
+        at: usize,
+    },
+    /// The chain evaluates to something other than the declared target.
+    WrongTarget {
+        /// Declared target.
+        expected: i128,
+        /// Actual final value.
+        actual: i128,
+    },
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::BadRef { at, reference } => {
+                write!(f, "step {at} references unavailable element {reference}")
+            }
+            ChainError::BadShift { at, amount } => {
+                write!(f, "step {at} uses invalid shift amount {amount}")
+            }
+            ChainError::ValueOverflow { at } => {
+                write!(f, "step {at} overflows the evaluation range")
+            }
+            ChainError::WrongTarget { expected, actual } => {
+                write!(f, "chain evaluates to {actual}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// A validated shift-add chain computing `target` from `a₀ = 1`.
+///
+/// # Example
+///
+/// ```
+/// use addchain::{Chain, Ref, Step};
+///
+/// // The paper's chain for 10: a1 = 4·a0 + a0 = 5, a2 = a1 + a1 = 10.
+/// let chain = Chain::new(
+///     10,
+///     vec![
+///         Step::ShAdd { sh: 2, j: Ref::One, k: Ref::One },
+///         Step::Add { j: Ref::Step(1), k: Ref::Step(1) },
+///     ],
+/// )?;
+/// assert_eq!(chain.len(), 2);
+/// assert_eq!(chain.eval(), vec![5, 10]);
+/// assert!(!chain.needs_temp());
+/// # Ok::<(), addchain::ChainError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Chain {
+    target: i128,
+    steps: Vec<Step>,
+    values: Vec<i128>,
+}
+
+impl Chain {
+    /// Validates the steps and their evaluation against `target`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ChainError`] — bad references, bad shift amounts, evaluation
+    /// overflow, or a final value that is not `target`.
+    pub fn new(target: impl Into<i128>, steps: Vec<Step>) -> Result<Chain, ChainError> {
+        let target = target.into();
+        let values = eval_steps(&steps)?;
+        let actual = values.last().copied().unwrap_or(1);
+        if actual != target {
+            return Err(ChainError::WrongTarget { expected: target, actual });
+        }
+        Ok(Chain { target, steps, values })
+    }
+
+    /// The empty chain for the identity multiplication (`n = 1`).
+    #[must_use]
+    pub fn identity() -> Chain {
+        Chain { target: 1, steps: Vec::new(), values: Vec::new() }
+    }
+
+    /// The number the chain computes.
+    #[must_use]
+    pub fn target(&self) -> i128 {
+        self.target
+    }
+
+    /// The chain length `l(n)` — one machine instruction per step.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether this is the zero-step identity chain.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The steps.
+    #[must_use]
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// The value of every step, `a₁..=aᵣ` (validated at construction).
+    #[must_use]
+    pub fn eval(&self) -> Vec<i128> {
+        self.values.clone()
+    }
+
+    /// The value an operand refers to.
+    #[must_use]
+    pub fn value_of(&self, r: Ref) -> i128 {
+        match r {
+            Ref::Zero => 0,
+            Ref::One => 1,
+            Ref::Step(i) => self.values[i as usize - 1],
+        }
+    }
+
+    /// The largest absolute intermediate value.
+    #[must_use]
+    pub fn max_intermediate(&self) -> i128 {
+        self.values.iter().map(|v| v.abs()).max().unwrap_or(1)
+    }
+
+    /// §5 *Overflow*: a chain is monotonic when its values strictly increase
+    /// (`aᵢ < aⱼ` for `i < j`, starting from `a₀ = 1`).
+    #[must_use]
+    pub fn is_monotonic(&self) -> bool {
+        let mut prev = 1i128;
+        for &v in &self.values {
+            if v <= prev {
+                return false;
+            }
+            prev = v;
+        }
+        true
+    }
+
+    /// Whether the chain can be compiled with full overflow detection: it
+    /// must be monotonic and contain only add / shift-and-add steps (the
+    /// operations with trapping variants).
+    #[must_use]
+    pub fn is_overflow_safe(&self) -> bool {
+        self.is_monotonic() && self.steps.iter().all(Step::has_trapping_form)
+    }
+
+    /// §5 *Register Use*: a chain needs **no** temporary register when every
+    /// step uses only the previously constructed number, `a₀` (the untouched
+    /// source) or zero.
+    #[must_use]
+    pub fn needs_temp(&self) -> bool {
+        !self.steps.iter().enumerate().all(|(i, step)| {
+            let ok = |r: Ref| match r {
+                Ref::Zero | Ref::One => true,
+                Ref::Step(s) => s as usize == i, // aᵢ, the immediately previous element
+            };
+            let (j, k) = step.operands();
+            ok(j) && k.is_none_or(ok)
+        })
+    }
+}
+
+fn eval_steps(steps: &[Step]) -> Result<Vec<i128>, ChainError> {
+    let mut values: Vec<i128> = Vec::with_capacity(steps.len());
+    for (at, step) in steps.iter().enumerate() {
+        let get = |r: Ref| -> Result<i128, ChainError> {
+            if !r.index_bound_ok(at) {
+                return Err(ChainError::BadRef { at, reference: r });
+            }
+            Ok(match r {
+                Ref::Zero => 0,
+                Ref::One => 1,
+                Ref::Step(i) => values[i as usize - 1],
+            })
+        };
+        let v = match *step {
+            Step::Add { j, k } => get(j)?
+                .checked_add(get(k)?)
+                .ok_or(ChainError::ValueOverflow { at })?,
+            Step::ShAdd { sh, j, k } => {
+                if !(1..=3).contains(&sh) {
+                    return Err(ChainError::BadShift { at, amount: sh });
+                }
+                let kv = get(k)?;
+                get(j)?
+                    .checked_shl(sh)
+                    .and_then(|x| x.checked_add(kv))
+                    .ok_or(ChainError::ValueOverflow { at })?
+            }
+            Step::Sub { j, k } => get(j)?
+                .checked_sub(get(k)?)
+                .ok_or(ChainError::ValueOverflow { at })?,
+            Step::Shl { j, amount } => {
+                if !(1..=31).contains(&amount) {
+                    return Err(ChainError::BadShift { at, amount });
+                }
+                let base = get(j)?;
+                if base.abs() > (1i128 << 90) {
+                    return Err(ChainError::ValueOverflow { at });
+                }
+                base << amount
+            }
+        };
+        values.push(v);
+    }
+    Ok(values)
+}
+
+impl fmt::Display for Chain {
+    /// Prints the paper's notation, one step per line:
+    ///
+    /// ```text
+    /// a1 = 4*a0 + a0
+    /// a2 = a1 + a1
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.steps.is_empty() {
+            return writeln!(f, "a0 = 1 (identity)");
+        }
+        for (i, step) in self.steps.iter().enumerate() {
+            let lhs = i + 1;
+            match *step {
+                Step::Add { j, k } => writeln!(f, "a{lhs} = {j} + {k}")?,
+                Step::ShAdd { sh, j, k } => {
+                    writeln!(f, "a{lhs} = {}*{j} + {k}", 1u32 << sh)?
+                }
+                Step::Sub { j, k } => writeln!(f, "a{lhs} = {j} - {k}")?,
+                Step::Shl { j, amount } => writeln!(f, "a{lhs} = {j} << {amount}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u32) -> Ref {
+        Ref::Step(i)
+    }
+
+    #[test]
+    fn paper_chain_for_10() {
+        let c = Chain::new(
+            10,
+            vec![
+                Step::ShAdd { sh: 2, j: Ref::One, k: Ref::One },
+                Step::Add { j: s(1), k: s(1) },
+            ],
+        )
+        .unwrap();
+        assert_eq!(c.eval(), vec![5, 10]);
+        assert!(c.is_monotonic());
+        assert!(c.is_overflow_safe());
+        assert!(!c.needs_temp());
+    }
+
+    #[test]
+    fn monotonic_15() {
+        // The paper's overflow-detecting chain: a1 = 2a0+a0 = 3; a2 = 4a1+a1 = 15.
+        let c = Chain::new(
+            15,
+            vec![
+                Step::ShAdd { sh: 1, j: Ref::One, k: Ref::One },
+                Step::ShAdd { sh: 2, j: s(1), k: s(1) },
+            ],
+        )
+        .unwrap();
+        assert!(c.is_overflow_safe());
+    }
+
+    #[test]
+    fn paper_59_with_temp() {
+        // t = 2s+s; r = 2t+s; r = 8r+t — uses t (a1) late: needs a temp.
+        let c = Chain::new(
+            59,
+            vec![
+                Step::ShAdd { sh: 1, j: Ref::One, k: Ref::One }, // a1 = 3
+                Step::ShAdd { sh: 1, j: s(1), k: Ref::One },     // a2 = 7
+                Step::ShAdd { sh: 3, j: s(2), k: s(1) },         // a3 = 59
+            ],
+        )
+        .unwrap();
+        assert_eq!(c.eval(), vec![3, 7, 59]);
+        assert!(c.needs_temp());
+    }
+
+    #[test]
+    fn paper_59_temp_free() {
+        // r = s+s; r = 8r+s; r = 2r+r; r = 8s+r (four steps, no temp).
+        let c = Chain::new(
+            59,
+            vec![
+                Step::Add { j: Ref::One, k: Ref::One },      // 2
+                Step::ShAdd { sh: 3, j: s(1), k: Ref::One }, // 17
+                Step::ShAdd { sh: 1, j: s(2), k: s(2) },     // 51
+                Step::ShAdd { sh: 3, j: Ref::One, k: s(3) }, // 59
+            ],
+        )
+        .unwrap();
+        assert_eq!(c.eval(), vec![2, 17, 51, 59]);
+        assert!(!c.needs_temp());
+    }
+
+    #[test]
+    fn bad_refs_rejected() {
+        // Step 0 referencing a1 (itself) is invalid.
+        let err = Chain::new(2, vec![Step::Add { j: s(1), k: s(1) }]).unwrap_err();
+        assert!(matches!(err, ChainError::BadRef { at: 0, .. }));
+    }
+
+    #[test]
+    fn forward_refs_rejected() {
+        let err = Chain::new(
+            4,
+            vec![
+                Step::Add { j: Ref::One, k: Ref::One },
+                Step::Add { j: s(3), k: Ref::Zero },
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, ChainError::BadRef { at: 1, .. }));
+    }
+
+    #[test]
+    fn bad_shift_rejected() {
+        let err = Chain::new(2, vec![Step::Shl { j: Ref::One, amount: 32 }]).unwrap_err();
+        assert!(matches!(err, ChainError::BadShift { at: 0, amount: 32 }));
+        let err = Chain::new(5, vec![Step::ShAdd { sh: 4, j: Ref::One, k: Ref::One }])
+            .unwrap_err();
+        assert!(matches!(err, ChainError::BadShift { at: 0, amount: 4 }));
+    }
+
+    #[test]
+    fn wrong_target_rejected() {
+        let err = Chain::new(7, vec![Step::Add { j: Ref::One, k: Ref::One }]).unwrap_err();
+        assert_eq!(err, ChainError::WrongTarget { expected: 7, actual: 2 });
+    }
+
+    #[test]
+    fn identity_chain() {
+        let c = Chain::identity();
+        assert_eq!(c.target(), 1);
+        assert_eq!(c.len(), 0);
+        assert!(c.is_monotonic());
+        assert!(!c.needs_temp());
+    }
+
+    #[test]
+    fn negative_targets_allowed() {
+        // a1 = 0 - a0 = -1: the paper's "-n in one more step".
+        let c = Chain::new(-1, vec![Step::Sub { j: Ref::Zero, k: Ref::One }]).unwrap();
+        assert_eq!(c.eval(), vec![-1]);
+        assert!(!c.is_monotonic());
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        let c = Chain::new(
+            10,
+            vec![
+                Step::ShAdd { sh: 2, j: Ref::One, k: Ref::One },
+                Step::Add { j: s(1), k: s(1) },
+            ],
+        )
+        .unwrap();
+        let text = c.to_string();
+        assert!(text.contains("a1 = 4*a0 + a0"), "{text}");
+        assert!(text.contains("a2 = a1 + a1"), "{text}");
+    }
+
+    #[test]
+    fn shift_monotonicity_check_catches_decrease() {
+        // 16 then 15: the sub step makes it non-monotonic (16 > 15).
+        let c = Chain::new(
+            15,
+            vec![
+                Step::Shl { j: Ref::One, amount: 4 },
+                Step::Sub { j: s(1), k: Ref::One },
+            ],
+        )
+        .unwrap();
+        assert!(!c.is_monotonic());
+        assert!(!c.is_overflow_safe());
+    }
+
+    #[test]
+    fn value_overflow_detected() {
+        let mut steps = Vec::new();
+        for i in 0..5 {
+            steps.push(Step::Shl {
+                j: if i == 0 { Ref::One } else { s(i) },
+                amount: 31,
+            });
+        }
+        // 2^155 overflows the guard
+        assert!(matches!(
+            eval_steps(&steps),
+            Err(ChainError::ValueOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn max_intermediate() {
+        let c = Chain::new(
+            15,
+            vec![
+                Step::Shl { j: Ref::One, amount: 4 },
+                Step::Sub { j: s(1), k: Ref::One },
+            ],
+        )
+        .unwrap();
+        assert_eq!(c.max_intermediate(), 16);
+    }
+}

@@ -1,0 +1,310 @@
+//! Per-target exhaustive chain search.
+//!
+//! The paper validates its rule-based generator against "a program that
+//! exhaustively searches for all possible chains"; this module is that
+//! program. It runs iterative-deepening DFS over chain states with a
+//! *closing-step oracle*: at one remaining step, instead of enumerating
+//! successors it answers "can any single rule produce the target from the
+//! values at hand?" in `O(|V|·shifts)` — the optimisation that makes depth-5
+//! and depth-6 proofs tractable.
+//!
+//! Exhaustiveness is relative to explicit [`SearchLimits`] (intermediate
+//! value cap, largest plain shift, node budget). The defaults comfortably
+//! cover the paper's Figure 1 range; the limits are recorded with every
+//! result in `EXPERIMENTS.md`.
+
+use crate::chain::{Chain, Ref, Step};
+
+/// Bounds on the exhaustive search space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchLimits {
+    /// Maximum chain length to try.
+    pub max_len: u32,
+    /// Largest intermediate value explored.
+    pub value_cap: u64,
+    /// Largest plain-shift distance explored.
+    pub max_shift: u32,
+    /// DFS node budget per target (guards pathological targets).
+    pub node_budget: u64,
+}
+
+impl Default for SearchLimits {
+    fn default() -> SearchLimits {
+        SearchLimits {
+            max_len: 6,
+            value_cap: 1 << 17,
+            max_shift: 17,
+            node_budget: 200_000_000,
+        }
+    }
+}
+
+/// The exact minimal chain length for `n` within `limits`, or `None` if no
+/// chain of length ≤ `limits.max_len` exists in the bounded space.
+///
+/// # Example
+///
+/// ```
+/// use addchain::{optimal_len, SearchLimits};
+///
+/// let limits = SearchLimits::default();
+/// assert_eq!(optimal_len(10, &limits), Some(2));
+/// assert_eq!(optimal_len(14, &limits), Some(3)); // first row-3 value of Figure 1
+/// ```
+#[must_use]
+pub fn optimal_len(n: u64, limits: &SearchLimits) -> Option<u32> {
+    optimal_chain(n, limits).map(|c| c.len() as u32)
+}
+
+/// A minimal-length chain for `n` within `limits`.
+///
+/// Iterative deepening guarantees the returned chain is as short as any chain
+/// whose intermediates respect the limits.
+#[must_use]
+pub fn optimal_chain(n: u64, limits: &SearchLimits) -> Option<Chain> {
+    if n == 1 {
+        return Some(Chain::identity());
+    }
+    if n == 0 {
+        return Chain::new(0, vec![Step::Sub { j: Ref::One, k: Ref::One }]).ok();
+    }
+    let mut dfs = Dfs {
+        limits: *limits,
+        target: n,
+        values: vec![1],
+        steps: Vec::new(),
+        nodes: 0,
+    };
+    for depth in 1..=limits.max_len {
+        if let Some(chain) = dfs.search(depth) {
+            return Some(chain);
+        }
+        if dfs.nodes > limits.node_budget {
+            return None;
+        }
+    }
+    None
+}
+
+struct Dfs {
+    limits: SearchLimits,
+    target: u64,
+    /// `values[0] = 1`, then one entry per step taken.
+    values: Vec<u64>,
+    steps: Vec<Step>,
+    nodes: u64,
+}
+
+impl Dfs {
+    fn search(&mut self, remaining: u32) -> Option<Chain> {
+        self.nodes += 1;
+        if self.nodes > self.limits.node_budget {
+            return None;
+        }
+        // Reachability bound: each step can at most shift by max_shift.
+        let max_v = *self.values.iter().max().expect("non-empty");
+        let growth = u32::min(self.limits.max_shift, 63) * remaining;
+        if growth < 64 && (u128::from(max_v) << growth) < u128::from(self.target) {
+            return None;
+        }
+
+        if remaining == 1 {
+            if let Some(step) = self.closing_step() {
+                self.steps.push(step);
+                let steps = self.steps.clone();
+                self.steps.pop();
+                return Chain::new(i128::from(self.target), steps).ok();
+            }
+            return None;
+        }
+
+        let candidates = self.candidates();
+        for (value, step) in candidates {
+            self.values.push(value);
+            self.steps.push(step);
+            let found = self.search(remaining - 1);
+            self.steps.pop();
+            self.values.pop();
+            if found.is_some() {
+                return found;
+            }
+        }
+        None
+    }
+
+    fn ref_of(&self, idx: usize) -> Ref {
+        if idx == 0 {
+            Ref::One
+        } else {
+            Ref::Step(idx as u32)
+        }
+    }
+
+    fn contains(&self, v: u64) -> Option<usize> {
+        self.values.iter().position(|&x| x == v)
+    }
+
+    /// All single-rule successors (deduplicated by value).
+    fn candidates(&self) -> Vec<(u64, Step)> {
+        let cap = self.limits.value_cap;
+        let vals = &self.values;
+        let mut out: Vec<(u64, Step)> = Vec::with_capacity(64);
+        let mut push = |v: u64, step: Step, seen: &[u64]| {
+            if v == 0 || v > cap || seen.contains(&v) {
+                return;
+            }
+            out.push((v, step));
+        };
+        for (i, &vi) in vals.iter().enumerate() {
+            let ri = self.ref_of(i);
+            for (j, &vj) in vals.iter().enumerate() {
+                let rj = self.ref_of(j);
+                if j >= i {
+                    push(vi + vj, Step::Add { j: ri, k: rj }, vals);
+                }
+                for sh in 1..=3u32 {
+                    push((vi << sh) + vj, Step::ShAdd { sh, j: ri, k: rj }, vals);
+                }
+                if vi > vj {
+                    push(vi - vj, Step::Sub { j: ri, k: rj }, vals);
+                }
+            }
+            for s in 1..=self.limits.max_shift {
+                let shifted = (u128::from(vi)) << s;
+                if shifted > u128::from(cap) {
+                    break;
+                }
+                push(shifted as u64, Step::Shl { j: ri, amount: s }, vals);
+            }
+        }
+        // Deduplicate by value (keep the first step that makes it).
+        out.sort_by_key(|&(v, _)| v);
+        out.dedup_by_key(|&mut (v, _)| v);
+        out
+    }
+
+    /// Can one rule produce the target from the current values?
+    fn closing_step(&self) -> Option<Step> {
+        let n = self.target;
+        for (i, &vi) in self.values.iter().enumerate() {
+            let ri = self.ref_of(i);
+            // n = vi + vk
+            if let Some(diff) = n.checked_sub(vi) {
+                if diff == 0 {
+                    return Some(Step::Add { j: ri, k: Ref::Zero });
+                }
+                if let Some(k) = self.contains(diff) {
+                    return Some(Step::Add { j: ri, k: self.ref_of(k) });
+                }
+            }
+            // n = (vi << sh) + vk, sh 1..=3
+            for sh in 1..=3u32 {
+                let shifted = vi << sh;
+                if let Some(diff) = n.checked_sub(shifted) {
+                    if diff == 0 {
+                        return Some(Step::ShAdd { sh, j: ri, k: Ref::Zero });
+                    }
+                    if let Some(k) = self.contains(diff) {
+                        return Some(Step::ShAdd { sh, j: ri, k: self.ref_of(k) });
+                    }
+                }
+            }
+            // n = vi - vk
+            if vi > n {
+                if let Some(k) = self.contains(vi - n) {
+                    return Some(Step::Sub { j: ri, k: self.ref_of(k) });
+                }
+            }
+            // n = vk - vi (vk in values)
+            if let Some(k) = self.contains(n + vi) {
+                return Some(Step::Sub { j: self.ref_of(k), k: ri });
+            }
+        }
+        // n = vi << s
+        for s in 1..=self.limits.max_shift {
+            if n.trailing_zeros() >= s {
+                if let Some(i) = self.contains(n >> s) {
+                    return Some(Step::Shl { j: self.ref_of(i), amount: s });
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::find_chain;
+
+    fn limits() -> SearchLimits {
+        SearchLimits { value_cap: 1 << 14, max_shift: 14, ..SearchLimits::default() }
+    }
+
+    #[test]
+    fn trivial_targets() {
+        let l = limits();
+        assert_eq!(optimal_len(1, &l), Some(0));
+        assert_eq!(optimal_len(0, &l), Some(1));
+    }
+
+    #[test]
+    fn figure1_row_memberships() {
+        let l = limits();
+        // Row 1 sample
+        for n in [2u64, 3, 5, 9, 256] {
+            assert_eq!(optimal_len(n, &l), Some(1), "n = {n}");
+        }
+        // Row 2 sample
+        for n in [6u64, 7, 11, 13, 21] {
+            assert_eq!(optimal_len(n, &l), Some(2), "n = {n}");
+        }
+        // Row 3 sample (Figure 1: 14 is the least)
+        for n in [14u64, 23, 29, 42] {
+            assert_eq!(optimal_len(n, &l), Some(3), "n = {n}");
+        }
+        // Row 4 sample (Figure 1: 58 is the least)
+        for n in [58u64, 78, 116] {
+            assert_eq!(optimal_len(n, &l), Some(4), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn chains_are_valid_and_minimal_vs_rules() {
+        let l = limits();
+        for n in 2..=128u64 {
+            let exact = optimal_chain(n, &l).unwrap_or_else(|| panic!("no chain for {n}"));
+            assert_eq!(exact.eval().last().copied(), Some(i128::from(n)));
+            let ruled = find_chain(n as i64);
+            assert!(
+                exact.len() <= ruled.len(),
+                "exhaustive worse than rules for {n}: {} vs {}",
+                exact.len(),
+                ruled.len()
+            );
+        }
+    }
+
+    #[test]
+    fn row5_least_value() {
+        // Figure 1: the least n with l(n) = 5 is 466.
+        let l = limits();
+        assert_eq!(optimal_len(466, &l), Some(5));
+        assert_eq!(optimal_len(465, &l).unwrap(), 4); // 465 = 5·93 …
+    }
+
+    #[test]
+    fn node_budget_aborts() {
+        let l = SearchLimits { node_budget: 10, ..limits() };
+        // Large target with a tiny budget: must give up, not hang.
+        assert_eq!(optimal_chain(4838, &l), None);
+    }
+
+    #[test]
+    fn closing_oracle_handles_subtraction() {
+        // 2^14 - 1 needs shl then sub.
+        let l = limits();
+        let c = optimal_chain((1 << 14) - 1, &l).unwrap();
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,400 @@
+//! Whole-range chain-length tables: the machinery behind Figure 1.
+//!
+//! A breadth-first sweep over *chain states* (the multiset of values a chain
+//! has produced) computes the exact minimal length `l(n)` for every `n` up to
+//! a bound, within explicit value/shift caps. Two tricks keep depth 6
+//! tractable, mirroring the closing-step oracle of the per-target searcher:
+//!
+//! * states are deduplicated level by level (chains that produced the same
+//!   value set are interchangeable);
+//! * the last **two** levels are never materialised — each stored state is
+//!   expanded once, and every successor runs a constant-time *closure* that
+//!   marks all values reachable in one more rule application.
+//!
+//! The paper reports that exhaustive searches at length 7 were "prohibitively
+//! time consuming" in 1987; the same cliff exists here (state counts grow by
+//! ~two orders of magnitude per level), which is why [`FrontierConfig`]
+//! exposes the caps instead of hiding them.
+
+use std::collections::HashSet;
+
+/// Configuration for [`Frontier::compute`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontierConfig {
+    /// Largest chain length classified (lengths beyond report as `None`).
+    pub max_len: u32,
+    /// Classify `l(n)` for all `n ≤ target_max`.
+    pub target_max: u64,
+    /// Intermediate value cap (completeness is relative to this).
+    pub value_cap: u64,
+    /// Largest plain shift explored.
+    pub max_shift: u32,
+    /// Worker threads for the final expansion level (`1` = sequential).
+    pub threads: usize,
+}
+
+impl Default for FrontierConfig {
+    fn default() -> FrontierConfig {
+        FrontierConfig {
+            max_len: 4,
+            target_max: 200,
+            value_cap: 1 << 14,
+            max_shift: 14,
+            threads: 1,
+        }
+    }
+}
+
+impl FrontierConfig {
+    /// The configuration used to regenerate Figure 1 (depth 6 over
+    /// `n ≤ 6000`). Expect minutes of CPU; use several `threads`.
+    #[must_use]
+    pub fn figure1(threads: usize) -> FrontierConfig {
+        FrontierConfig {
+            max_len: 6,
+            target_max: 6000,
+            value_cap: 1 << 15,
+            max_shift: 15,
+            threads: threads.max(1),
+        }
+    }
+}
+
+/// Exact `l(n)` table for `n ≤ target_max`, lengths ≤ `max_len`.
+#[derive(Debug, Clone)]
+pub struct Frontier {
+    config: FrontierConfig,
+    /// `lens[n]` = minimal chain length, `u8::MAX` when > `max_len` (within caps).
+    lens: Vec<u8>,
+}
+
+const UNKNOWN: u8 = u8::MAX;
+
+impl Frontier {
+    /// Runs the sweep.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use addchain::{Frontier, FrontierConfig};
+    ///
+    /// let f = Frontier::compute(&FrontierConfig {
+    ///     max_len: 3,
+    ///     target_max: 60,
+    ///     ..FrontierConfig::default()
+    /// });
+    /// assert_eq!(f.len_of(10), Some(2));
+    /// assert_eq!(f.least(3), Some(14)); // Figure 1: first row-3 value
+    /// ```
+    #[must_use]
+    pub fn compute(config: &FrontierConfig) -> Frontier {
+        let mut lens = vec![UNKNOWN; config.target_max as usize + 1];
+        if config.target_max >= 1 {
+            lens[1] = 0;
+        }
+        let mut frontier = Frontier { config: *config, lens };
+        frontier.sweep();
+        frontier
+    }
+
+    /// `l(n)` within the configured caps, `None` when `> max_len`.
+    #[must_use]
+    pub fn len_of(&self, n: u64) -> Option<u32> {
+        let v = *self.lens.get(n as usize)?;
+        (v != UNKNOWN).then_some(u32::from(v))
+    }
+
+    /// All `n` with `l(n) = r`, ascending — one row of Figure 1.
+    #[must_use]
+    pub fn row(&self, r: u32) -> Vec<u64> {
+        self.lens
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| u32::from(l) == r && l != UNKNOWN)
+            .map(|(n, _)| n as u64)
+            .collect()
+    }
+
+    /// The paper's `c(r)`: the least `n` with `l(n) = r`.
+    #[must_use]
+    pub fn least(&self, r: u32) -> Option<u64> {
+        self.lens
+            .iter()
+            .position(|&l| u32::from(l) == r && l != UNKNOWN)
+            .map(|n| n as u64)
+    }
+
+    /// The configuration the table was computed under.
+    #[must_use]
+    pub fn config(&self) -> &FrontierConfig {
+        &self.config
+    }
+
+    fn sweep(&mut self) {
+        let cfg = self.config;
+        if cfg.max_len == 0 {
+            return;
+        }
+        // A state is the sorted set of values a chain has produced (the
+        // implicit 1 is excluded). Level d holds states of d-step chains.
+        let mut level: Vec<Vec<u32>> = vec![Vec::new()];
+        // Depth at which stored expansion stops: the last two levels are
+        // handled by expand+closure.
+        let stored_depth = cfg.max_len.saturating_sub(2);
+
+        for depth in 0..stored_depth {
+            let mut seen: HashSet<Vec<u32>> = HashSet::new();
+            let mut next: Vec<Vec<u32>> = Vec::new();
+            for state in &level {
+                for v in successors(state, &cfg) {
+                    if (v as u64) <= cfg.target_max {
+                        let slot = &mut self.lens[v as usize];
+                        *slot = (*slot).min((depth + 1) as u8);
+                    }
+                    let mut s2 = state.clone();
+                    let pos = s2.partition_point(|&x| x < v);
+                    s2.insert(pos, v);
+                    if seen.insert(s2.clone()) {
+                        next.push(s2);
+                    }
+                }
+            }
+            level = next;
+        }
+
+        // Final two levels: expand each stored state once; run the closure on
+        // every successor state.
+        let penultimate = stored_depth + 1; // depth of expanded values
+        let last = cfg.max_len; // depth of closure marks
+        let chunks: Vec<&[Vec<u32>]> = if cfg.threads <= 1 || level.len() < 64 {
+            vec![&level[..]]
+        } else {
+            let n = cfg.threads;
+            let size = level.len().div_ceil(n);
+            level.chunks(size).collect()
+        };
+        let partials: Vec<Vec<u8>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let mut lens = vec![UNKNOWN; cfg.target_max as usize + 1];
+                        let mut scratch = Vec::new();
+                        for state in chunk {
+                            if cfg.max_len == 1 {
+                                // Degenerate: level 0 state, closure only.
+                                closure(state, &cfg, 1, &mut lens);
+                                continue;
+                            }
+                            for v in successors(state, &cfg) {
+                                if (v as u64) <= cfg.target_max {
+                                    let slot = &mut lens[v as usize];
+                                    *slot = (*slot).min(penultimate as u8);
+                                }
+                                scratch.clear();
+                                scratch.extend_from_slice(state);
+                                scratch.push(v);
+                                closure(&scratch, &cfg, last, &mut lens);
+                            }
+                        }
+                        lens
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        });
+        for partial in partials {
+            for (slot, p) in self.lens.iter_mut().zip(partial) {
+                *slot = (*slot).min(p);
+            }
+        }
+    }
+}
+
+/// All distinct values reachable from `state ∪ {1}` in one rule application,
+/// bounded by the value cap and excluding values already present.
+fn successors(state: &[u32], cfg: &FrontierConfig) -> Vec<u32> {
+    let mut vals: Vec<u64> = Vec::with_capacity(state.len() + 1);
+    vals.push(1);
+    vals.extend(state.iter().map(|&v| u64::from(v)));
+    let cap = cfg.value_cap;
+    let mut out: Vec<u32> = Vec::with_capacity(64);
+    let mut push = |v: u64| {
+        if v == 0 || v > cap {
+            return;
+        }
+        let v32 = v as u32;
+        if v == 1 || state.contains(&v32) {
+            return;
+        }
+        out.push(v32);
+    };
+    for (i, &vi) in vals.iter().enumerate() {
+        for &vj in &vals[i..] {
+            push(vi + vj);
+        }
+        for &vj in &vals {
+            for sh in 1..=3u32 {
+                push((vi << sh) + vj);
+            }
+            if vi > vj {
+                push(vi - vj);
+            }
+        }
+        for s in 1..=cfg.max_shift {
+            let shifted = u128::from(vi) << s;
+            if shifted > u128::from(cap) {
+                break;
+            }
+            push(shifted as u64);
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Marks every target ≤ `target_max` reachable from `state ∪ {1}` in one
+/// rule application at `depth`.
+fn closure(state: &[u32], cfg: &FrontierConfig, depth: u32, lens: &mut [u8]) {
+    let mut vals: Vec<u64> = Vec::with_capacity(state.len() + 1);
+    vals.push(1);
+    vals.extend(state.iter().map(|&v| u64::from(v)));
+    let max = cfg.target_max;
+    let d = depth as u8;
+    let mut mark = |v: u64| {
+        if v >= 1 && v <= max {
+            let slot = &mut lens[v as usize];
+            if *slot > d {
+                *slot = d;
+            }
+        }
+    };
+    for (i, &vi) in vals.iter().enumerate() {
+        for &vj in &vals[i..] {
+            mark(vi + vj);
+        }
+        for &vj in &vals {
+            for sh in 1..=3u32 {
+                mark((vi << sh) + vj);
+            }
+            if vi > vj {
+                mark(vi - vj);
+            }
+        }
+        for s in 1..=cfg.max_shift {
+            let shifted = u128::from(vi) << s;
+            if shifted > u128::from(max) {
+                break;
+            }
+            mark(shifted as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(max_len: u32, target_max: u64) -> Frontier {
+        Frontier::compute(&FrontierConfig {
+            max_len,
+            target_max,
+            value_cap: 1 << 13,
+            max_shift: 13,
+            threads: 1,
+        })
+    }
+
+    #[test]
+    fn figure1_row1() {
+        let f = small(1, 600);
+        assert_eq!(
+            f.row(1),
+            vec![2, 3, 4, 5, 8, 9, 16, 32, 64, 128, 256, 512],
+            "Figure 1 row 1"
+        );
+    }
+
+    #[test]
+    fn figure1_row2_prefix() {
+        let f = small(2, 30);
+        let row: Vec<u64> = f.row(2);
+        assert_eq!(
+            &row[..12.min(row.len())],
+            &[6, 7, 10, 11, 12, 13, 15, 17, 18, 19, 20, 21],
+            "Figure 1 row 2"
+        );
+    }
+
+    #[test]
+    fn figure1_row3_prefix() {
+        let f = small(3, 45);
+        let row = f.row(3);
+        assert_eq!(
+            &row[..11.min(row.len())],
+            &[14, 22, 23, 26, 28, 29, 30, 35, 38, 39, 42],
+            "Figure 1 row 3"
+        );
+    }
+
+    #[test]
+    fn figure1_row4_prefix() {
+        let f = small(4, 120);
+        let row = f.row(4);
+        assert_eq!(
+            &row[..9.min(row.len())],
+            &[58, 78, 86, 92, 106, 110, 114, 115, 116],
+            "Figure 1 row 4"
+        );
+    }
+
+    #[test]
+    fn least_matches_rows() {
+        let f = small(4, 120);
+        assert_eq!(f.least(1), Some(2));
+        assert_eq!(f.least(2), Some(6));
+        assert_eq!(f.least(3), Some(14));
+        assert_eq!(f.least(4), Some(58));
+    }
+
+    #[test]
+    fn threads_agree_with_sequential() {
+        let base = small(3, 100);
+        let threaded = Frontier::compute(&FrontierConfig {
+            max_len: 3,
+            target_max: 100,
+            value_cap: 1 << 13,
+            max_shift: 13,
+            threads: 4,
+        });
+        for n in 1..=100u64 {
+            assert_eq!(base.len_of(n), threaded.len_of(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_per_target_search() {
+        let f = small(4, 100);
+        let limits = crate::SearchLimits {
+            max_len: 4,
+            value_cap: 1 << 13,
+            max_shift: 13,
+            node_budget: 10_000_000,
+        };
+        for n in 1..=100u64 {
+            assert_eq!(
+                f.len_of(n),
+                crate::optimal_len(n, &limits),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn unreachable_lengths_report_none() {
+        let f = small(2, 200);
+        assert_eq!(f.len_of(14), None, "14 needs 3 steps");
+        assert_eq!(f.len_of(0), None, "0 is outside the positive table");
+    }
+}

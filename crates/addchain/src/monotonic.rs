@@ -1,0 +1,203 @@
+//! Shortest **monotonic** chains — the overflow-detecting variant of §5.
+//!
+//! A chain compiled with the trapping `ADDO`/`SHxADDO` instructions detects
+//! multiplication overflow exactly when it is *monotonic* (strictly
+//! increasing values) and contains only add / shift-and-add steps. This
+//! module finds minimal such chains; comparing them with the unrestricted
+//! lengths quantifies the paper's "penalty incurred for the detection of
+//! overflow that languages such as Pascal may have to pay".
+//!
+//! Because every operation increases the value and no step may exceed the
+//! target, the search space is tiny (all intermediates lie strictly between
+//! 1 and `n`).
+
+use crate::chain::{Chain, Ref, Step};
+
+/// Minimal monotonic add/shift-and-add chain length for `n`, up to
+/// `max_len`.
+///
+/// # Example
+///
+/// ```
+/// // §5: multiplication by 15 has a 2-step monotonic chain,
+/// // but 31 "cannot be made monotonic in two steps".
+/// assert_eq!(addchain::monotonic::optimal_len(15, 6), Some(2));
+/// assert_eq!(addchain::monotonic::optimal_len(31, 6), Some(3));
+/// ```
+#[must_use]
+pub fn optimal_len(n: u64, max_len: u32) -> Option<u32> {
+    optimal_chain(n, max_len).map(|c| c.len() as u32)
+}
+
+/// A minimal monotonic chain for `n`, or `None` beyond `max_len`.
+///
+/// The returned chain always satisfies [`Chain::is_overflow_safe`].
+#[must_use]
+pub fn optimal_chain(n: u64, max_len: u32) -> Option<Chain> {
+    if n == 1 {
+        return Some(Chain::identity());
+    }
+    if n == 0 {
+        return None; // no increasing chain reaches 0
+    }
+    let mut dfs = Dfs { target: n, values: vec![1], steps: Vec::new() };
+    for depth in 1..=max_len {
+        if let Some(c) = dfs.search(depth) {
+            return Some(c);
+        }
+    }
+    None
+}
+
+struct Dfs {
+    target: u64,
+    values: Vec<u64>,
+    steps: Vec<Step>,
+}
+
+impl Dfs {
+    fn ref_of(&self, idx: usize) -> Ref {
+        if idx == 0 {
+            Ref::One
+        } else {
+            Ref::Step(idx as u32)
+        }
+    }
+
+    fn search(&mut self, remaining: u32) -> Option<Chain> {
+        let last = *self.values.last().expect("non-empty");
+        // Growth bound: each monotonic step at most ×9 (+ additive slack is
+        // dominated by 8a+b ≤ 9·max).
+        let mut reach = u128::from(last);
+        for _ in 0..remaining {
+            reach = reach.saturating_mul(9);
+        }
+        if reach < u128::from(self.target) {
+            return None;
+        }
+
+        if remaining == 1 {
+            if let Some(step) = self.closing_step() {
+                self.steps.push(step);
+                let chain = Chain::new(i128::from(self.target), self.steps.clone()).ok();
+                self.steps.pop();
+                return chain;
+            }
+            return None;
+        }
+
+        let mut cands: Vec<(u64, Step)> = Vec::new();
+        let latest = last;
+        for (i, &vi) in self.values.iter().enumerate() {
+            let ri = self.ref_of(i);
+            for (j, &vj) in self.values.iter().enumerate() {
+                let rj = self.ref_of(j);
+                if j >= i {
+                    let v = vi + vj;
+                    if v > latest && v < self.target {
+                        cands.push((v, Step::Add { j: ri, k: rj }));
+                    }
+                }
+                for sh in 1..=3u32 {
+                    let v = (vi << sh) + vj;
+                    if v > latest && v < self.target {
+                        cands.push((v, Step::ShAdd { sh, j: ri, k: rj }));
+                    }
+                }
+            }
+        }
+        cands.sort_unstable_by_key(|&(v, _)| v);
+        cands.dedup_by_key(|&mut (v, _)| v);
+
+        for (v, step) in cands {
+            self.values.push(v);
+            self.steps.push(step);
+            let found = self.search(remaining - 1);
+            self.steps.pop();
+            self.values.pop();
+            if found.is_some() {
+                return found;
+            }
+        }
+        None
+    }
+
+    fn closing_step(&self) -> Option<Step> {
+        let n = self.target;
+        let last = *self.values.last().expect("non-empty");
+        if n <= last {
+            return None;
+        }
+        let find = |v: u64| self.values.iter().position(|&x| x == v);
+        for (i, &vi) in self.values.iter().enumerate() {
+            let ri = self.ref_of(i);
+            if let Some(diff) = n.checked_sub(vi) {
+                if let Some(k) = find(diff) {
+                    return Some(Step::Add { j: ri, k: self.ref_of(k) });
+                }
+            }
+            for sh in 1..=3u32 {
+                if let Some(diff) = n.checked_sub(vi << sh) {
+                    if let Some(k) = find(diff) {
+                        return Some(Step::ShAdd { sh, j: ri, k: self.ref_of(k) });
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_cases() {
+        assert_eq!(optimal_len(1, 4), Some(0));
+        assert_eq!(optimal_len(0, 4), None);
+        assert_eq!(optimal_len(2, 4), Some(1));
+        assert_eq!(optimal_len(9, 4), Some(1));
+    }
+
+    #[test]
+    fn paper_15_monotonic_in_two() {
+        let c = optimal_chain(15, 4).unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(c.is_overflow_safe());
+    }
+
+    #[test]
+    fn paper_31_needs_three() {
+        assert_eq!(optimal_len(31, 6), Some(3));
+    }
+
+    #[test]
+    fn chains_verify_and_are_safe() {
+        for n in 2..=256u64 {
+            let c = optimal_chain(n, 8).unwrap_or_else(|| panic!("no chain for {n}"));
+            assert_eq!(c.eval().last().copied(), Some(i128::from(n)));
+            assert!(c.is_overflow_safe(), "n = {n}\n{c}");
+        }
+    }
+
+    #[test]
+    fn monotonic_never_beats_unrestricted() {
+        let limits = crate::SearchLimits {
+            max_len: 6,
+            value_cap: 1 << 12,
+            max_shift: 12,
+            node_budget: 20_000_000,
+        };
+        for n in 2..=128u64 {
+            let mono = optimal_len(n, 7).unwrap();
+            let free = crate::optimal_len(n, &limits).unwrap();
+            assert!(mono >= free, "n = {n}: monotonic {mono} < unrestricted {free}");
+        }
+    }
+
+    #[test]
+    fn bounded_by_max_len() {
+        assert_eq!(optimal_len(31, 2), None);
+    }
+}

@@ -1,0 +1,152 @@
+//! Shortest chains that need **no temporary register**.
+//!
+//! §5 *Register Use*: a multiplication-by-constant sequence runs in just the
+//! source register `s` (untouched, playing `a₀`) and the result register `r`
+//! when every step combines only the previously constructed value and `a₀`.
+//! Under that restriction the chain state collapses to a single value, so the
+//! whole table of shortest temp-free lengths is one breadth-first search.
+//!
+//! Comparing this table against the exhaustive `l(n)` reproduces the paper's
+//! observation that *"the only numbers less than 100 that need a temporary at
+//! all in their minimal chains are 59, 87, and 94"*.
+
+use std::collections::VecDeque;
+
+/// Shortest temp-free chain length for every `n ≤ target_max`.
+///
+/// Entry `n` is `None` when no temp-free chain of length ≤ `max_len` exists
+/// with intermediates ≤ `value_cap` and plain shifts ≤ `max_shift`. Entry 1
+/// is `Some(0)`; entry 0 is `None` (multiplication by zero is a register
+/// copy, not a chain).
+///
+/// # Example
+///
+/// ```
+/// let lens = addchain::temp_free_lengths(100, 1 << 12, 12, 8);
+/// assert_eq!(lens[10], Some(2));
+/// // 59 temp-free needs 4 steps (the paper's r=s+s; r=8r+s; r=2r+r; r=8s+r)
+/// assert_eq!(lens[59], Some(4));
+/// ```
+#[must_use]
+pub fn temp_free_lengths(
+    target_max: u64,
+    value_cap: u64,
+    max_shift: u32,
+    max_len: u32,
+) -> Vec<Option<u32>> {
+    let cap = value_cap.max(target_max) as usize;
+    let mut depth: Vec<u8> = vec![u8::MAX; cap + 1];
+    depth[1] = 0;
+    let mut queue: VecDeque<u64> = VecDeque::new();
+    queue.push_back(1);
+
+    while let Some(v) = queue.pop_front() {
+        let d = depth[v as usize];
+        if u32::from(d) >= max_len {
+            continue;
+        }
+        let nd = d + 1;
+        let mut push = |next: u64| {
+            if next == 0 || next > cap as u64 {
+                return;
+            }
+            let slot = &mut depth[next as usize];
+            if *slot == u8::MAX {
+                *slot = nd;
+                queue.push_back(next);
+            }
+        };
+        // Steps allowed on {prev = v, a₀ = 1, 0}:
+        push(v + v); //        add  prev,prev
+        push(v + 1); //        add  prev,a0
+        for sh in 1..=3u32 {
+            push((v << sh) + v); // shXadd prev,prev
+            push((v << sh) + 1); // shXadd prev,a0
+            push((1 << sh) + v); // shXadd a0,prev
+        }
+        push(v.wrapping_sub(1)); // sub prev,a0 (v ≥ 1 so no wrap below 0)
+        if v > 1 {
+            // sub a0,prev is negative; sub prev,prev is 0 — both useless.
+        }
+        for s in 1..=max_shift {
+            let shifted = u128::from(v) << s;
+            if shifted > cap as u128 {
+                break;
+            }
+            push(shifted as u64); // shl prev
+        }
+    }
+
+    (0..=target_max)
+        .map(|n| {
+            let d = depth[n as usize];
+            (n != 0 && d != u8::MAX).then_some(u32::from(d))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{optimal_len, SearchLimits};
+
+    fn table() -> Vec<Option<u32>> {
+        temp_free_lengths(100, 1 << 13, 13, 8)
+    }
+
+    #[test]
+    fn base_cases() {
+        let t = table();
+        assert_eq!(t[0], None);
+        assert_eq!(t[1], Some(0));
+        assert_eq!(t[2], Some(1));
+        assert_eq!(t[3], Some(1));
+        assert_eq!(t[9], Some(1));
+    }
+
+    #[test]
+    fn paper_register_use_claim() {
+        // Exactly {59, 87, 94} below 100 have temp-free length exceeding
+        // their true minimal length.
+        let tf = table();
+        let limits = SearchLimits {
+            max_len: 6,
+            value_cap: 1 << 13,
+            max_shift: 13,
+            node_budget: 50_000_000,
+        };
+        let mut need_temp = Vec::new();
+        for n in 1..100u64 {
+            let exact = optimal_len(n, &limits).expect("all n < 100 within 6 steps");
+            let temp_free = tf[n as usize].expect("reachable temp-free");
+            assert!(temp_free >= exact, "n = {n}");
+            if temp_free > exact {
+                need_temp.push(n);
+            }
+        }
+        assert_eq!(need_temp, vec![59, 87, 94], "§5 Register Use");
+    }
+
+    #[test]
+    fn paper_59_needs_four_temp_free() {
+        let t = table();
+        assert_eq!(t[59], Some(4));
+        assert_eq!(t[87], Some(4));
+        assert_eq!(t[94], Some(4));
+    }
+
+    #[test]
+    fn respects_max_len() {
+        let t = temp_free_lengths(100, 1 << 13, 13, 2);
+        assert_eq!(t[59], None, "59 unreachable in 2 temp-free steps");
+        assert_eq!(t[10], Some(2));
+    }
+
+    #[test]
+    fn value_cap_limits_reachability() {
+        // 127 = 128 - 1 needs an intermediate above the cap.
+        let tight = temp_free_lengths(127, 127, 7, 8);
+        let loose = temp_free_lengths(127, 1 << 8, 8, 8);
+        assert!(tight[127].unwrap() > loose[127].unwrap());
+    }
+}

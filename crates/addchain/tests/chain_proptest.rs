@@ -1,0 +1,74 @@
+//! Property tests over the chain machinery.
+
+use addchain::{find_chain, find_chain_minimal, find_chain_with, RuleConfig, SearchLimits};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// Every rule-generated chain evaluates to its target.
+    #[test]
+    fn chains_hit_their_targets(n in any::<i32>()) {
+        let c = find_chain(i64::from(n));
+        prop_assert_eq!(c.target(), i128::from(n));
+        if n != 1 {
+            prop_assert_eq!(c.eval().last().copied(), Some(i128::from(n)));
+        }
+    }
+
+    /// Overflow-safe chains are monotonic add/shift-and-add for any positive
+    /// target.
+    #[test]
+    fn overflow_safe_chains_are_safe(n in 1i64..2_000_000) {
+        let c = find_chain_with(n, &RuleConfig::overflow_safe());
+        prop_assert!(c.is_overflow_safe(), "n = {}", n);
+        prop_assert_eq!(c.target(), i128::from(n));
+    }
+
+    /// The register-lean configurations never leave the three-live-values
+    /// envelope that multi-word division codegen depends on.
+    #[test]
+    fn binary_rules_bound_liveness(n in 2u64..(1 << 40)) {
+        let binary = RuleConfig {
+            allow_splits: false,
+            max_divisor_search: 1,
+            ..RuleConfig::default()
+        };
+        let c = find_chain_with(n as i64, &binary);
+        prop_assert_eq!(c.target(), i128::from(n));
+        // Reconstruct liveness: at most base + previous + result.
+        let steps = c.steps();
+        let mut last_use = vec![0usize; steps.len() + 1];
+        for (at, step) in steps.iter().enumerate() {
+            let (j, k) = step.operands();
+            for r in [Some(j), k].into_iter().flatten() {
+                match r {
+                    addchain::Ref::One => last_use[0] = at,
+                    addchain::Ref::Step(e) => last_use[e as usize] = at,
+                    addchain::Ref::Zero => {}
+                }
+            }
+        }
+        last_use[steps.len()] = steps.len();
+        for at in 0..steps.len() {
+            let live = (0..=at + 1)
+                .filter(|&e| e == at + 1 || last_use[e] > at)
+                .count();
+            prop_assert!(live <= 3, "n = {}: {} live at step {}", n, live, at);
+        }
+    }
+
+    /// The hybrid searcher is valid and never longer than pure rules.
+    #[test]
+    fn hybrid_is_sound_and_no_worse(n in 2i64..3000) {
+        let limits = SearchLimits {
+            max_len: 6,
+            value_cap: 1 << 13,
+            max_shift: 13,
+            node_budget: 5_000_000,
+        };
+        let hybrid = find_chain_minimal(n, &limits);
+        prop_assert_eq!(hybrid.target(), i128::from(n));
+        prop_assert!(hybrid.len() <= find_chain(n).len());
+    }
+}

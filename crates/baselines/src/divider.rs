@@ -1,0 +1,189 @@
+//! One-bit non-restoring hardware division — the step the Precision `DS`
+//! instruction simplifies.
+//!
+//! §2: *"the shifted divisor is either subtracted from, or added to, the
+//! dividend depending on whether the previous result was positive or
+//! negative. The complement of the sign of the result is shifted into the
+//! quotient. Logically these bits are +1 or -1 … but there is a simple
+//! transformation done at the end … This algorithm requires a single
+//! addition (or subtraction) for each quotient bit."*
+//!
+//! [`nonrestoring_divide`] runs those 32 steps literally; [`restoring_divide`]
+//! is the simpler restoring variant (up to an add *and* a subtract per bit).
+
+use crate::HwCost;
+
+/// The outcome of a hardware division run: quotient, remainder, and how many
+/// adder operations the algorithm consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DivideRun {
+    /// The quotient.
+    pub quotient: u32,
+    /// The remainder.
+    pub remainder: u32,
+    /// Adder operations performed (one per step for non-restoring; up to two
+    /// for restoring).
+    pub adds: u64,
+}
+
+/// 32-step non-restoring division of `x` by `y` (`y` in `1..2^31`).
+///
+/// # Panics
+///
+/// Panics if `y == 0` or `y >= 2^31` (hardware handles those out of line,
+/// exactly as the millicode does).
+///
+/// # Example
+///
+/// ```
+/// let run = baselines::divider::nonrestoring_divide(100, 7);
+/// assert_eq!((run.quotient, run.remainder), (14, 2));
+/// assert_eq!(run.adds, 32);
+/// ```
+#[must_use]
+pub fn nonrestoring_divide(x: u32, y: u32) -> DivideRun {
+    assert!(y > 0 && y < (1 << 31), "divisor must be in 1..2^31");
+    let mut rem: i64 = 0; // partial remainder (fits well within i64)
+    let mut quotient: u32 = 0;
+    let mut adds = 0u64;
+    for step in (0..32).rev() {
+        let bit = i64::from((x >> step) & 1);
+        rem = (rem << 1) | bit;
+        if rem >= 0 {
+            rem -= i64::from(y);
+        } else {
+            rem += i64::from(y);
+        }
+        adds += 1;
+        // The complement of the result's sign becomes the quotient bit.
+        quotient = (quotient << 1) | u32::from(rem >= 0);
+    }
+    // Final correction: a negative partial remainder is short one divisor.
+    // The quotient needs no adjustment — the complement-of-sign recording
+    // already performed the +1/-1 → 0/1 transformation.
+    let mut remainder = rem;
+    if remainder < 0 {
+        remainder += i64::from(y);
+    }
+    DivideRun { quotient, remainder: remainder as u32, adds }
+}
+
+/// 32-step restoring division (§2's "one of the simplest" methods): trial
+/// subtract, add back on underflow.
+///
+/// # Panics
+///
+/// Panics if `y == 0` or `y >= 2^31`.
+#[must_use]
+pub fn restoring_divide(x: u32, y: u32) -> DivideRun {
+    assert!(y > 0 && y < (1 << 31), "divisor must be in 1..2^31");
+    let mut rem: u64 = 0;
+    let mut quotient: u32 = 0;
+    let mut adds = 0u64;
+    for step in (0..32).rev() {
+        rem = (rem << 1) | u64::from((x >> step) & 1);
+        adds += 1; // the trial subtraction
+        if rem >= u64::from(y) {
+            rem -= u64::from(y);
+            quotient = (quotient << 1) | 1;
+        } else {
+            // Restore (counted as the extra adder operation).
+            adds += 1;
+            quotient <<= 1;
+        }
+    }
+    DivideRun { quotient, remainder: rem as u32, adds }
+}
+
+/// Cycle model for a Jouppi-style one-instruction-per-bit divide step
+/// machine: 32 steps plus setup and remainder/sign corrections. The paper's
+/// point is not this count (it is close to the `DS`+`ADDC` routine's ~70)
+/// but the *hardware* price: the special HL register, its datapaths, and the
+/// V-bit on the cycle-time critical path.
+#[must_use]
+pub fn jouppi_cost() -> HwCost {
+    HwCost { setup: 3, steps: 32, fixup: 3 }
+}
+
+/// Cycle model for the Precision software pairing: two instructions per bit
+/// (`DS` + `ADDC`) plus setup and corrections — no extra register ports, no
+/// V-bit on the critical path.
+#[must_use]
+pub fn precision_cost() -> HwCost {
+    HwCost { setup: 4, steps: 64, fixup: 3 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(x: u32, y: u32) {
+        let nr = nonrestoring_divide(x, y);
+        assert_eq!((nr.quotient, nr.remainder), (x / y, x % y), "nonrestoring {x}/{y}");
+        let r = restoring_divide(x, y);
+        assert_eq!((r.quotient, r.remainder), (x / y, x % y), "restoring {x}/{y}");
+    }
+
+    #[test]
+    fn small_cases() {
+        for x in 0..200u32 {
+            for y in 1..20u32 {
+                check(x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_cases() {
+        for (x, y) in [
+            (u32::MAX, 1),
+            (u32::MAX, 3),
+            (u32::MAX, 0x7FFF_FFFF),
+            (0, 5),
+            (0x8000_0000, 2),
+            (0x8000_0001, 0x7FFF_FFFF),
+        ] {
+            check(x, y);
+        }
+    }
+
+    #[test]
+    fn pseudo_random_cases() {
+        let mut state = 0xfeed_face_dead_beefu64;
+        for _ in 0..10_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let x = state as u32;
+            let y = ((state >> 33) as u32).clamp(1, (1 << 31) - 1);
+            check(x, y);
+        }
+    }
+
+    #[test]
+    fn nonrestoring_uses_one_add_per_bit() {
+        assert_eq!(nonrestoring_divide(12345, 7).adds, 32);
+    }
+
+    #[test]
+    fn restoring_uses_up_to_two() {
+        let worst = restoring_divide(0, 5); // never fits: restore every bit
+        assert_eq!(worst.adds, 64);
+        let best = restoring_divide(u32::MAX, 1); // always fits
+        assert_eq!(best.adds, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisor must be")]
+    fn zero_divisor_panics() {
+        let _ = nonrestoring_divide(1, 0);
+    }
+
+    #[test]
+    fn cost_models_are_ordered() {
+        // One-instruction steps are fewer cycles, two-instruction steps cost
+        // ~double the loop — the paper traded those cycles for hardware.
+        assert!(jouppi_cost().total() < precision_cost().total());
+        assert!(precision_cost().total() <= 80);
+    }
+}

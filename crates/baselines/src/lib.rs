@@ -1,0 +1,59 @@
+//! # baselines — the "usual implementations" the paper compares against
+//!
+//! §2 and §3 of the paper describe the hardware the Precision architects
+//! *removed*: a two-bit Booth **multiply step** (16 steps per 32-bit
+//! multiply, plus sign corrections, needing a three-read-port register file
+//! or special HL registers) and a Jouppi-style one-instruction **divide
+//! step** (whose V-bit pipelining sat on the cycle-time critical path).
+//!
+//! This crate implements those machines at the step level — real arithmetic,
+//! not just cost constants — so the comparisons in the evaluation are
+//! grounded:
+//!
+//! * [`booth`] — radix-4 Booth multiplication, 16 steps, with the retained
+//!   carry-like state bit and the final signed correction the paper
+//!   mentions;
+//! * [`divider`] — one-bit non-restoring hardware division, 32 steps plus
+//!   remainder correction;
+//! * [`HwCost`] — cycle accounting for each, used by the A2 ablation and the
+//!   §6 closing comparison ("compares favorably with Booth's algorithm
+//!   implemented with a Multiply Step").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod booth;
+pub mod divider;
+
+/// Cycle model of a step-instruction implementation: `setup` instructions,
+/// one per `steps`, and `fixup` at the end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HwCost {
+    /// Instructions before the step loop (loads, clears).
+    pub setup: u64,
+    /// Number of step instructions executed.
+    pub steps: u64,
+    /// Correction instructions after the loop.
+    pub fixup: u64,
+}
+
+impl HwCost {
+    /// Total single-cycle instructions.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.setup + self.steps + self.fixup
+    }
+}
+
+impl core::fmt::Display for HwCost {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} = {} setup + {} steps + {} fixup",
+            self.total(),
+            self.setup,
+            self.steps,
+            self.fixup
+        )
+    }
+}

@@ -1,0 +1,76 @@
+//! Criterion benches for the §5 chain machinery (E1, E4, E14): rule-based
+//! generation throughput, exhaustive-search latency, and the Figure 1
+//! frontier sweep at test scale.
+
+use addchain::{find_chain, optimal_chain, Frontier, FrontierConfig, SearchLimits};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_rule_based(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rule_based_chain");
+    group.bench_function("n=10", |b| b.iter(|| find_chain(black_box(10))));
+    group.bench_function("n=1980", |b| b.iter(|| find_chain(black_box(1980))));
+    group.bench_function("n=0x55555555", |b| {
+        b.iter(|| find_chain(black_box(0x5555_5555)))
+    });
+    group.bench_function("sweep_1..1024", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for n in 1..1024i64 {
+                total += find_chain(black_box(n)).len();
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+fn bench_exhaustive(c: &mut Criterion) {
+    let limits = SearchLimits {
+        max_len: 5,
+        value_cap: 1 << 13,
+        max_shift: 13,
+        node_budget: 50_000_000,
+    };
+    let mut group = c.benchmark_group("exhaustive_chain");
+    group.sample_size(20);
+    group.bench_function("n=59 (needs temp)", |b| {
+        b.iter(|| optimal_chain(black_box(59), &limits))
+    });
+    group.bench_function("n=466 (first l=5)", |b| {
+        b.iter(|| optimal_chain(black_box(466), &limits))
+    });
+    group.finish();
+}
+
+fn bench_frontier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure1_frontier");
+    group.sample_size(10);
+    group.bench_function("depth4_n600", |b| {
+        b.iter(|| {
+            Frontier::compute(&FrontierConfig {
+                max_len: 4,
+                target_max: 600,
+                value_cap: 1 << 14,
+                max_shift: 14,
+                threads: 1,
+            })
+        })
+    });
+    group.finish();
+
+    // Print the regenerated rows once, so `cargo bench` output carries the
+    // figure itself.
+    let f = Frontier::compute(&FrontierConfig {
+        max_len: 4,
+        target_max: 600,
+        value_cap: 1 << 14,
+        max_shift: 14,
+        threads: 2,
+    });
+    for r in 1..=4 {
+        println!("Figure 1 row {r}: {:?}", &f.row(r)[..f.row(r).len().min(12)]);
+    }
+}
+
+criterion_group!(benches, bench_rule_based, bench_exhaustive, bench_frontier);
+criterion_main!(benches);

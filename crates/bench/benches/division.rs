@@ -1,0 +1,64 @@
+//! Criterion benches for division (E10–E12, A2): magic derivation,
+//! constant-divide codegen, and the millicode routines, with the §7 cycle
+//! bands printed alongside.
+
+use bench::cycles2;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use divconst::{compile_div_const, DivCodegenConfig, Magic, Signedness};
+use millicode::divvar;
+
+fn bench_magic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("magic_derivation");
+    group.bench_function("figure6_all", |b| b.iter(Magic::figure6));
+    group.bench_function("y=641", |b| b.iter(|| Magic::minimal(black_box(641))));
+    group.finish();
+}
+
+fn bench_codegen(c: &mut Criterion) {
+    let cfg = DivCodegenConfig::default();
+    let mut group = c.benchmark_group("div_const_codegen");
+    for y in [3u32, 9, 11, 19] {
+        group.bench_function(format!("y={y}"), |b| {
+            b.iter(|| compile_div_const(black_box(y), Signedness::Unsigned, &cfg).unwrap())
+        });
+    }
+    group.finish();
+
+    // Print the §7 constant-divisor band.
+    print!("constant divisors 2..20, cycles:");
+    for y in 2..20u32 {
+        let p = compile_div_const(y, Signedness::Unsigned, &cfg).unwrap();
+        let (_, stats) = pa_sim::run_fn(
+            &p,
+            &[(cfg.source, 1_000_000_007)],
+            &pa_sim::ExecConfig::default(),
+        );
+        print!(" {}", stats.cycles);
+    }
+    println!("  (paper: 1 to 27)");
+}
+
+fn bench_routines(c: &mut Criterion) {
+    let udiv = divvar::udiv().unwrap();
+    let restoring = divvar::restoring_udiv().unwrap();
+    let dispatch = divvar::small_dispatch(20).unwrap();
+
+    println!("general divide 1000000007 / 97: {} cycles (paper ≈80)", cycles2(&udiv, 1_000_000_007, 97));
+    println!("restoring baseline:             {} cycles", cycles2(&restoring, 1_000_000_007, 97));
+    println!("dispatch / 7:                   {} cycles (paper 10..36)", cycles2(&dispatch, 1_000_000_007, 7));
+
+    let mut group = c.benchmark_group("divvar_simulation");
+    group.bench_function("udiv", |b| {
+        b.iter(|| cycles2(black_box(&udiv), black_box(1_000_000_007), black_box(97)))
+    });
+    group.bench_function("dispatch_small", |b| {
+        b.iter(|| cycles2(black_box(&dispatch), black_box(1_000_000_007), black_box(7)))
+    });
+    group.bench_function("restoring", |b| {
+        b.iter(|| cycles2(black_box(&restoring), black_box(1_000_000_007), black_box(97)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_magic, bench_codegen, bench_routines);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benches for multiplication (E5–E9): the four millicode
+//! generations and constant-multiply compilation, with the Figure 5 cycle
+//! table printed alongside the wall-clock measurements.
+
+use bench::{cycle_band, cycles2};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use millicode::mulvar;
+use mulconst::{compile_mul_const, CodegenConfig};
+use operand_dist::FIGURE5_CLASSES;
+
+fn bench_generations(c: &mut Criterion) {
+    let routines = [
+        ("naive", mulvar::naive().unwrap()),
+        ("early_exit", mulvar::early_exit().unwrap()),
+        ("nibble", mulvar::nibble().unwrap()),
+        ("swap", mulvar::swap().unwrap()),
+        ("switched", mulvar::switched(true).unwrap()),
+    ];
+
+    // Print the cycle comparison (the paper's E5–E8 numbers).
+    println!("multiply generations, 4711 * 13:");
+    for (name, p) in &routines {
+        println!("  {name:<12} {:>4} cycles", cycles2(p, 4711, 13));
+    }
+
+    let mut group = c.benchmark_group("mulvar_simulation");
+    for (name, p) in &routines {
+        group.bench_function(*name, |b| {
+            b.iter(|| cycles2(black_box(p), black_box(4711), black_box(13)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_figure5(_c: &mut Criterion) {
+    // Regenerate the Figure 5 table (cycles per operand class).
+    let p = mulvar::switched(true).unwrap();
+    println!("Figure 5 (best/avg/worst cycles by min-operand class):");
+    for &(lo, hi) in &FIGURE5_CLASSES {
+        let band = cycle_band(&p, lo, hi, 60_000.max(hi + 1), 64);
+        println!("  {lo:>5}-{hi:<6} {band}");
+    }
+}
+
+fn bench_const_compile(c: &mut Criterion) {
+    let cfg = CodegenConfig::default();
+    let mut group = c.benchmark_group("mul_const_codegen");
+    group.bench_function("n=10", |b| {
+        b.iter(|| compile_mul_const(black_box(10), &cfg).unwrap())
+    });
+    group.bench_function("n=1980", |b| {
+        b.iter(|| compile_mul_const(black_box(1980), &cfg).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generations, bench_figure5, bench_const_compile);
+criterion_main!(benches);

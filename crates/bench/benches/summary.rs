@@ -1,0 +1,52 @@
+//! Criterion bench for the §8 distribution-weighted summaries (E13) and the
+//! A1 overflow-circuit ablation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hppa_muldiv::analysis;
+use pa_sim::{cheap_circuit_overflow, precise_overflow};
+
+fn bench_summaries(c: &mut Criterion) {
+    // Print the headline numbers once.
+    let mul = analysis::multiply_summary(13, 2000);
+    let div = analysis::divide_summary(13, 2000);
+    println!(
+        "§8 summary: multiply {:.1} cycles avg (paper ≈6), divide {:.1} (paper ≈40)",
+        mul.average, div.average
+    );
+
+    let mut group = c.benchmark_group("summary");
+    group.sample_size(10);
+    group.bench_function("multiply_mix_200", |b| {
+        b.iter(|| analysis::multiply_summary(black_box(13), 200))
+    });
+    group.bench_function("divide_mix_200", |b| {
+        b.iter(|| analysis::divide_summary(black_box(13), 200))
+    });
+    group.finish();
+}
+
+fn bench_overflow_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overflow_detectors");
+    group.bench_function("cheap_circuit", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for a in (-2000i32..2000).step_by(7) {
+                hits += u32::from(cheap_circuit_overflow(black_box(a * 1_000_001), 3, 77));
+            }
+            hits
+        })
+    });
+    group.bench_function("precise_35bit", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for a in (-2000i32..2000).step_by(7) {
+                hits += u32::from(precise_overflow(black_box(a * 1_000_001), 3, 77));
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_summaries, bench_overflow_models);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Shared measurement helpers for the table generator and the Criterion
+//! benches: cycle counting on the simulator, operand batches, and the
+//! experiment definitions indexed in DESIGN.md.
+
+#![forbid(unsafe_code)]
+
+use pa_isa::{Program, Reg};
+use pa_sim::{run_fn, ExecConfig, RunResult};
+
+/// Runs a two-operand millicode routine and returns its cycle count,
+/// asserting completion.
+#[must_use]
+pub fn cycles2(p: &Program, a: u32, b: u32) -> u64 {
+    let (_, stats) = run2(p, a, b);
+    assert!(stats.termination.is_completed(), "{a}, {b}: {:?}", stats.termination);
+    stats.cycles
+}
+
+/// Runs a two-operand routine, returning machine and stats.
+#[must_use]
+pub fn run2(p: &Program, a: u32, b: u32) -> (pa_sim::Machine, RunResult) {
+    run_fn(p, &[(Reg::R26, a), (Reg::R25, b)], &ExecConfig::default())
+}
+
+/// Best/average/worst cycles of `p` over multiplier values in
+/// `lo..=hi` (multiplicand fixed), sampling `samples` points.
+#[must_use]
+pub fn cycle_band(p: &Program, lo: u32, hi: u32, multiplicand: u32, samples: u32) -> Band {
+    let mut best = u64::MAX;
+    let mut worst = 0u64;
+    let mut total = 0u64;
+    let mut count = 0u64;
+    let step = ((hi - lo) / samples).max(1);
+    let mut x = lo;
+    loop {
+        let c = cycles2(p, x, multiplicand);
+        best = best.min(c);
+        worst = worst.max(c);
+        total += c;
+        count += 1;
+        match x.checked_add(step) {
+            Some(next) if next <= hi => x = next,
+            _ => break,
+        }
+    }
+    Band { best, average: total as f64 / count as f64, worst }
+}
+
+/// A best/average/worst cycle triple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Band {
+    /// Minimum observed cycles.
+    pub best: u64,
+    /// Mean observed cycles.
+    pub average: f64,
+    /// Maximum observed cycles.
+    pub worst: u64,
+}
+
+impl core::fmt::Display for Band {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:>4} {:>6.1} {:>5}", self.best, self.average, self.worst)
+    }
+}
+
+/// Prints a section header in the table reports.
+pub fn section(id: &str, title: &str) {
+    println!();
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("================================================================");
+}

@@ -1,0 +1,398 @@
+//! The compile-time facade: constants into straight-line code.
+
+use core::fmt;
+
+use divconst::{DivCodegenConfig, DivCodegenError, Signedness};
+use mulconst::{CodegenConfig, CodegenError};
+use pa_isa::{Program, Reg};
+use pa_sim::{run_fn, ExecConfig, TrapKind};
+
+/// What a [`CompiledOp`] computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// `dest = source * constant` (wrapping or trapping).
+    MulConst {
+        /// The constant.
+        n: i64,
+        /// Whether overflow traps.
+        checked: bool,
+    },
+    /// `dest = source / constant`, unsigned.
+    UdivConst {
+        /// The divisor.
+        y: u32,
+    },
+    /// `dest = trunc(source / constant)`, signed.
+    SdivConst {
+        /// The divisor.
+        y: i32,
+    },
+    /// `dest = source % constant`, unsigned.
+    UremConst {
+        /// The divisor.
+        y: u32,
+    },
+    /// `dest = source % constant`, signed (remainder keeps the dividend's
+    /// sign, as in C).
+    SremConst {
+        /// The divisor.
+        y: i32,
+    },
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpKind::MulConst { n, checked: false } => write!(f, "x * {n}"),
+            OpKind::MulConst { n, checked: true } => write!(f, "x * {n} (checked)"),
+            OpKind::UdivConst { y } => write!(f, "x / {y}u"),
+            OpKind::SdivConst { y } => write!(f, "x / {y}"),
+            OpKind::UremConst { y } => write!(f, "x % {y}u"),
+            OpKind::SremConst { y } => write!(f, "x % {y}"),
+        }
+    }
+}
+
+/// Errors from the [`Compiler`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CompilerError {
+    /// Multiplication codegen failed.
+    Mul(CodegenError),
+    /// Division codegen failed.
+    Div(DivCodegenError),
+    /// The compiled code trapped when executed (overflow, divide by zero).
+    Trapped(TrapKind),
+    /// The compiled code did not run to completion.
+    DidNotComplete,
+}
+
+impl fmt::Display for CompilerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompilerError::Mul(e) => write!(f, "multiply codegen: {e}"),
+            CompilerError::Div(e) => write!(f, "divide codegen: {e}"),
+            CompilerError::Trapped(TrapKind::Overflow) => write!(f, "overflow trap"),
+            CompilerError::Trapped(TrapKind::Break(code)) => {
+                write!(f, "break trap (code {code})")
+            }
+            CompilerError::DidNotComplete => write!(f, "execution did not complete"),
+        }
+    }
+}
+
+impl std::error::Error for CompilerError {}
+
+impl From<CodegenError> for CompilerError {
+    fn from(e: CodegenError) -> CompilerError {
+        CompilerError::Mul(e)
+    }
+}
+
+impl From<DivCodegenError> for CompilerError {
+    fn from(e: DivCodegenError) -> CompilerError {
+        CompilerError::Div(e)
+    }
+}
+
+/// A compiled constant operation: the program, its registers, and execution
+/// helpers backed by the simulator.
+#[derive(Debug, Clone)]
+pub struct CompiledOp {
+    kind: OpKind,
+    program: Program,
+    source: Reg,
+    dest: Reg,
+}
+
+impl CompiledOp {
+    /// What this code computes.
+    #[must_use]
+    pub fn kind(&self) -> OpKind {
+        self.kind
+    }
+
+    /// The generated instructions.
+    #[must_use]
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Static instruction count. For the straight-line multiply/divide
+    /// bodies this equals the cycle count; branchy signed divisions may run
+    /// slightly below it.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.program.len()
+    }
+
+    /// Whether the program is empty (never true for real operations).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.program.is_empty()
+    }
+
+    /// Cycles consumed for a representative input (for straight-line code,
+    /// any input).
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles_for(1)
+    }
+
+    /// Cycles consumed for a specific input value.
+    #[must_use]
+    pub fn cycles_for(&self, x: u32) -> u64 {
+        let (_, stats) = run_fn(&self.program, &[(self.source, x)], &ExecConfig::default());
+        stats.cycles
+    }
+
+    /// Runs on an unsigned input.
+    ///
+    /// # Errors
+    ///
+    /// [`CompilerError::Trapped`] when the code traps (checked overflow).
+    pub fn run_u32(&self, x: u32) -> Result<u32, CompilerError> {
+        let (m, stats) = run_fn(&self.program, &[(self.source, x)], &ExecConfig::default());
+        match stats.termination {
+            pa_sim::Termination::Completed => Ok(m.reg(self.dest)),
+            pa_sim::Termination::Trapped(t) => Err(CompilerError::Trapped(t.kind)),
+            _ => Err(CompilerError::DidNotComplete),
+        }
+    }
+
+    /// Runs on a signed input.
+    ///
+    /// # Errors
+    ///
+    /// [`CompilerError::Trapped`] when the code traps (checked overflow).
+    pub fn run_i32(&self, x: i32) -> Result<i32, CompilerError> {
+        self.run_u32(x as u32).map(|v| v as i32)
+    }
+}
+
+impl fmt::Display for CompiledOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "; {}", self.kind)?;
+        write!(f, "{}", self.program)
+    }
+}
+
+/// Compiles constant multiplications and divisions the way the Precision
+/// compilers' code generator does.
+///
+/// # Example
+///
+/// ```
+/// use hppa_muldiv::Compiler;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let c = Compiler::new();
+/// let op = c.mul_const(1000)?;
+/// assert!(op.cycles() <= 4); // §8: "generally four or fewer"
+/// assert_eq!(op.run_i32(-3)?, -3000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Compiler {
+    mul_cfg: CodegenConfig,
+    div_cfg: DivCodegenConfig,
+}
+
+impl Compiler {
+    /// A compiler with the PA-RISC argument-register conventions.
+    #[must_use]
+    pub fn new() -> Compiler {
+        Compiler {
+            mul_cfg: CodegenConfig::default(),
+            div_cfg: DivCodegenConfig::default(),
+        }
+    }
+
+    /// Compiles `x * n`, wrapping on overflow (C semantics).
+    ///
+    /// # Errors
+    ///
+    /// See [`CompilerError`].
+    pub fn mul_const(&self, n: i64) -> Result<CompiledOp, CompilerError> {
+        let program = mulconst::compile_mul_const(n, &self.mul_cfg)?;
+        Ok(self.wrap(OpKind::MulConst { n, checked: false }, program, self.mul_cfg.source))
+    }
+
+    /// Compiles `x * n` with overflow trapping (Pascal semantics); the chain
+    /// is restricted to the monotonic trapping-capable form (§5 *Overflow*).
+    ///
+    /// # Errors
+    ///
+    /// See [`CompilerError`].
+    pub fn mul_const_checked(&self, n: i64) -> Result<CompiledOp, CompilerError> {
+        let cfg = CodegenConfig { check_overflow: true, ..self.mul_cfg.clone() };
+        let program = mulconst::compile_mul_const(n, &cfg)?;
+        Ok(self.wrap(OpKind::MulConst { n, checked: true }, program, cfg.source))
+    }
+
+    /// Compiles unsigned `x / y`.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompilerError`]; `y = 0` reports a divide codegen error.
+    pub fn udiv_const(&self, y: u32) -> Result<CompiledOp, CompilerError> {
+        let program = divconst::compile_div_const(y, Signedness::Unsigned, &self.div_cfg)?;
+        Ok(self.wrap(OpKind::UdivConst { y }, program, self.div_cfg.source))
+    }
+
+    /// Compiles signed `trunc(x / y)` (y may be negative).
+    ///
+    /// # Errors
+    ///
+    /// See [`CompilerError`].
+    pub fn sdiv_const(&self, y: i32) -> Result<CompiledOp, CompilerError> {
+        let program = divconst::compile_div_const_i32(y, &self.div_cfg)?;
+        Ok(self.wrap(OpKind::SdivConst { y }, program, self.div_cfg.source))
+    }
+
+    /// Compiles unsigned `x % y` — an extension composed from the paper's
+    /// pieces: `x - (x / y) * y`, with the multiply-back going through the
+    /// §5 constant-multiply chains.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompilerError`].
+    pub fn urem_const(&self, y: u32) -> Result<CompiledOp, CompilerError> {
+        let div = divconst::compile_div_const(y, Signedness::Unsigned, &self.div_cfg)?;
+        // Multiply the quotient (in dest) by y into a temp, then subtract.
+        let quotient = self.div_cfg.dest;
+        let product = self.div_cfg.temps[0];
+        let mul_cfg = CodegenConfig {
+            source: quotient,
+            dest: product,
+            temps: self.div_cfg.temps[1..6].to_vec(),
+            check_overflow: false,
+        };
+        let mul = mulconst::compile_mul_const(i64::from(y), &mul_cfg)?;
+        let mut combined = div.concat(&mul, "_mulback");
+        let mut b = pa_isa::ProgramBuilder::new();
+        b.sub(self.div_cfg.source, product, quotient);
+        let sub = b.build().expect("single sub builds");
+        combined = combined.concat(&sub, "_rem");
+        Ok(self.wrap(OpKind::UremConst { y }, combined, self.div_cfg.source))
+    }
+
+    /// Compiles signed `x % y` (C semantics: the remainder takes the
+    /// dividend's sign) — composed as `x - trunc(x / y) * y`.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompilerError`].
+    pub fn srem_const(&self, y: i32) -> Result<CompiledOp, CompilerError> {
+        let div = divconst::compile_div_const_i32(y, &self.div_cfg)?;
+        let quotient = self.div_cfg.dest;
+        let product = self.div_cfg.temps[0];
+        let mul_cfg = CodegenConfig {
+            source: quotient,
+            dest: product,
+            temps: self.div_cfg.temps[1..6].to_vec(),
+            check_overflow: false,
+        };
+        let mul = mulconst::compile_mul_const(i64::from(y), &mul_cfg)?;
+        let mut combined = div.concat(&mul, "_mulback");
+        let mut b = pa_isa::ProgramBuilder::new();
+        b.sub(self.div_cfg.source, product, quotient);
+        let sub = b.build().expect("single sub builds");
+        combined = combined.concat(&sub, "_rem");
+        Ok(self.wrap(OpKind::SremConst { y }, combined, self.div_cfg.source))
+    }
+
+    fn wrap(&self, kind: OpKind, program: Program, source: Reg) -> CompiledOp {
+        CompiledOp { kind, program, source, dest: self.div_cfg.dest }
+    }
+}
+
+impl Default for Compiler {
+    fn default() -> Compiler {
+        Compiler::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_const_examples() {
+        let c = Compiler::new();
+        for (n, x, expect) in [(10i64, 7i32, 70i32), (-3, 9, -27), (0, 5, 0), (1, -4, -4)] {
+            let op = c.mul_const(n).unwrap();
+            assert_eq!(op.run_i32(x).unwrap(), expect, "{n} * {x}");
+        }
+    }
+
+    #[test]
+    fn checked_mul_traps() {
+        let c = Compiler::new();
+        let op = c.mul_const_checked(3).unwrap();
+        assert_eq!(op.run_i32(10).unwrap(), 30);
+        assert_eq!(
+            op.run_i32(i32::MAX / 2),
+            Err(CompilerError::Trapped(TrapKind::Overflow))
+        );
+    }
+
+    #[test]
+    fn udiv_figure7() {
+        let c = Compiler::new();
+        let op = c.udiv_const(3).unwrap();
+        assert_eq!(op.cycles(), 17);
+        assert_eq!(op.run_u32(u32::MAX).unwrap(), u32::MAX / 3);
+    }
+
+    #[test]
+    fn sdiv_negative_divisor() {
+        let c = Compiler::new();
+        let op = c.sdiv_const(-7).unwrap();
+        assert_eq!(op.run_i32(100).unwrap(), -14);
+        assert_eq!(op.run_i32(-100).unwrap(), 14);
+    }
+
+    #[test]
+    fn urem_composition() {
+        let c = Compiler::new();
+        for y in [2u32, 3, 7, 10, 12, 100] {
+            let op = c.urem_const(y).unwrap();
+            for x in [0u32, 1, 99, 12345, u32::MAX] {
+                assert_eq!(op.run_u32(x).unwrap(), x % y, "{x} % {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn srem_composition() {
+        let c = Compiler::new();
+        for y in [2i32, 3, -3, 7, -10, 12] {
+            let op = c.srem_const(y).unwrap();
+            for x in [0i32, 1, -1, 99, -99, 12345, -12345, i32::MAX, i32::MIN + 1] {
+                let expect = (i64::from(x) % i64::from(y)) as i32;
+                assert_eq!(op.run_i32(x).unwrap(), expect, "{x} % {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_shows_kind_and_listing() {
+        let c = Compiler::new();
+        let op = c.mul_const(10).unwrap();
+        let text = op.to_string();
+        assert!(text.contains("; x * 10"));
+        assert!(text.contains("sh2add"));
+    }
+
+    #[test]
+    fn cycle_accounting() {
+        let c = Compiler::new();
+        let op = c.mul_const(10).unwrap();
+        assert_eq!(op.cycles(), 2);
+        assert_eq!(op.len(), 2);
+        assert!(!op.is_empty());
+        assert_eq!(op.kind(), OpKind::MulConst { n: 10, checked: false });
+    }
+}

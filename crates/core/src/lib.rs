@@ -1,0 +1,64 @@
+//! # hppa-muldiv — integer multiplication and division on the HP Precision
+//! Architecture
+//!
+//! A full reproduction of Magenheimer, Peters, Pettis & Zuras, *"Integer
+//! Multiplication and Division on the HP Precision Architecture"*
+//! (ASPLOS 1987), as a usable Rust library:
+//!
+//! * [`Compiler`] — what the compiler back end does: turn `x * c`, `x / c`
+//!   and `x % c` into straight-line shift-and-add / derived-method code
+//!   (§5, §7), with optional overflow trapping;
+//! * [`Runtime`] — what the millicode library does: multiply and divide
+//!   values unknown until run time (§6's switched algorithm, §4's
+//!   `DS`/`ADDC` divide), reporting exact cycle counts from the bundled
+//!   simulator;
+//! * [`analysis`] — the distribution-weighted summaries of §8 ("the average
+//!   multiply requires about six cycles and the average divide takes about
+//!   40");
+//! * re-exports of every substrate crate (`isa`, `sim`, `chains`, …) for
+//!   users who want the pieces.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hppa_muldiv::{Compiler, Runtime};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let compiler = Compiler::new();
+//! let times10 = compiler.mul_const(10)?;
+//! assert_eq!(times10.cycles(), 2); // the paper's §5 example
+//! assert_eq!(times10.run_i32(7)?, 70);
+//!
+//! let div3 = compiler.udiv_const(3)?;
+//! assert_eq!(div3.cycles(), 17); // Figure 7
+//! assert_eq!(div3.run_u32(100)?, 33);
+//!
+//! let rt = Runtime::new()?;
+//! let (product, cycles) = rt.mul_i32(-123, 456)?;
+//! assert_eq!(product, -56088);
+//! assert!(cycles < 40);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod compiler;
+mod runtime;
+pub mod strength;
+
+pub use compiler::{CompiledOp, Compiler, CompilerError, OpKind};
+pub use divconst::Signedness;
+pub use runtime::{Runtime, RuntimeError};
+
+// The substrate crates, re-exported under stable names.
+pub use addchain as chains;
+pub use baselines;
+pub use divconst;
+pub use millicode;
+pub use mulconst;
+pub use operand_dist;
+pub use pa_isa as isa;
+pub use pa_sim as sim;

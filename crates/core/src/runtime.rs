@@ -1,0 +1,212 @@
+//! The run-time facade: millicode calls with cycle accounting.
+
+use core::fmt;
+
+use millicode::{divvar, mulvar};
+use pa_isa::{Program, Reg};
+use pa_sim::{run_fn, ExecConfig, Termination, TrapKind};
+
+/// Errors from [`Runtime`] calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// Division by zero (the millicode `BREAK`).
+    DivideByZero,
+    /// The routine trapped unexpectedly.
+    Trapped(TrapKind),
+    /// The routine did not complete (simulator watchdog).
+    DidNotComplete,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::DivideByZero => write!(f, "division by zero"),
+            RuntimeError::Trapped(TrapKind::Overflow) => write!(f, "overflow trap"),
+            RuntimeError::Trapped(TrapKind::Break(code)) => {
+                write!(f, "break trap (code {code})")
+            }
+            RuntimeError::DidNotComplete => write!(f, "execution did not complete"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// The millicode library: multiply and divide run-time values on the
+/// simulated machine, returning exact cycle counts.
+///
+/// Construction builds the four routines once ([`mulvar::switched`],
+/// [`divvar::udiv`], [`divvar::sdiv`], [`divvar::small_dispatch`]); calls
+/// are then cheap simulator runs.
+///
+/// # Example
+///
+/// ```
+/// use hppa_muldiv::Runtime;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let rt = Runtime::new()?;
+/// let (q, r, cycles) = rt.udiv(1000, 7)?;
+/// assert_eq!((q, r), (142, 6));
+/// assert!((68..=85).contains(&cycles)); // the paper's ≈80-cycle routine
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Runtime {
+    mul_signed: Program,
+    mul_unsigned: Program,
+    udiv: Program,
+    sdiv: Program,
+    dispatch: Program,
+}
+
+impl Runtime {
+    /// Builds all routines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `pa_isa` construction errors (a bug if it ever fires).
+    pub fn new() -> Result<Runtime, pa_isa::IsaError> {
+        Ok(Runtime {
+            mul_signed: mulvar::switched(true)?,
+            mul_unsigned: mulvar::switched(false)?,
+            udiv: divvar::udiv()?,
+            sdiv: divvar::sdiv()?,
+            dispatch: divvar::small_dispatch(20)?,
+        })
+    }
+
+    fn call(
+        &self,
+        p: &Program,
+        a: u32,
+        b: u32,
+    ) -> Result<(pa_sim::Machine, u64), RuntimeError> {
+        let (m, stats) = run_fn(p, &[(Reg::R26, a), (Reg::R25, b)], &ExecConfig::default());
+        match stats.termination {
+            Termination::Completed => Ok((m, stats.cycles)),
+            Termination::Trapped(t) if t.kind == TrapKind::Break(divvar::DIV_ZERO_BREAK) => {
+                Err(RuntimeError::DivideByZero)
+            }
+            Termination::Trapped(t) => Err(RuntimeError::Trapped(t.kind)),
+            _ => Err(RuntimeError::DidNotComplete),
+        }
+    }
+
+    /// Signed multiply via the §6 switched algorithm: `(product, cycles)`.
+    /// Wrapping semantics, like C on the real machine.
+    ///
+    /// # Errors
+    ///
+    /// Only simulator faults (never expected).
+    pub fn mul_i32(&self, x: i32, y: i32) -> Result<(i32, u64), RuntimeError> {
+        let (m, cycles) = self.call(&self.mul_signed, x as u32, y as u32)?;
+        Ok((m.reg_i32(Reg::R28), cycles))
+    }
+
+    /// Unsigned multiply (wrapping): `(product, cycles)`.
+    ///
+    /// # Errors
+    ///
+    /// Only simulator faults (never expected).
+    pub fn mul_u32(&self, x: u32, y: u32) -> Result<(u32, u64), RuntimeError> {
+        let (m, cycles) = self.call(&self.mul_unsigned, x, y)?;
+        Ok((m.reg(Reg::R28), cycles))
+    }
+
+    /// Unsigned divide via the general `DS`/`ADDC` routine:
+    /// `(quotient, remainder, cycles)`.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::DivideByZero`] for `y = 0`.
+    pub fn udiv(&self, x: u32, y: u32) -> Result<(u32, u32, u64), RuntimeError> {
+        let (m, cycles) = self.call(&self.udiv, x, y)?;
+        Ok((m.reg(Reg::R28), m.reg(Reg::R29), cycles))
+    }
+
+    /// Signed divide, truncating toward zero: `(quotient, remainder, cycles)`.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::DivideByZero`] for `y = 0`.
+    pub fn sdiv(&self, x: i32, y: i32) -> Result<(i32, i32, u64), RuntimeError> {
+        let (m, cycles) = self.call(&self.sdiv, x as u32, y as u32)?;
+        Ok((m.reg_i32(Reg::R28), m.reg_i32(Reg::R29), cycles))
+    }
+
+    /// Unsigned divide through the §7 small-divisor dispatch (quotient
+    /// only): divisors below 20 hit the inlined derived-method bodies.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::DivideByZero`] for `y = 0`.
+    pub fn udiv_dispatch(&self, x: u32, y: u32) -> Result<(u32, u64), RuntimeError> {
+        let (m, cycles) = self.call(&self.dispatch, x, y)?;
+        Ok((m.reg(Reg::R28), cycles))
+    }
+
+    /// The underlying routines, for inspection or disassembly.
+    #[must_use]
+    pub fn programs(&self) -> [(&'static str, &Program); 5] {
+        [
+            ("mul_signed", &self.mul_signed),
+            ("mul_unsigned", &self.mul_unsigned),
+            ("udiv", &self.udiv),
+            ("sdiv", &self.sdiv),
+            ("udiv_dispatch", &self.dispatch),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiply_and_count() {
+        let rt = Runtime::new().unwrap();
+        let (p, c) = rt.mul_i32(-123, 456).unwrap();
+        assert_eq!(p, -56088);
+        assert!(c < 45, "{c} cycles");
+        let (p, _) = rt.mul_u32(0xFFFF_FFFF, 2).unwrap();
+        assert_eq!(p, 0xFFFF_FFFEu32);
+    }
+
+    #[test]
+    fn divide_and_count() {
+        let rt = Runtime::new().unwrap();
+        let (q, r, c) = rt.udiv(1000, 7).unwrap();
+        assert_eq!((q, r), (142, 6));
+        assert!((60..=90).contains(&c));
+        let (q, r, _) = rt.sdiv(-1000, 7).unwrap();
+        assert_eq!((q, r), (-142, -6));
+    }
+
+    #[test]
+    fn dispatch_is_faster_for_small_divisors() {
+        let rt = Runtime::new().unwrap();
+        let (q, fast) = rt.udiv_dispatch(123_456, 7).unwrap();
+        assert_eq!(q, 123_456 / 7);
+        let (_, _, slow) = rt.udiv(123_456, 7).unwrap();
+        assert!(fast < slow / 2, "dispatch {fast} vs general {slow}");
+    }
+
+    #[test]
+    fn zero_divisor_reports() {
+        let rt = Runtime::new().unwrap();
+        assert_eq!(rt.udiv(5, 0), Err(RuntimeError::DivideByZero));
+        assert_eq!(rt.sdiv(5, 0), Err(RuntimeError::DivideByZero));
+        assert_eq!(rt.udiv_dispatch(5, 0), Err(RuntimeError::DivideByZero));
+    }
+
+    #[test]
+    fn programs_are_inspectable() {
+        let rt = Runtime::new().unwrap();
+        for (name, p) in rt.programs() {
+            assert!(!p.is_empty(), "{name}");
+        }
+    }
+}

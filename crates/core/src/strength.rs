@@ -1,0 +1,218 @@
+//! §2's compiler discussion, made executable: **strength reduction**.
+//!
+//! *"Strength reduction is the practice of replacing multiplications by
+//! additions and additions by increments wherever possible, since they are
+//! less costly than multiplications."* The paper's example:
+//!
+//! ```c
+//! for (i = 0; i < 10; i = i + 1)
+//!     j = j + i * 15;
+//! ```
+//!
+//! [`compare`] builds both versions of such a loop as real machine code —
+//! the naive one re-multiplying the induction variable each trip through a
+//! §5 constant-multiply chain, the reduced one adding a running multiple —
+//! runs them on the simulator and reports the cycle difference. It also
+//! demonstrates the paper's remark that optimisation *increases* the share
+//! of time spent in the divisions it cannot remove.
+
+use core::fmt;
+
+use mulconst::{compile_mul_const, CodegenConfig};
+use pa_isa::{Cond, Program, ProgramBuilder, Reg};
+use pa_sim::{run_fn, ExecConfig};
+
+use crate::CompilerError;
+
+/// The loop being compiled: `for i in 1..=trips { acc += i * factor }`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopSpec {
+    /// Trip count (≥ 1).
+    pub trips: u32,
+    /// The loop-invariant multiplier.
+    pub factor: i64,
+}
+
+/// The measured outcome of compiling [`LoopSpec`] both ways.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Comparison {
+    /// The accumulated value (identical for both versions, checked).
+    pub result: i32,
+    /// Cycles with the multiply re-done every iteration.
+    pub naive_cycles: u64,
+    /// Cycles with the multiplication strength-reduced to an addition.
+    pub reduced_cycles: u64,
+}
+
+impl Comparison {
+    /// The §2 payoff: cycles saved per loop trip.
+    #[must_use]
+    pub fn saved_per_trip(&self, trips: u32) -> f64 {
+        (self.naive_cycles.saturating_sub(self.reduced_cycles)) as f64 / f64::from(trips.max(1))
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "naive {} cycles, strength-reduced {} cycles (result {})",
+            self.naive_cycles, self.reduced_cycles, self.result
+        )
+    }
+}
+
+// Register plan: i in r3, accumulator in r28, multiply scratch r4/r1/r31,
+// running multiple in r5.
+const IVAR: Reg = Reg::R3;
+const ACC: Reg = Reg::R28;
+const PRODUCT: Reg = Reg::R4;
+const RUNNING: Reg = Reg::R5;
+
+/// Builds the unoptimised loop: each trip multiplies the induction variable
+/// by `factor` through the §5 chain code.
+///
+/// # Errors
+///
+/// Propagates multiply-codegen failures.
+pub fn naive_loop(spec: LoopSpec) -> Result<Program, CompilerError> {
+    let mul_cfg = CodegenConfig {
+        source: IVAR,
+        dest: PRODUCT,
+        temps: vec![Reg::R1, Reg::R31, Reg::R29, Reg::R25, Reg::R24],
+        check_overflow: false,
+    };
+    let body = compile_mul_const(spec.factor, &mul_cfg)?;
+
+    let mut b = ProgramBuilder::new();
+    b.ldi(1, IVAR);
+    b.copy(Reg::R0, ACC);
+    let top = b.here("loop");
+    for insn in body.insns() {
+        b.raw(insn.op);
+    }
+    b.add(PRODUCT, ACC, ACC);
+    b.addi(1, IVAR, IVAR);
+    let limit = i32::try_from(spec.trips).unwrap_or(i32::MAX);
+    b.comiclr(Cond::Lt, limit, IVAR, Reg::R0); // trips < i → exit
+    b.b(top);
+    b.build().map_err(|e| CompilerError::Mul(mulconst::CodegenError::Isa(e)))
+}
+
+/// Builds the strength-reduced loop: the multiplication results form an
+/// arithmetic progression, so each trip adds `factor` to a running multiple.
+///
+/// # Errors
+///
+/// Propagates multiply-codegen failures (only the loop-invariant setup
+/// multiplies).
+pub fn reduced_loop(spec: LoopSpec) -> Result<Program, CompilerError> {
+    let mut b = ProgramBuilder::new();
+    b.ldi(1, IVAR);
+    b.copy(Reg::R0, ACC);
+    // running = 1 * factor, computed once before the loop.
+    let mul_cfg = CodegenConfig {
+        source: IVAR,
+        dest: RUNNING,
+        temps: vec![Reg::R1, Reg::R31, Reg::R29, Reg::R25, Reg::R24],
+        check_overflow: false,
+    };
+    let setup = compile_mul_const(spec.factor, &mul_cfg)?;
+    for insn in setup.insns() {
+        b.raw(insn.op);
+    }
+    // The per-trip increment also needs `factor` in a register.
+    let step = Reg::R6;
+    let step_cfg = CodegenConfig { dest: step, ..mul_cfg };
+    let step_code = compile_mul_const(spec.factor, &step_cfg)?;
+    for insn in step_code.insns() {
+        b.raw(insn.op);
+    }
+    let top = b.here("loop");
+    b.add(RUNNING, ACC, ACC);
+    b.add(step, RUNNING, RUNNING);
+    b.addi(1, IVAR, IVAR);
+    let limit = i32::try_from(spec.trips).unwrap_or(i32::MAX);
+    b.comiclr(Cond::Lt, limit, IVAR, Reg::R0);
+    b.b(top);
+    b.build().map_err(|e| CompilerError::Mul(mulconst::CodegenError::Isa(e)))
+}
+
+/// Compiles and runs both versions, checking they agree.
+///
+/// # Errors
+///
+/// Propagates codegen failures; simulation mismatches panic (they would be
+/// a bug in this crate).
+///
+/// # Panics
+///
+/// Panics if the two versions disagree — a correctness bug.
+///
+/// # Example
+///
+/// ```
+/// use hppa_muldiv::strength::{compare, LoopSpec};
+///
+/// // The paper's loop: i*15 summed over ten trips.
+/// let cmp = compare(LoopSpec { trips: 10, factor: 15 })?;
+/// assert_eq!(cmp.result, 15 * (1..=10).sum::<i32>());
+/// assert!(cmp.reduced_cycles < cmp.naive_cycles);
+/// # Ok::<(), hppa_muldiv::CompilerError>(())
+/// ```
+pub fn compare(spec: LoopSpec) -> Result<Comparison, CompilerError> {
+    let naive = naive_loop(spec)?;
+    let reduced = reduced_loop(spec)?;
+    let cfg = ExecConfig { max_cycles: 100_000_000, ..ExecConfig::default() };
+    let (m1, s1) = run_fn(&naive, &[], &cfg);
+    let (m2, s2) = run_fn(&reduced, &[], &cfg);
+    assert!(s1.termination.is_completed() && s2.termination.is_completed());
+    assert_eq!(
+        m1.reg(ACC),
+        m2.reg(ACC),
+        "strength reduction changed the result"
+    );
+    Ok(Comparison {
+        result: m1.reg_i32(ACC),
+        naive_cycles: s1.cycles,
+        reduced_cycles: s2.cycles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_i_times_15() {
+        let cmp = compare(LoopSpec { trips: 10, factor: 15 }).unwrap();
+        assert_eq!(cmp.result, 15 * 55);
+        assert!(cmp.reduced_cycles < cmp.naive_cycles, "{cmp}");
+    }
+
+    #[test]
+    fn bigger_factors_save_more() {
+        let cheap = compare(LoopSpec { trips: 100, factor: 2 }).unwrap();
+        let costly = compare(LoopSpec { trips: 100, factor: 1979 }).unwrap();
+        assert!(
+            costly.saved_per_trip(100) > cheap.saved_per_trip(100),
+            "longer chains must make reduction more valuable"
+        );
+    }
+
+    #[test]
+    fn results_match_closed_form() {
+        for (trips, factor) in [(1u32, 7i64), (2, -3), (50, 123), (10, 0)] {
+            let cmp = compare(LoopSpec { trips, factor }).unwrap();
+            let expect: i64 = (1..=i64::from(trips)).map(|i| i * factor).sum();
+            assert_eq!(i64::from(cmp.result), expect as i32 as i64, "{trips}×{factor}");
+        }
+    }
+
+    #[test]
+    fn single_trip_overhead_can_favour_naive() {
+        // With one trip the reduced version pays two setup multiplies.
+        let cmp = compare(LoopSpec { trips: 1, factor: 15 }).unwrap();
+        assert!(cmp.reduced_cycles >= cmp.naive_cycles);
+    }
+}

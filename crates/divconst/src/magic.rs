@@ -1,0 +1,338 @@
+//! Derivation of the §7 "derived method" parameters — the magic numbers.
+//!
+//! For a known odd divisor `y > 0` the paper replaces `q(x) = ⌊x/y⌋` with
+//!
+//! ```text
+//! q'(x) = (a·x + b) / z        z = 2^s,  a = ⌊z/y⌋,  r = z mod y
+//! ```
+//!
+//! choosing `b = a + r - 1` (or `b = 0` when `r = 0`), which makes
+//! `⌊q'(x)⌋ = q(x)` for all `x` in `[0, (K+1)·y)` with `K = ⌊b/r⌋`. For full
+//! 32-bit dividends `(K+1)·y` must reach `2^32` — the condition that picks
+//! the `z` column of **Figure 6**.
+//!
+//! Because `b = a + r - 1`, the runtime computation is `(x+1)·a + (r-1)`,
+//! which drops the final addition entirely when `r = 1` — the paper's own
+//! observation, and the reason Figure 7's divide-by-3 is just a multiply by
+//! `0x55555555` of `x + 1`.
+
+use core::fmt;
+
+/// Errors from [`Magic::derive`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MagicError {
+    /// The divisor must be odd and at least 3 (evens split a shift out
+    /// first; 1 is the identity).
+    DivisorNotOdd {
+        /// The offending divisor.
+        y: u32,
+    },
+    /// `2^s` too small: `(K+1)·y < 2^32`, so some 32-bit dividends would
+    /// divide incorrectly.
+    RangeTooSmall {
+        /// The attempted exponent.
+        s: u32,
+        /// The achieved exclusive bound `(K+1)·y`.
+        reach: u128,
+    },
+    /// `s` above 63 would need more than a two-word right shift.
+    ExponentTooLarge {
+        /// The attempted exponent.
+        s: u32,
+    },
+}
+
+impl fmt::Display for MagicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MagicError::DivisorNotOdd { y } => {
+                write!(f, "divisor {y} is not an odd number ≥ 3")
+            }
+            MagicError::RangeTooSmall { s, reach } => {
+                write!(f, "z = 2^{s} only covers dividends below {reach} (< 2^32)")
+            }
+            MagicError::ExponentTooLarge { s } => write!(f, "z = 2^{s} exceeds 2^63"),
+        }
+    }
+}
+
+impl std::error::Error for MagicError {}
+
+/// The derived-method parameters for one `(y, z)` choice.
+///
+/// # Example
+///
+/// ```
+/// use divconst::Magic;
+///
+/// // Figure 6, first row: y = 3 → z = 2^32, r = 1, a = 0x55555555.
+/// let m = Magic::minimal(3)?;
+/// assert_eq!(m.s(), 32);
+/// assert_eq!(m.a(), 0x5555_5555);
+/// assert_eq!(m.r(), 1);
+/// assert_eq!(m.reach(), 0x1_0000_0002); // (K+1)·y
+/// # Ok::<(), divconst::MagicError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Magic {
+    y: u32,
+    s: u32,
+    a: u64,
+    r: u64,
+}
+
+impl Magic {
+    /// Derives the parameters for divisor `y` with `z = 2^s`.
+    ///
+    /// # Errors
+    ///
+    /// [`MagicError::DivisorNotOdd`] unless `y` is odd and ≥ 3;
+    /// [`MagicError::RangeTooSmall`] when `2^s` cannot cover all `u32`
+    /// dividends; [`MagicError::ExponentTooLarge`] for `s > 63`.
+    pub fn derive(y: u32, s: u32) -> Result<Magic, MagicError> {
+        Magic::derive_for(y, s, 1 << 32)
+    }
+
+    /// Like [`Magic::derive`], but for dividends below `need` instead of the
+    /// full `2^32` — signed division only has magnitudes up to `2^31`, which
+    /// occasionally buys a smaller `z` (and a one-word multiplier where the
+    /// unsigned case needs three-word intermediates, e.g. `y = 11`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Magic::derive`], with the range test against `need`.
+    pub fn derive_for(y: u32, s: u32, need: u128) -> Result<Magic, MagicError> {
+        if y < 3 || y.is_multiple_of(2) {
+            return Err(MagicError::DivisorNotOdd { y });
+        }
+        if s > 63 {
+            return Err(MagicError::ExponentTooLarge { s });
+        }
+        let z = 1u128 << s;
+        let a = (z / u128::from(y)) as u64;
+        let r = (z % u128::from(y)) as u64;
+        let m = Magic { y, s, a, r };
+        if m.reach() < need {
+            return Err(MagicError::RangeTooSmall { s, reach: m.reach() });
+        }
+        Ok(m)
+    }
+
+    /// The smallest power of two satisfying the full-range condition — the
+    /// `z` column of Figure 6.
+    ///
+    /// # Errors
+    ///
+    /// [`MagicError::DivisorNotOdd`] unless `y` is odd and ≥ 3.
+    pub fn minimal(y: u32) -> Result<Magic, MagicError> {
+        if y < 3 || y.is_multiple_of(2) {
+            return Err(MagicError::DivisorNotOdd { y });
+        }
+        for s in 32..=63u32 {
+            if let Ok(m) = Magic::derive(y, s) {
+                return Ok(m);
+            }
+        }
+        unreachable!("s = 32 + ceil(log2 y) + 1 always satisfies the bound for odd y < 2^31")
+    }
+
+    /// The divisor `y`.
+    #[must_use]
+    pub fn y(&self) -> u32 {
+        self.y
+    }
+
+    /// The exponent `s` with `z = 2^s`.
+    #[must_use]
+    pub fn s(&self) -> u32 {
+        self.s
+    }
+
+    /// `z = 2^s`.
+    #[must_use]
+    pub fn z(&self) -> u128 {
+        1u128 << self.s
+    }
+
+    /// The multiplier `a = ⌊z/y⌋` (may exceed 32 bits, e.g. `y = 11`).
+    #[must_use]
+    pub fn a(&self) -> u64 {
+        self.a
+    }
+
+    /// The remainder `r = z mod y`.
+    #[must_use]
+    pub fn r(&self) -> u64 {
+        self.r
+    }
+
+    /// The adjustment `b`: `a + r - 1`, or 0 when `r = 0`.
+    #[must_use]
+    pub fn b(&self) -> u64 {
+        if self.r == 0 {
+            0
+        } else {
+            self.a + self.r - 1
+        }
+    }
+
+    /// The exclusive dividend bound `(K+1)·y` — the last Figure 6 column.
+    /// Unbounded (`r = 0`) reports as `2^128 - 1`.
+    #[must_use]
+    pub fn reach(&self) -> u128 {
+        if self.r == 0 {
+            return u128::MAX;
+        }
+        let k = self.b() / self.r; // K = ⌊b/r⌋
+        (u128::from(k) + 1) * u128::from(self.y)
+    }
+
+    /// Whether the multiplier fits one machine word (`a < 2^32`); when it
+    /// does not, the runtime product needs a third word of precision (the
+    /// paper notes this for `y = 11`).
+    #[must_use]
+    pub fn fits_pair(&self) -> bool {
+        // Largest intermediate: (x+1)·a + (r-1) with x+1 = 2^32.
+        let worst = (1u128 << 32) * u128::from(self.a) + u128::from(self.r.saturating_sub(1));
+        worst < (1u128 << 64)
+    }
+
+    /// Checks `⌊(a·x + b)/z⌋ = ⌊x/y⌋` directly (used by tests and the
+    /// experiment harness; the codegen relies on it).
+    #[must_use]
+    pub fn evaluate(&self, x: u32) -> u32 {
+        let q = (u128::from(self.a) * u128::from(x) + u128::from(self.b())) >> self.s;
+        q as u32
+    }
+
+    /// The Figure 6 rows: minimal derivations for odd `y` in `3..=19`.
+    #[must_use]
+    pub fn figure6() -> Vec<Magic> {
+        (3..=19u32)
+            .step_by(2)
+            .map(|y| Magic::minimal(y).expect("odd y ≥ 3"))
+            .collect()
+    }
+}
+
+impl fmt::Display for Magic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "y={} z=2^{} r={} a={:X} (K+1)y={:X}",
+            self.y,
+            self.s,
+            self.r,
+            self.a,
+            self.reach()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 6 verbatim: (y, s, r, a, (K+1)y).
+    const FIGURE6: [(u32, u32, u64, u64, u128); 9] = [
+        (3, 32, 1, 0x5555_5555, 0x1_0000_0002),
+        (5, 32, 1, 0x3333_3333, 0x1_0000_0004),
+        (7, 33, 1, 0x4924_9249, 0x2_0000_0006),
+        (9, 35, 5, 0xE38E_38E3, 0x1_9999_99A7),
+        (11, 36, 9, 0x1_745D_1745, 0x1_C71C_71D6),
+        (13, 35, 7, 0x9D8_9D89D, 0x1_2492_4938),
+        (15, 32, 1, 0x1111_1111, 0x1_0000_000E),
+        (17, 32, 1, 0xF0F_0F0F, 0x1_0000_0010),
+        (19, 36, 1, 0xD794_35E5, 0x10_0000_0012),
+    ];
+
+    #[test]
+    fn figure6_reproduced_exactly() {
+        for &(y, s, r, a, reach) in &FIGURE6 {
+            let m = Magic::minimal(y).unwrap();
+            assert_eq!(m.s(), s, "z for y={y}");
+            assert_eq!(m.r(), r, "r for y={y}");
+            assert_eq!(m.a(), a, "a for y={y}");
+            assert_eq!(m.reach(), reach, "(K+1)y for y={y}");
+        }
+    }
+
+    #[test]
+    fn figure6_helper_matches() {
+        let rows = Magic::figure6();
+        assert_eq!(rows.len(), 9);
+        assert_eq!(rows[0].y(), 3);
+        assert_eq!(rows[8].y(), 19);
+    }
+
+    #[test]
+    fn rejects_bad_divisors() {
+        for y in [0u32, 1, 2, 4, 100] {
+            assert!(matches!(
+                Magic::minimal(y),
+                Err(MagicError::DivisorNotOdd { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn rejects_small_exponents() {
+        // y = 9 needs 2^35 (Figure 6): 32..35 must fail.
+        for s in 32..35 {
+            assert!(matches!(
+                Magic::derive(9, s),
+                Err(MagicError::RangeTooSmall { .. })
+            ));
+        }
+        assert!(Magic::derive(9, 35).is_ok());
+        assert!(Magic::derive(9, 64).is_err());
+    }
+
+    #[test]
+    fn larger_exponents_stay_valid() {
+        // The paper: "there are an infinite number of choices for z".
+        for extra in 0..6u32 {
+            let m = Magic::derive(9, 35 + extra).unwrap();
+            assert!(m.reach() >= 1 << 32);
+        }
+    }
+
+    #[test]
+    fn evaluate_agrees_with_division_on_boundaries() {
+        for y in (3..=101u32).step_by(2) {
+            let m = Magic::minimal(y).unwrap();
+            for k in [0u64, 1, 2, 3, 1000, (1 << 32) / u64::from(y)] {
+                for delta in -2i64..=2 {
+                    let x = (k * u64::from(y)) as i64 + delta;
+                    let Ok(x) = u32::try_from(x) else { continue };
+                    assert_eq!(m.evaluate(x), x / y, "y={y} x={x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_fit_matches_paper_note() {
+        // "In the cases listed, except for y = 11, the largest possible
+        // intermediate result will fit using two 32-bit words."
+        for m in Magic::figure6() {
+            assert_eq!(m.fits_pair(), m.y() != 11, "y = {}", m.y());
+        }
+    }
+
+    #[test]
+    fn b_and_r_relation() {
+        let m = Magic::minimal(7).unwrap();
+        assert_eq!(m.b(), m.a() + m.r() - 1);
+        assert_eq!(m.z(), u128::from(m.a()) * 7 + u128::from(m.r()));
+    }
+
+    #[test]
+    fn display_mentions_all_columns() {
+        let text = Magic::minimal(3).unwrap().to_string();
+        assert!(text.contains("y=3"));
+        assert!(text.contains("z=2^32"));
+        assert!(text.contains("a=55555555"));
+    }
+}

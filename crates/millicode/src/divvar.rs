@@ -1,0 +1,284 @@
+//! §4 + §7 — division by variables.
+//!
+//! * [`udiv`]/[`sdiv`]: the general-purpose routine built from the paper's
+//!   two-instruction step — `DS` on the partial remainder paired with `ADDC`
+//!   on the dividend/quotient word — repeated 32 times (~70–80 cycles, the
+//!   paper's "average 80 cycles for the general-purpose divide routine").
+//! * [`small_dispatch`]: §7's variable-divisor fast path — divisors below 20
+//!   vector through a `BLR` table into inlined derived-method sequences
+//!   ("divisions using variable divisors less than twenty vary from ten to
+//!   36 cycles").
+//! * [`restoring_udiv`]: the §2 "usual implementation" baseline — shift,
+//!   trial subtract, restore — for the A2 ablation.
+//!
+//! Register conventions: dividend in `r26`, divisor in `r25`, quotient in
+//! `r28`, remainder in `r29` (both outputs; [`small_dispatch`] produces the
+//! quotient only). Entry assumes the PSW V bit is clear, which
+//! `pa_sim::Machine::new` guarantees; the real millicode instead spends two
+//! instructions normalising V.
+
+use divconst::{compile_div_const, DivCodegenConfig, Signedness};
+use pa_isa::{BitSense, Cond, IsaError, Label, Program, ProgramBuilder, Reg};
+
+/// Register conventions shared by the division routines.
+pub mod regs {
+    use pa_isa::Reg;
+
+    /// The dividend (preserved).
+    pub const DIVIDEND: Reg = Reg::R26;
+    /// The divisor (preserved).
+    pub const DIVISOR: Reg = Reg::R25;
+    /// The quotient.
+    pub const QUOTIENT: Reg = Reg::R28;
+    /// The remainder.
+    pub const REMAINDER: Reg = Reg::R29;
+}
+
+use regs::{DIVIDEND, DIVISOR, QUOTIENT, REMAINDER};
+
+/// The `BREAK` code raised for division by zero.
+pub const DIV_ZERO_BREAK: u16 = 0x2d;
+
+/// Emits the 32-step `DS`/`ADDC` core dividing the value in `dividend_reg`
+/// (which must be a scratch copy — the quotient develops in it) by the value
+/// in `divisor_reg` (< 2³¹); the remainder lands in `REMAINDER`.
+fn emit_ds_core(b: &mut ProgramBuilder, dividend_reg: Reg, divisor_reg: Reg) {
+    b.copy(Reg::R0, REMAINDER);
+    // Shift the dividend left; the carry out is the first bit fed to DS.
+    b.add(dividend_reg, dividend_reg, dividend_reg);
+    for _ in 0..32 {
+        b.ds(REMAINDER, divisor_reg, REMAINDER);
+        b.addc(dividend_reg, dividend_reg, dividend_reg);
+    }
+    // Non-restoring correction: a negative partial remainder is short one
+    // divisor.
+    let ok = b.named_label("rem_ok");
+    b.bb_msb(REMAINDER, BitSense::Clear, ok);
+    b.add(REMAINDER, divisor_reg, REMAINDER);
+    b.bind(ok);
+}
+
+/// Emits the `divisor ≥ 2^31` special case (quotient is 0 or 1) for
+/// dividend magnitude `x_reg` and divisor magnitude `d_reg`, then branches
+/// to `exit`.
+fn emit_big_divisor(b: &mut ProgramBuilder, x_reg: Reg, d_reg: Reg, exit: Label) {
+    b.copy(x_reg, REMAINDER);
+    b.copy(Reg::R0, QUOTIENT);
+    b.comb(Cond::Ult, x_reg, d_reg, exit);
+    b.ldi(1, QUOTIENT);
+    b.sub(x_reg, d_reg, REMAINDER);
+    b.b(exit);
+}
+
+/// The general-purpose unsigned divide: `QUOTIENT = DIVIDEND / DIVISOR`,
+/// `REMAINDER = DIVIDEND % DIVISOR`.
+///
+/// Traps with [`DIV_ZERO_BREAK`] on a zero divisor. Divisors with the sign
+/// bit set (≥ 2³¹) cannot run through the non-restoring core (the partial
+/// remainder must fit a signed word) and take a short compare path, as in
+/// HP's millicode.
+///
+/// # Errors
+///
+/// Construction is static; errors indicate a bug in this crate.
+pub fn udiv() -> Result<Program, IsaError> {
+    let mut b = ProgramBuilder::new();
+    let big = b.named_label("big_divisor");
+    let exit = b.named_label("exit");
+    let zero = b.named_label("div_zero");
+    b.comb(Cond::Eq, DIVISOR, Reg::R0, zero);
+    b.bb_msb(DIVISOR, BitSense::Set, big);
+    b.copy(DIVIDEND, QUOTIENT);
+    emit_ds_core(&mut b, QUOTIENT, DIVISOR);
+    b.b(exit);
+    b.bind(big);
+    emit_big_divisor(&mut b, DIVIDEND, DIVISOR, exit);
+    b.bind(zero);
+    b.brk(DIV_ZERO_BREAK);
+    b.bind(exit);
+    b.build()
+}
+
+/// The general-purpose signed divide, truncating toward zero: divide the
+/// magnitudes, then fix the signs (quotient negative iff operand signs
+/// differ; the remainder takes the dividend's sign — C semantics).
+///
+/// # Errors
+///
+/// Construction is static; errors indicate a bug in this crate.
+pub fn sdiv() -> Result<Program, IsaError> {
+    let mut b = ProgramBuilder::new();
+    let zero = b.named_label("div_zero");
+    let big = b.named_label("big_divisor");
+    let fix = b.named_label("fix_signs");
+    let exit = b.named_label("exit");
+    b.comb(Cond::Eq, DIVISOR, Reg::R0, zero);
+    // Magnitudes: |dividend| → r1, |divisor| → r31.
+    b.copy(DIVIDEND, Reg::R1);
+    b.comclr(Cond::Le, Reg::R0, DIVIDEND, Reg::R0);
+    b.sub(Reg::R0, Reg::R1, Reg::R1);
+    b.copy(DIVISOR, Reg::R31);
+    b.comclr(Cond::Le, Reg::R0, DIVISOR, Reg::R0);
+    b.sub(Reg::R0, Reg::R31, Reg::R31);
+    // |divisor| = 2^31 only for divisor = i32::MIN.
+    b.bb_msb(Reg::R31, BitSense::Set, big);
+    b.copy(Reg::R1, QUOTIENT);
+    emit_ds_core(&mut b, QUOTIENT, Reg::R31);
+    b.b(fix);
+    b.bind(big);
+    emit_big_divisor(&mut b, Reg::R1, Reg::R31, fix);
+    b.bind(fix);
+    // Quotient sign: negative iff operand signs differ.
+    b.xor(DIVIDEND, DIVISOR, Reg::R1);
+    let q_pos = b.named_label("q_positive");
+    b.bb_msb(Reg::R1, BitSense::Clear, q_pos);
+    b.sub(Reg::R0, QUOTIENT, QUOTIENT);
+    b.bind(q_pos);
+    // Remainder sign follows the dividend.
+    b.comclr(Cond::Le, Reg::R0, DIVIDEND, Reg::R0);
+    b.sub(Reg::R0, REMAINDER, REMAINDER);
+    b.b(exit);
+    b.bind(zero);
+    b.brk(DIV_ZERO_BREAK);
+    b.bind(exit);
+    b.build()
+}
+
+/// §7 *Performance* — the variable-divisor fast path: divisors below
+/// `limit` (the paper's experiments use 20) vector through a `BLR` table
+/// into inlined derived-method bodies; larger divisors fall back to the
+/// inlined general routine. Produces the quotient only.
+///
+/// # Errors
+///
+/// Construction is static; errors indicate a bug in this crate.
+///
+/// # Panics
+///
+/// `limit` must be between 2 and 32.
+pub fn small_dispatch(limit: u32) -> Result<Program, IsaError> {
+    assert!((2..=32).contains(&limit), "limit must be in 2..=32");
+    let mut b = ProgramBuilder::new();
+    let table = b.named_label("table");
+    let general = b.named_label("general");
+    let big = b.named_label("big_divisor");
+    let exit = b.named_label("exit");
+    let zero = b.named_label("div_zero");
+
+    // divisor ≥ limit → general routine. (COMIB's 5-bit immediate cannot
+    // hold 20, so nullify the branch with COMICLR instead.)
+    b.comiclr(Cond::Ugt, limit as i32, DIVISOR, Reg::R0);
+    b.b(general);
+    b.blr(DIVISOR, table);
+
+    // Two-instruction table entries, one per divisor below `limit`.
+    let bodies: Vec<Label> = (0..limit)
+        .map(|y| b.named_label(&format!("div{y}")))
+        .collect();
+    b.bind(table);
+    for body in &bodies {
+        b.b(*body);
+        b.nop();
+    }
+
+    // Inlined constant-divisor bodies. The registers clobbered here must
+    // exclude the dividend and divisor.
+    let cfg = DivCodegenConfig {
+        source: DIVIDEND,
+        dest: QUOTIENT,
+        temps: vec![
+            Reg::R1,
+            Reg::R31,
+            Reg::R29,
+            Reg::R24,
+            Reg::R23,
+            Reg::R22,
+            Reg::R21,
+            Reg::R20,
+            Reg::R19,
+            Reg::R18,
+            Reg::R17,
+            Reg::R16,
+            Reg::R15,
+            Reg::R14,
+        ],
+    };
+    for (y, body) in bodies.iter().enumerate() {
+        b.bind(*body);
+        match y {
+            0 => {
+                b.b(zero);
+            }
+            1 => {
+                b.copy(DIVIDEND, QUOTIENT);
+                b.b(exit);
+            }
+            _ => {
+                let inner = compile_div_const(y as u32, Signedness::Unsigned, &cfg)
+                    .expect("constant division for 2..32 compiles");
+                for insn in inner.insns() {
+                    assert!(
+                        insn.op.branch_target().is_none(),
+                        "unsigned constant divide bodies are straight-line"
+                    );
+                    b.raw(insn.op);
+                }
+                b.b(exit);
+            }
+        }
+    }
+
+    // General fallback (quotient only).
+    b.bind(general);
+    b.bb_msb(DIVISOR, BitSense::Set, big);
+    b.copy(DIVIDEND, QUOTIENT);
+    emit_ds_core(&mut b, QUOTIENT, DIVISOR);
+    b.b(exit);
+    b.bind(big);
+    emit_big_divisor(&mut b, DIVIDEND, DIVISOR, exit);
+    b.bind(zero);
+    b.brk(DIV_ZERO_BREAK);
+    b.bind(exit);
+    b.build()
+}
+
+/// §2's "usual implementation": a **restoring** division — shift, trial
+/// subtract, and restore on underflow — with no `DS` support. Up to an add
+/// and a subtract per quotient bit; the A2 ablation compares this against
+/// the `DS`/`ADDC` routine.
+///
+/// # Errors
+///
+/// Construction is static; errors indicate a bug in this crate.
+pub fn restoring_udiv() -> Result<Program, IsaError> {
+    let mut b = ProgramBuilder::new();
+    let zero = b.named_label("div_zero");
+    let big = b.named_label("big_divisor");
+    let exit = b.named_label("exit");
+    b.comb(Cond::Eq, DIVISOR, Reg::R0, zero);
+    b.bb_msb(DIVISOR, BitSense::Set, big);
+    b.copy(DIVIDEND, Reg::R1); // dividend bits, consumed from the top
+    b.copy(Reg::R0, REMAINDER);
+    b.copy(Reg::R0, QUOTIENT);
+    b.ldi(32, Reg::R31);
+    let top = b.here("loop");
+    // remainder = (remainder << 1) | next dividend bit; quotient shifts too.
+    b.add(Reg::R1, Reg::R1, Reg::R1); // carry = msb
+    b.addc(REMAINDER, REMAINDER, REMAINDER);
+    b.add(QUOTIENT, QUOTIENT, QUOTIENT);
+    // Trial subtract; keep it only if it does not underflow.
+    let no_fit = b.named_label("no_fit");
+    b.sub(REMAINDER, DIVISOR, Reg::R24);
+    b.comb(Cond::Ult, REMAINDER, DIVISOR, no_fit);
+    b.copy(Reg::R24, REMAINDER);
+    b.addi(1, QUOTIENT, QUOTIENT);
+    b.bind(no_fit);
+    b.addib(-1, Reg::R31, Cond::Ne, top);
+    b.b(exit);
+    b.bind(big);
+    emit_big_divisor(&mut b, DIVIDEND, DIVISOR, exit);
+    b.bind(zero);
+    b.brk(DIV_ZERO_BREAK);
+    b.bind(exit);
+    b.build()
+}

@@ -1,0 +1,565 @@
+//! # millicode — the runtime multiply and divide routines
+//!
+//! HP Precision has no multiply or divide instructions; integer `*`, `/` and
+//! `%` compile to calls into *millicode* — short, register-convention-bound
+//! assembly routines. This crate builds those routines as [`pa_isa`]
+//! programs, reproducing §6 (multiplication by variables, all four
+//! generations up to the `BLR`-switched Figure 4 algorithm) and §7/§4
+//! (the `DS`/`ADDC` general divide, the small-divisor dispatch, and the
+//! restoring baseline).
+//!
+//! ## Example
+//!
+//! ```
+//! use millicode::mulvar;
+//! use pa_isa::Reg;
+//! use pa_sim::{run_fn, ExecConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let routine = mulvar::switched(true)?;
+//! let (m, stats) = run_fn(
+//!     &routine,
+//!     &[(Reg::R26, 7u32), (Reg::R25, -3i32 as u32)],
+//!     &ExecConfig::default(),
+//! );
+//! assert_eq!(m.reg_i32(Reg::R28), -21);
+//! assert!(stats.cycles < 40);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod divvar;
+pub mod mulvar;
+
+#[cfg(test)]
+mod tests {
+    use crate::{divvar, mulvar};
+    use pa_isa::{Program, Reg};
+    use pa_sim::{run_fn, ExecConfig, Machine, RunResult, TrapKind};
+
+    fn run2(p: &Program, a: u32, b: u32) -> (Machine, RunResult) {
+        run_fn(p, &[(Reg::R26, a), (Reg::R25, b)], &ExecConfig::default())
+    }
+
+    fn check_mul_signed(p: &Program, x: i32, y: i32) -> u64 {
+        let (m, r) = run2(p, x as u32, y as u32);
+        assert!(r.termination.is_completed(), "{x} * {y}: {:?}", r.termination);
+        assert_eq!(
+            m.reg(Reg::R28),
+            (x as u32).wrapping_mul(y as u32),
+            "{x} * {y}"
+        );
+        assert_eq!(m.reg_i32(Reg::R26), x, "multiplier clobbered");
+        assert_eq!(m.reg_i32(Reg::R25), y, "multiplicand clobbered");
+        r.cycles
+    }
+
+    fn signed_cases() -> Vec<(i32, i32)> {
+        let mut v = vec![
+            (0, 0),
+            (0, 5),
+            (5, 0),
+            (1, 1),
+            (1, -1),
+            (-1, -1),
+            (3, 7),
+            (-3, 7),
+            (3, -7),
+            (-3, -7),
+            (15, 15),
+            (16, 16),
+            (255, 255),
+            (4096, 4096),
+            (46340, 46340),
+            (i32::MAX, 1),
+            (1, i32::MAX),
+            (i32::MIN, 1),
+            (i32::MIN + 1, -1),
+            (65535, 65537),
+            (-40000, 2),
+            (31623, 31623),
+        ];
+        // A small deterministic pseudo-random batch.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for _ in 0..200 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let x = (state as u32 & 0xFFFF) as i32 - 0x8000;
+            let y = ((state >> 32) as u32 & 0xFFFF) as i32 - 0x8000;
+            v.push((x, y));
+        }
+        v
+    }
+
+    #[test]
+    fn naive_matches_wrapping_mul() {
+        let p = mulvar::naive().unwrap();
+        for (x, y) in signed_cases() {
+            check_mul_signed(&p, x, y);
+        }
+    }
+
+    #[test]
+    fn naive_dynamic_path_is_about_167() {
+        // §6: "the algorithm in Figure 2 has a dynamic path of 167
+        // (single cycle) instructions."
+        let p = mulvar::naive().unwrap();
+        let cycles = check_mul_signed(&p, 12345, 678);
+        assert!(
+            (160..=175).contains(&cycles),
+            "naive multiply took {cycles} cycles, expected ≈167"
+        );
+    }
+
+    #[test]
+    fn early_exit_matches_and_is_data_dependent() {
+        let p = mulvar::early_exit().unwrap();
+        for (x, y) in signed_cases() {
+            check_mul_signed(&p, x, y);
+        }
+        let small = check_mul_signed(&p, 3, 1_000_000);
+        let large = check_mul_signed(&p, 1_000_000, 3);
+        assert!(small < large, "{small} !< {large}: early exit must help small multipliers");
+        // Worst case ≈192 (paper): a full-width multiplier magnitude.
+        let worst = check_mul_signed(&p, i32::MIN, 1);
+        assert!((185..=210).contains(&worst), "worst {worst}, expected ≈192");
+    }
+
+    #[test]
+    fn nibble_matches_and_is_faster() {
+        let p = mulvar::nibble().unwrap();
+        for (x, y) in signed_cases() {
+            check_mul_signed(&p, x, y);
+        }
+        // Worst ≈107 (paper: full-width multiplier, all bits set — clear
+        // bits cost one instruction here instead of Figure 3's fixed two).
+        let worst = check_mul_signed(&p, i32::MAX, 1);
+        assert!((90..=120).contains(&worst), "worst {worst}, expected ≈107");
+    }
+
+    #[test]
+    fn swap_matches_and_bounds_iterations() {
+        let p = mulvar::swap().unwrap();
+        for (x, y) in signed_cases() {
+            check_mul_signed(&p, x, y);
+        }
+        // With the swap, a huge multiplicand no longer hurts: the smaller
+        // operand drives the loop. Worst ≈59 for 16-bit × 16-bit.
+        let w = check_mul_signed(&p, 46340, 46340);
+        assert!((40..=65).contains(&w), "16x16 worst {w}, paper says ≈59");
+        // And a worst-case multiplier no longer matters once swapped:
+        let w2 = check_mul_signed(&p, i32::MIN + 1, 3);
+        assert!(w2 < 50, "swap failed to bound the loop: {w2}");
+    }
+
+    #[test]
+    fn switched_signed_matches() {
+        let p = mulvar::switched(true).unwrap();
+        for (x, y) in signed_cases() {
+            check_mul_signed(&p, x, y);
+        }
+    }
+
+    #[test]
+    fn switched_unsigned_matches() {
+        let p = mulvar::switched(false).unwrap();
+        let cases: Vec<(u32, u32)> = vec![
+            (0, 0),
+            (1, 0xFFFF_FFFF),
+            (2, 0x8000_0000),
+            (15, 15),
+            (0xFFFF, 0x1_0001u32),
+            (12345, 6789),
+            (0xFFFF_FFFF, 0xFFFF_FFFF),
+        ];
+        for (x, y) in cases {
+            let (m, r) = run2(&p, x, y);
+            assert!(r.termination.is_completed());
+            assert_eq!(m.reg(Reg::R28), x.wrapping_mul(y), "{x} * {y}");
+        }
+    }
+
+    #[test]
+    fn switched_single_nibble_is_fast() {
+        // Figure 5, first class (min operand 0..15): best 10, avg 15,
+        // worst 23 including overhead.
+        let p = mulvar::switched(true).unwrap();
+        let mut worst = 0;
+        for small in 0..=15 {
+            worst = worst.max(check_mul_signed(&p, small, 1_000_000));
+        }
+        assert!(worst <= 30, "nibble-class multiply took {worst}, paper says ≤23");
+    }
+
+    #[test]
+    fn switched_class_costs_increase() {
+        // Figure 5: the four min(|x|,|y|) classes cost progressively more.
+        let p = mulvar::switched(true).unwrap();
+        let reps = [15, 255, 4095, 46340];
+        let costs: Vec<u64> = reps
+            .iter()
+            .map(|&v| check_mul_signed(&p, v, 46340))
+            .collect();
+        assert!(
+            costs.windows(2).all(|w| w[0] < w[1]),
+            "class costs must increase: {costs:?}"
+        );
+        assert!(costs[3] <= 60, "largest class worst {} (paper: 56)", costs[3]);
+    }
+
+    #[test]
+    fn generations_improve_monotonically() {
+        // E5–E9 ordering under a typical operand pair.
+        let naive = mulvar::naive().unwrap();
+        let early = mulvar::early_exit().unwrap();
+        let nib = mulvar::nibble().unwrap();
+        let swapped = mulvar::swap().unwrap();
+        let switched = mulvar::switched(true).unwrap();
+        let (x, y) = (4711, 13);
+        let costs: Vec<u64> = [&naive, &early, &nib, &swapped, &switched]
+            .iter()
+            .map(|p| check_mul_signed(p, x, y))
+            .collect();
+        // The switch's dispatch overhead can cost a cycle or two against the
+        // plain swapped loop on single-iteration multipliers; everything
+        // else must strictly improve.
+        assert!(
+            costs.windows(2).all(|w| w[1] <= w[0] + 3),
+            "generations must not regress: {costs:?}"
+        );
+        assert!(costs[4] < 30, "final algorithm: {} cycles", costs[4]);
+        // On multi-nibble operands the switch wins outright.
+        let wide_swap = check_mul_signed(&swapped, 46340, 46340);
+        let wide_switch = check_mul_signed(&switched, 46340, 46340);
+        assert!(wide_switch <= wide_swap, "{wide_switch} > {wide_swap}");
+    }
+
+    // ---- division ---------------------------------------------------------
+
+    fn check_udiv(p: &Program, x: u32, y: u32) -> u64 {
+        let (m, r) = run2(p, x, y);
+        assert!(r.termination.is_completed(), "{x} / {y}: {:?}", r.termination);
+        assert_eq!(m.reg(Reg::R28), x / y, "{x} / {y} quotient");
+        assert_eq!(m.reg(Reg::R29), x % y, "{x} % {y} remainder");
+        r.cycles
+    }
+
+    fn unsigned_div_cases() -> Vec<(u32, u32)> {
+        let mut v = vec![
+            (0, 1),
+            (1, 1),
+            (100, 7),
+            (7, 100),
+            (u32::MAX, 1),
+            (u32::MAX, 2),
+            (u32::MAX, u32::MAX),
+            (u32::MAX, 0x8000_0000),
+            (0x8000_0000, 3),
+            (0x7FFF_FFFF, 0x8000_0001),
+            (0xFFFF_FFFE, 0x7FFF_FFFF),
+            (1, u32::MAX),
+            (1000000007, 97),
+        ];
+        let mut state = 0xdead_beef_1234_5678u64;
+        for _ in 0..300 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let x = state as u32;
+            let y = ((state >> 32) as u32).max(1);
+            v.push((x, y));
+        }
+        v
+    }
+
+    #[test]
+    fn udiv_matches_hardware_division() {
+        let p = divvar::udiv().unwrap();
+        for (x, y) in unsigned_div_cases() {
+            check_udiv(&p, x, y);
+        }
+    }
+
+    #[test]
+    fn udiv_costs_about_80_cycles() {
+        let p = divvar::udiv().unwrap();
+        let c = check_udiv(&p, 123_456_789, 7);
+        assert!((68..=85).contains(&c), "general divide took {c}, expected ≈80");
+    }
+
+    #[test]
+    fn udiv_traps_on_zero() {
+        let p = divvar::udiv().unwrap();
+        let (_, r) = run2(&p, 5, 0);
+        assert_eq!(
+            r.termination.trap().map(|t| t.kind),
+            Some(TrapKind::Break(divvar::DIV_ZERO_BREAK))
+        );
+    }
+
+    #[test]
+    fn sdiv_truncates_toward_zero() {
+        let p = divvar::sdiv().unwrap();
+        let cases = [
+            (7i32, 2i32),
+            (-7, 2),
+            (7, -2),
+            (-7, -2),
+            (0, 5),
+            (i32::MAX, 1),
+            (i32::MIN, 1),
+            (i32::MIN, 2),
+            (i32::MIN, i32::MIN),
+            (i32::MAX, i32::MIN),
+            (100, 9),
+            (-100, 9),
+            (-1, i32::MAX),
+        ];
+        for (x, y) in cases {
+            let (m, r) = run2(&p, x as u32, y as u32);
+            assert!(r.termination.is_completed(), "{x} / {y}");
+            let q = (i64::from(x) / i64::from(y)) as u32;
+            let rem = (i64::from(x) % i64::from(y)) as u32;
+            assert_eq!(m.reg(Reg::R28), q, "{x} / {y} quotient");
+            assert_eq!(m.reg(Reg::R29), rem, "{x} % {y} remainder");
+        }
+    }
+
+    #[test]
+    fn sdiv_preserves_inputs() {
+        let p = divvar::sdiv().unwrap();
+        let (m, _) = run2(&p, -1234i32 as u32, -7i32 as u32);
+        assert_eq!(m.reg_i32(Reg::R26), -1234);
+        assert_eq!(m.reg_i32(Reg::R25), -7);
+    }
+
+    #[test]
+    fn small_dispatch_quotients_and_speed() {
+        let p = divvar::small_dispatch(20).unwrap();
+        let mut worst_small = 0u64;
+        for y in 1..20u32 {
+            for x in [0u32, 1, 19, 100, 12345, u32::MAX, u32::MAX / 2] {
+                let (m, r) = run2(&p, x, y);
+                assert!(r.termination.is_completed(), "{x} / {y}");
+                assert_eq!(m.reg(Reg::R28), x / y, "{x} / {y}");
+                worst_small = worst_small.max(r.cycles);
+            }
+        }
+        // §7: variable divisors below twenty take 10..36 cycles.
+        assert!(
+            (10..=48).contains(&worst_small),
+            "small-divisor dispatch worst case {worst_small}, expected ≲36"
+        );
+        // Large divisors still divide correctly through the fallback.
+        for (x, y) in [(100u32, 21u32), (u32::MAX, 1000), (5, 0x8000_0003)] {
+            let (m, r) = run2(&p, x, y);
+            assert!(r.termination.is_completed());
+            assert_eq!(m.reg(Reg::R28), x / y, "{x} / {y}");
+        }
+        // Divide by zero reaches the trap through the table.
+        let (_, r) = run2(&p, 5, 0);
+        assert_eq!(
+            r.termination.trap().map(|t| t.kind),
+            Some(TrapKind::Break(divvar::DIV_ZERO_BREAK))
+        );
+    }
+
+    #[test]
+    fn restoring_baseline_is_correct_and_slower() {
+        let restoring = divvar::restoring_udiv().unwrap();
+        let ds = divvar::udiv().unwrap();
+        for (x, y) in unsigned_div_cases().into_iter().take(60) {
+            let c_r = check_udiv(&restoring, x, y);
+            let c_d = check_udiv(&ds, x, y);
+            if y < 0x8000_0000 {
+                assert!(
+                    c_r > c_d,
+                    "restoring ({c_r}) should cost more than DS ({c_d}) for {x}/{y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn routines_have_realistic_static_sizes() {
+        // Millicode lives in a shared kernel page; keep the sizes honest.
+        assert!(mulvar::naive().unwrap().len() < 20);
+        assert!(mulvar::switched(true).unwrap().len() < 120);
+        assert!(divvar::udiv().unwrap().len() < 90);
+        let dispatch = divvar::small_dispatch(20).unwrap();
+        assert!(dispatch.len() < 700, "dispatch is {}", dispatch.len());
+    }
+}
+
+#[cfg(test)]
+mod extended_tests {
+    use crate::mulvar;
+    use pa_isa::Reg;
+    use pa_sim::{run_fn, ExecConfig};
+
+    fn extended_u64(p: &pa_isa::Program, x: u32, y: u32) -> u64 {
+        let (m, r) = run_fn(p, &[(Reg::R26, x), (Reg::R25, y)], &ExecConfig::default());
+        assert!(r.termination.is_completed(), "{x} * {y}");
+        (u64::from(m.reg(Reg::R28)) << 32) | u64::from(m.reg(Reg::R29))
+    }
+
+    #[test]
+    fn extended_unsigned_full_product() {
+        let p = mulvar::extended(false).unwrap();
+        let cases = [
+            (0u32, 0u32),
+            (1, u32::MAX),
+            (u32::MAX, u32::MAX),
+            (0x8000_0000, 2),
+            (0x1234_5678, 0x9ABC_DEF0),
+            (65537, 65537),
+        ];
+        for (x, y) in cases {
+            assert_eq!(
+                extended_u64(&p, x, y),
+                u64::from(x) * u64::from(y),
+                "{x} * {y}"
+            );
+        }
+        let mut state = 0x5555_1234_9999_aaaau64;
+        for _ in 0..500 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let (x, y) = (state as u32, (state >> 32) as u32);
+            assert_eq!(extended_u64(&p, x, y), u64::from(x) * u64::from(y));
+        }
+    }
+
+    #[test]
+    fn extended_signed_full_product() {
+        let p = mulvar::extended(true).unwrap();
+        let cases = [
+            (0i32, -1i32),
+            (-1, -1),
+            (i32::MIN, i32::MIN),
+            (i32::MIN, i32::MAX),
+            (i32::MAX, i32::MAX),
+            (-46341, 46341),
+            (123_456_789, -987),
+        ];
+        for (x, y) in cases {
+            let got = extended_u64(&p, x as u32, y as u32) as i64;
+            assert_eq!(got, i64::from(x) * i64::from(y), "{x} * {y}");
+        }
+        let mut state = 0xaaaa_5555_1234_9999u64;
+        for _ in 0..500 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let (x, y) = (state as i32, (state >> 32) as i32);
+            let got = extended_u64(&p, x as u32, y as u32) as i64;
+            assert_eq!(got, i64::from(x) * i64::from(y), "{x} * {y}");
+        }
+    }
+
+    #[test]
+    fn extended_preserves_operands() {
+        let p = mulvar::extended(true).unwrap();
+        let (m, _) = run_fn(
+            &p,
+            &[(Reg::R26, -5i32 as u32), (Reg::R25, 7)],
+            &ExecConfig::default(),
+        );
+        assert_eq!(m.reg_i32(Reg::R26), -5);
+        assert_eq!(m.reg(Reg::R25), 7);
+    }
+}
+
+#[cfg(test)]
+mod checked_tests {
+    use crate::mulvar;
+    use pa_isa::Reg;
+    use pa_sim::{run_fn, ExecConfig, TrapKind};
+
+    fn check(p: &pa_isa::Program, x: i32, y: i32) {
+        let (m, r) = run_fn(p, &[(Reg::R26, x as u32), (Reg::R25, y as u32)], &ExecConfig::default());
+        match x.checked_mul(y) {
+            Some(exact) => {
+                assert!(
+                    r.termination.is_completed(),
+                    "{x} * {y} = {exact} trapped spuriously: {:?}",
+                    r.termination
+                );
+                assert_eq!(m.reg_i32(Reg::R28), exact, "{x} * {y}");
+            }
+            None => {
+                assert_eq!(
+                    r.termination.trap().map(|t| t.kind),
+                    Some(TrapKind::Overflow),
+                    "{x} * {y} must trap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn checked_switched_handles_min_accurately() {
+        let p = mulvar::switched_checked().unwrap();
+        // §6's hard cases: MIN is representable, so these MUST NOT trap…
+        check(&p, i32::MIN, 1);
+        check(&p, 1, i32::MIN);
+        check(&p, i32::MIN / 2, 2);
+        check(&p, -(1 << 15), 1 << 16); // exactly MIN
+        check(&p, 1 << 16, -(1 << 15));
+        // …while the off-by-one cousins MUST.
+        check(&p, i32::MIN, -1);
+        check(&p, -1, i32::MIN);
+        check(&p, 1 << 15, 1 << 16); // exactly 2^31, positive: overflow
+        check(&p, i32::MIN, 2);
+        check(&p, i32::MIN, i32::MIN);
+    }
+
+    #[test]
+    fn checked_switched_boundary_band() {
+        let p = mulvar::switched_checked().unwrap();
+        // Scan products straddling ±2^31.
+        for y in [2i32, 3, 7, 15, 16, 255, 46341] {
+            let q = i32::MAX / y;
+            for dx in -2i32..=2 {
+                check(&p, q.wrapping_add(dx), y);
+                check(&p, q.wrapping_add(dx), -y);
+                check(&p, -q.wrapping_add(dx), y);
+            }
+        }
+    }
+
+    #[test]
+    fn checked_switched_random_sweep() {
+        let p = mulvar::switched_checked().unwrap();
+        let mut state = 0x00c0_ffee_0000_1234u64;
+        for i in 0..3000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            // Mix magnitudes so both fitting and overflowing products occur.
+            let shift = (i % 3) * 8;
+            let x = (state as i32) >> shift;
+            let y = ((state >> 32) as i32) >> (16 - shift.min(16));
+            check(&p, x, y);
+        }
+    }
+
+    #[test]
+    fn checked_costs_are_close_to_unchecked() {
+        let checked = mulvar::switched_checked().unwrap();
+        let unchecked = mulvar::switched(true).unwrap();
+        let (_, rc) = run_fn(&checked, &[(Reg::R26, 9), (Reg::R25, 100)], &ExecConfig::default());
+        let (_, ru) = run_fn(&unchecked, &[(Reg::R26, 9), (Reg::R25, 100)], &ExecConfig::default());
+        assert!(
+            rc.cycles <= ru.cycles + 8,
+            "checked {} vs unchecked {}",
+            rc.cycles,
+            ru.cycles
+        );
+    }
+}

@@ -1,0 +1,617 @@
+//! §6 — multiplication by variables, all four generations.
+//!
+//! Each function builds the complete millicode routine as a [`pa_isa`]
+//! program. The calling convention follows PA-RISC millicode practice:
+//!
+//! * multiplier in [`regs::MULTIPLIER`] (`r26`), multiplicand in
+//!   [`regs::MULTIPLICAND`] (`r25`) — both preserved;
+//! * product in [`regs::RESULT`] (`r28`);
+//! * scratch in `r1`, `r29`, `r31`, `r24`;
+//! * the PSW V bit is not used; the carry bit is freely clobbered.
+//!
+//! The generations, with the paper's dynamic instruction counts:
+//!
+//! | routine | worst | average | paper's claim |
+//! |---|---|---|---|
+//! | [`naive`] (Figure 2)       | ~167 | ~167 | "dynamic path of 167 instructions" |
+//! | [`early_exit`]             | ~192 | ~103 | "worst case to 192 … average 103" |
+//! | [`nibble`] (Figure 3)      | ~107 | ~55  | "worst case to 107 … 55 instructions" |
+//! | [`swap`]                   | ~59  | ~33  | "59 instructions, worst case, 33 on the average" |
+//! | [`switched`] (Figure 4/5)  | ~56  | <20  | Figure 5 + "average of less than 20" |
+//!
+//! The exact counts measured on `pa-sim` are recorded per operand class in
+//! `EXPERIMENTS.md` (experiments E5–E9).
+
+use pa_isa::{BitSense, Cond, IsaError, Program, ProgramBuilder, Reg};
+
+/// Register conventions shared by all multiply-by-variable routines.
+pub mod regs {
+    use pa_isa::Reg;
+
+    /// First operand: the multiplier (preserved).
+    pub const MULTIPLIER: Reg = Reg::R26;
+    /// Second operand: the multiplicand (preserved).
+    pub const MULTIPLICAND: Reg = Reg::R25;
+    /// The product.
+    pub const RESULT: Reg = Reg::R28;
+    /// Scratch: working multiplier.
+    pub const WORK_MPY: Reg = Reg::R1;
+    /// Scratch: working multiplicand.
+    pub const WORK_MCAND: Reg = Reg::R29;
+    /// Scratch: loop counter / nibble.
+    pub const COUNT: Reg = Reg::R31;
+    /// Scratch: switch index / sign word.
+    pub const INDEX: Reg = Reg::R24;
+}
+
+use regs::{COUNT, INDEX, MULTIPLICAND, MULTIPLIER, RESULT, WORK_MCAND, WORK_MPY};
+
+/// An `ADD`-family emitter (`add`/`sh1add`/`sh2add`/`sh3add`).
+type AddEmitter = fn(&mut ProgramBuilder, Reg, Reg, Reg) -> &mut ProgramBuilder;
+
+/// Emits `WORK_MPY = |MULTIPLIER|` (leaving the original untouched) — the
+/// "take its absolute value, remember whether it was negative" prologue of
+/// Figure 2.
+fn emit_abs_multiplier(b: &mut ProgramBuilder) {
+    b.copy(MULTIPLIER, WORK_MPY);
+    b.comclr(Cond::Le, Reg::R0, MULTIPLIER, Reg::R0); // skip negate when ≥ 0
+    b.sub(Reg::R0, WORK_MPY, WORK_MPY);
+}
+
+/// Emits the signed epilogue: negate the result when the original
+/// multiplier was negative.
+fn emit_sign_fixup(b: &mut ProgramBuilder) {
+    b.comclr(Cond::Le, Reg::R0, MULTIPLIER, Reg::R0);
+    b.sub(Reg::R0, RESULT, RESULT);
+}
+
+/// **Figure 2** — the bit-serial algorithm, 32 fixed iterations.
+///
+/// ```text
+/// tmp = mpy; mpy = abs(mpy); rslt = 0;
+/// for (i = 32; i > 0; i--) {
+///     if (mpy & 1) rslt = mcand + rslt;
+///     mpy >>= 1; mcand += mcand;
+/// }
+/// if (tmp < 0) rslt = -rslt;
+/// ```
+///
+/// Never considered for production ("it approximates a worst case"): the
+/// dynamic path is ~167 single-cycle instructions.
+///
+/// # Errors
+///
+/// Construction is static; errors indicate a bug in this crate.
+pub fn naive() -> Result<Program, IsaError> {
+    let mut b = ProgramBuilder::new();
+    emit_abs_multiplier(&mut b);
+    b.copy(MULTIPLICAND, WORK_MCAND);
+    b.copy(Reg::R0, RESULT);
+    b.ldi(32, COUNT);
+    let top = b.here("loop");
+    b.comclr(Cond::Even, WORK_MPY, Reg::R0, Reg::R0); // skip add on a 0 bit
+    b.add(WORK_MCAND, RESULT, RESULT);
+    b.shr(WORK_MPY, 1, WORK_MPY);
+    b.add(WORK_MCAND, WORK_MCAND, WORK_MCAND);
+    b.addib(-1, COUNT, Cond::Ne, top);
+    emit_sign_fixup(&mut b);
+    b.build()
+}
+
+/// The *Simple Optimization*: exit the loop as soon as the shifted
+/// multiplier is zero. Worst case grows (~192) but the log-uniform average
+/// drops to ~103.
+///
+/// # Errors
+///
+/// Construction is static; errors indicate a bug in this crate.
+pub fn early_exit() -> Result<Program, IsaError> {
+    let mut b = ProgramBuilder::new();
+    let done = b.named_label("done");
+    emit_abs_multiplier(&mut b);
+    b.copy(MULTIPLICAND, WORK_MCAND);
+    b.copy(Reg::R0, RESULT);
+    b.ldi(32, COUNT);
+    let top = b.here("loop");
+    b.comclr(Cond::Even, WORK_MPY, Reg::R0, Reg::R0);
+    b.add(WORK_MCAND, RESULT, RESULT);
+    b.shr(WORK_MPY, 1, WORK_MPY);
+    b.add(WORK_MCAND, WORK_MCAND, WORK_MCAND);
+    b.comb(Cond::Eq, WORK_MPY, Reg::R0, done); // the added test
+    b.addib(-1, COUNT, Cond::Ne, top);
+    b.bind(done);
+    emit_sign_fixup(&mut b);
+    b.build()
+}
+
+/// **Figure 3** — examine four multiplier bits per iteration using the
+/// shift-and-add instructions; exit when the rest of the multiplier is zero.
+///
+/// # Errors
+///
+/// Construction is static; errors indicate a bug in this crate.
+pub fn nibble() -> Result<Program, IsaError> {
+    let mut b = ProgramBuilder::new();
+    let done = b.named_label("done");
+    emit_abs_multiplier(&mut b);
+    b.copy(MULTIPLICAND, WORK_MCAND);
+    b.copy(Reg::R0, RESULT);
+    let top = b.here("loop");
+    // Four conditional adds: BB skips over each add when the bit is clear.
+    let shifts: [AddEmitter; 4] = [
+        |b, a, c, t| b.add(a, c, t),
+        ProgramBuilder::sh1add,
+        ProgramBuilder::sh2add,
+        ProgramBuilder::sh3add,
+    ];
+    for (bit, emit_add) in shifts.iter().enumerate() {
+        let skip = b.new_label();
+        b.bb(WORK_MPY, 31 - bit as u8, BitSense::Clear, skip);
+        emit_add(&mut b, WORK_MCAND, RESULT, RESULT);
+        b.bind(skip);
+    }
+    b.shr(WORK_MPY, 4, WORK_MPY);
+    b.comb(Cond::Eq, WORK_MPY, Reg::R0, done);
+    b.shl(WORK_MCAND, 4, WORK_MCAND);
+    b.b(top);
+    b.bind(done);
+    emit_sign_fixup(&mut b);
+    b.build()
+}
+
+/// §6 *An Observation* — the [`nibble`] loop plus the operand swap: since a
+/// non-overflowing product has one operand below 16 bits, at most four
+/// iterations run (average two).
+///
+/// # Errors
+///
+/// Construction is static; errors indicate a bug in this crate.
+pub fn swap() -> Result<Program, IsaError> {
+    let mut b = ProgramBuilder::new();
+    let done = b.named_label("done");
+    // abs both operands; the result sign is the XOR of the signs.
+    b.xor(MULTIPLIER, MULTIPLICAND, INDEX); // sign word (bit 0 = result sign)
+    b.copy(MULTIPLIER, WORK_MPY);
+    b.comclr(Cond::Le, Reg::R0, MULTIPLIER, Reg::R0);
+    b.sub(Reg::R0, WORK_MPY, WORK_MPY);
+    b.copy(MULTIPLICAND, WORK_MCAND);
+    b.comclr(Cond::Le, Reg::R0, MULTIPLICAND, Reg::R0);
+    b.sub(Reg::R0, WORK_MCAND, WORK_MCAND);
+    // Swap so the smaller magnitude is the multiplier. The sign word lives
+    // in INDEX during the swap, so spill it around: use COUNT instead.
+    let ordered = b.named_label("ordered");
+    b.comb(Cond::Ule, WORK_MPY, WORK_MCAND, ordered);
+    b.copy(WORK_MPY, COUNT);
+    b.copy(WORK_MCAND, WORK_MPY);
+    b.copy(COUNT, WORK_MCAND);
+    b.bind(ordered);
+    b.copy(Reg::R0, RESULT);
+    let top = b.here("loop");
+    let shifts: [AddEmitter; 4] = [
+        |b, a, c, t| b.add(a, c, t),
+        ProgramBuilder::sh1add,
+        ProgramBuilder::sh2add,
+        ProgramBuilder::sh3add,
+    ];
+    for (bit, emit_add) in shifts.iter().enumerate() {
+        let skip = b.new_label();
+        b.bb(WORK_MPY, 31 - bit as u8, BitSense::Clear, skip);
+        emit_add(&mut b, WORK_MCAND, RESULT, RESULT);
+        b.bind(skip);
+    }
+    b.shr(WORK_MPY, 4, WORK_MPY);
+    b.comb(Cond::Eq, WORK_MPY, Reg::R0, done);
+    b.shl(WORK_MCAND, 4, WORK_MCAND);
+    b.b(top);
+    b.bind(done);
+    // Negate if operand signs differed.
+    let positive = b.named_label("positive");
+    b.bb_msb(INDEX, BitSense::Clear, positive);
+    b.sub(Reg::R0, RESULT, RESULT);
+    b.bind(positive);
+    b.build()
+}
+
+/// **Figure 4 / Figure 5** — the final algorithm: a `BLR`-vectored 16-way
+/// switch multiplies the multiplicand by each nibble using the
+/// multiply-by-constant sequences, with quick exits for multipliers 0 and 1
+/// and the operand swap.
+///
+/// `signed` selects the signed flavour (absolute values + sign fixup);
+/// the unsigned flavour skips that prologue, as the paper's frequency data
+/// says operands are "nearly always positive".
+///
+/// # Errors
+///
+/// Construction is static; errors indicate a bug in this crate.
+pub fn switched(signed: bool) -> Result<Program, IsaError> {
+    let mut b = ProgramBuilder::new();
+    let done = b.named_label("done");
+    let next = b.named_label("next");
+    let table = b.named_label("table");
+    let top = b.named_label("loop");
+
+    let slow = b.named_label("negative_operands");
+    let join = b.named_label("join");
+    if signed {
+        // §6: "both operands were nearly always positive. Thus we optimized
+        // for … positive operands." The OR of the operands doubles as the
+        // sign-check word and (on the fast path, where its sign bit is
+        // clear) the final-negate guard.
+        b.or(MULTIPLIER, MULTIPLICAND, INDEX);
+        b.bb_msb(INDEX, BitSense::Set, slow);
+        b.copy(MULTIPLIER, WORK_MPY);
+        b.copy(MULTIPLICAND, WORK_MCAND);
+        b.bind(join);
+    } else {
+        b.copy(MULTIPLIER, WORK_MPY);
+        b.copy(MULTIPLICAND, WORK_MCAND);
+    }
+    // Swap so the smaller magnitude drives the loop.
+    let ordered = b.named_label("ordered");
+    b.comb(Cond::Ule, WORK_MPY, WORK_MCAND, ordered);
+    b.copy(WORK_MPY, COUNT);
+    b.copy(WORK_MCAND, WORK_MPY);
+    b.copy(COUNT, WORK_MCAND);
+    b.bind(ordered);
+    b.copy(Reg::R0, RESULT);
+    // Quick exits: ×0 and ×1 (§6: "quick exit for values of zero and one").
+    b.comb(Cond::Eq, WORK_MPY, Reg::R0, done);
+    let not_one = b.named_label("not_one");
+    b.combi(Cond::Ne, 1, WORK_MPY, not_one);
+    b.copy(WORK_MCAND, RESULT);
+    b.b(done);
+    b.bind(not_one);
+
+    b.bind(top);
+    b.extract_low(WORK_MPY, 4, COUNT);
+    b.blr(COUNT, table);
+
+    // ---- the 16-entry, 2-instruction switch table -----------------------
+    // Entries add nibble·mcand to the result: one shift-and-add plus a
+    // branch; nibbles needing more work branch to short shared tails.
+    let tails: Vec<pa_isa::Label> = (0..8)
+        .map(|i| b.named_label(&format!("tail{i}")))
+        .collect();
+    // tail indices: 0:+1m 1:+2m 2:+3m 3:+4m 4:+5m 5:+6m 6:+7m(16-… unused) 7:(15: −1m)
+    b.bind(table);
+    // 0: nothing
+    b.b(next);
+    b.nop();
+    // 1: +1m
+    b.add(WORK_MCAND, RESULT, RESULT);
+    b.b(next);
+    // 2: +2m
+    b.sh1add(WORK_MCAND, RESULT, RESULT);
+    b.b(next);
+    // 3: +2m then +1m
+    b.sh1add(WORK_MCAND, RESULT, RESULT);
+    b.b(tails[0]);
+    // 4: +4m
+    b.sh2add(WORK_MCAND, RESULT, RESULT);
+    b.b(next);
+    // 5: +4m then +1m
+    b.sh2add(WORK_MCAND, RESULT, RESULT);
+    b.b(tails[0]);
+    // 6: +4m then +2m
+    b.sh2add(WORK_MCAND, RESULT, RESULT);
+    b.b(tails[1]);
+    // 7: +8m then −1m
+    b.sh3add(WORK_MCAND, RESULT, RESULT);
+    b.b(tails[7]);
+    // 8: +8m
+    b.sh3add(WORK_MCAND, RESULT, RESULT);
+    b.b(next);
+    // 9: +8m then +1m
+    b.sh3add(WORK_MCAND, RESULT, RESULT);
+    b.b(tails[0]);
+    // 10: +8m then +2m
+    b.sh3add(WORK_MCAND, RESULT, RESULT);
+    b.b(tails[1]);
+    // 11: +8m then +3m
+    b.sh3add(WORK_MCAND, RESULT, RESULT);
+    b.b(tails[2]);
+    // 12: +8m then +4m
+    b.sh3add(WORK_MCAND, RESULT, RESULT);
+    b.b(tails[3]);
+    // 13: +8m then +5m
+    b.sh3add(WORK_MCAND, RESULT, RESULT);
+    b.b(tails[4]);
+    // 14: +8m then +6m
+    b.sh3add(WORK_MCAND, RESULT, RESULT);
+    b.b(tails[5]);
+    // 15: +16m then −1m
+    b.shl(WORK_MCAND, 4, COUNT);
+    b.b(tails[6]);
+
+    // ---- shared tails ----------------------------------------------------
+    b.bind(tails[0]); // +1m
+    b.add(WORK_MCAND, RESULT, RESULT);
+    b.b(next);
+    b.bind(tails[1]); // +2m
+    b.sh1add(WORK_MCAND, RESULT, RESULT);
+    b.b(next);
+    b.bind(tails[2]); // +3m = +2m, +1m
+    b.sh1add(WORK_MCAND, RESULT, RESULT);
+    b.add(WORK_MCAND, RESULT, RESULT);
+    b.b(next);
+    b.bind(tails[3]); // +4m
+    b.sh2add(WORK_MCAND, RESULT, RESULT);
+    b.b(next);
+    b.bind(tails[4]); // +5m = +4m, +1m
+    b.sh2add(WORK_MCAND, RESULT, RESULT);
+    b.add(WORK_MCAND, RESULT, RESULT);
+    b.b(next);
+    b.bind(tails[5]); // +6m = +4m, +2m
+    b.sh2add(WORK_MCAND, RESULT, RESULT);
+    b.sh1add(WORK_MCAND, RESULT, RESULT);
+    b.b(next);
+    b.bind(tails[6]); // +16m (already in COUNT) then −1m
+    b.add(COUNT, RESULT, RESULT);
+    b.sub(RESULT, WORK_MCAND, RESULT);
+    b.b(next);
+    b.bind(tails[7]); // −1m (after the +8m of nibble 7)
+    b.sub(RESULT, WORK_MCAND, RESULT);
+    // fall through to next
+
+    b.bind(next);
+    b.shr(WORK_MPY, 4, WORK_MPY);
+    b.comb(Cond::Eq, WORK_MPY, Reg::R0, done);
+    b.shl(WORK_MCAND, 4, WORK_MCAND);
+    b.b(top);
+
+    b.bind(done);
+    if signed {
+        let skip = b.named_label("no_negate");
+        b.bb_msb(INDEX, BitSense::Clear, skip);
+        b.sub(Reg::R0, RESULT, RESULT);
+        b.b(skip);
+        // Out-of-line slow path: some operand is negative. Take absolute
+        // values and leave the product sign (the XOR of the operand signs)
+        // in the guard word.
+        b.bind(slow);
+        b.xor(MULTIPLIER, MULTIPLICAND, INDEX);
+        b.copy(MULTIPLIER, WORK_MPY);
+        b.comclr(Cond::Le, Reg::R0, MULTIPLIER, Reg::R0);
+        b.sub(Reg::R0, WORK_MPY, WORK_MPY);
+        b.copy(MULTIPLICAND, WORK_MCAND);
+        b.comclr(Cond::Le, Reg::R0, MULTIPLICAND, Reg::R0);
+        b.sub(Reg::R0, WORK_MCAND, WORK_MCAND);
+        b.b(join);
+        b.bind(skip);
+    }
+    b.build()
+}
+
+/// **Extended multiplication** — the full 64-bit product the paper lists as
+/// "an area of our current research" (§6). This reproduction implements it
+/// with the same building blocks: the nibble loop runs over the multiplier
+/// while the multiplicand and the accumulator are kept in two-word
+/// precision (`SHD` + `ADDC` pairs).
+///
+/// Results: high word in [`regs::RESULT`] (`r28`), low word in `r29`.
+/// `signed` selects the signed flavour (magnitudes multiplied, the 64-bit
+/// product negated when operand signs differ).
+///
+/// # Errors
+///
+/// Construction is static; errors indicate a bug in this crate.
+pub fn extended(signed: bool) -> Result<Program, IsaError> {
+    let mut b = ProgramBuilder::new();
+    let done = b.named_label("done");
+    let mcand_lo = Reg::R31;
+    let mcand_hi = Reg::R24;
+    let result_lo = Reg::R29;
+    let result_hi = RESULT;
+    let sign = Reg::R23;
+
+    if signed {
+        b.xor(MULTIPLIER, MULTIPLICAND, sign);
+        b.copy(MULTIPLIER, WORK_MPY);
+        b.comclr(Cond::Le, Reg::R0, MULTIPLIER, Reg::R0);
+        b.sub(Reg::R0, WORK_MPY, WORK_MPY);
+        b.copy(MULTIPLICAND, mcand_lo);
+        b.comclr(Cond::Le, Reg::R0, MULTIPLICAND, Reg::R0);
+        b.sub(Reg::R0, mcand_lo, mcand_lo);
+    } else {
+        b.copy(MULTIPLIER, WORK_MPY);
+        b.copy(MULTIPLICAND, mcand_lo);
+    }
+    b.copy(Reg::R0, mcand_hi);
+    b.copy(Reg::R0, result_lo);
+    b.copy(Reg::R0, result_hi);
+    b.comb(Cond::Eq, WORK_MPY, Reg::R0, done);
+
+    let top = b.here("loop");
+    // Four bits; each set bit adds the two-word multiplicand.
+    for bit in 0..4u8 {
+        let skip = b.new_label();
+        b.bb(WORK_MPY, 31 - bit, BitSense::Clear, skip);
+        b.add(mcand_lo, result_lo, result_lo);
+        b.addc(mcand_hi, result_hi, result_hi);
+        b.bind(skip);
+        // Shift the multiplicand pair left once (SHD captures the carry
+        // bit; the order keeps it safe in place).
+        b.shd(mcand_hi, mcand_lo, 31, mcand_hi);
+        b.shl(mcand_lo, 1, mcand_lo);
+    }
+    b.shr(WORK_MPY, 4, WORK_MPY);
+    b.comb(Cond::Ne, WORK_MPY, Reg::R0, top);
+    b.bind(done);
+    if signed {
+        // Negate the 64-bit product when operand signs differ.
+        let keep = b.named_label("keep_sign");
+        b.bb_msb(sign, BitSense::Clear, keep);
+        b.sub(Reg::R0, result_lo, result_lo);
+        b.subb(Reg::R0, result_hi, result_hi);
+        b.bind(keep);
+    }
+    b.build()
+}
+
+/// The final algorithm with **full overflow detection** — the paper: *"In
+/// the final algorithm, overflow checking is completely and accurately
+/// handled."*
+///
+/// Accuracy demands care around `i32::MIN` (§6: the absolute value, the
+/// final correction, or an intermediate calculation "may report an overflow
+/// when it is possible that the result is perfectly representable"). The
+/// trick used here accumulates **in the result's own sign**: when the
+/// operand signs differ the multiplicand is negated up front and the partial
+/// sums walk downward, so the trapping `ADDO`/`SHxADDO` instructions bound
+/// them at exactly `i32::MIN` — no post-negation, no false trap on `MIN`,
+/// no missed trap at `2^31`. Entries use additive-only decompositions
+/// (7 = 4+2+1, 15 = 8+4+2+1): a subtractive 8−1 could overshoot and trap on
+/// a product that fits.
+///
+/// Traps with the simulator's overflow trap exactly when `x * y` does not
+/// fit in `i32`.
+///
+/// # Errors
+///
+/// Construction is static; errors indicate a bug in this crate.
+pub fn switched_checked() -> Result<Program, IsaError> {
+    let mut b = ProgramBuilder::new();
+    let done = b.named_label("done");
+    let next = b.named_label("next");
+    let table = b.named_label("table");
+    let top = b.named_label("loop");
+    let negative = b.named_label("negative_result");
+    let setup_done = b.named_label("setup_done");
+
+    // Quick exits for zero operands (before any MIN special-casing).
+    b.comb(Cond::Eq, MULTIPLIER, Reg::R0, done); // result r28 = 0 below
+    b.copy(Reg::R0, RESULT);
+    b.comb(Cond::Eq, MULTIPLICAND, Reg::R0, done);
+
+    // Magnitudes.
+    b.copy(MULTIPLIER, WORK_MPY);
+    b.comclr(Cond::Le, Reg::R0, MULTIPLIER, Reg::R0);
+    b.sub(Reg::R0, WORK_MPY, WORK_MPY);
+    b.copy(MULTIPLICAND, WORK_MCAND);
+    b.comclr(Cond::Le, Reg::R0, MULTIPLICAND, Reg::R0);
+    b.sub(Reg::R0, WORK_MCAND, WORK_MCAND);
+    // Swap so the smaller magnitude drives the loop. (|i32::MIN| compares
+    // as 2^31 unsigned, which is exactly right.)
+    let ordered = b.named_label("ordered");
+    b.comb(Cond::Ule, WORK_MPY, WORK_MCAND, ordered);
+    b.copy(WORK_MPY, COUNT);
+    b.copy(WORK_MCAND, WORK_MPY);
+    b.copy(COUNT, WORK_MCAND);
+    b.bind(ordered);
+
+    // Sign of the result decides the accumulation direction.
+    b.xor(MULTIPLIER, MULTIPLICAND, INDEX);
+    b.bb_msb(INDEX, BitSense::Set, negative);
+    // Positive result: a magnitude of 2^31 (a MIN operand, multiplier ≥ 1)
+    // can never fit — trap immediately via a guaranteed-overflowing ADDO.
+    let pos_ok = b.named_label("positive_ok");
+    b.bb_msb(WORK_MCAND, BitSense::Clear, pos_ok);
+    b.addo(WORK_MCAND, WORK_MCAND, Reg::R0); // MIN + MIN: certain trap
+    b.bind(pos_ok);
+    b.b(setup_done);
+    b.bind(negative);
+    // Negative result: accumulate negated partial products.
+    b.sub(Reg::R0, WORK_MCAND, WORK_MCAND);
+    b.bind(setup_done);
+
+    b.copy(Reg::R0, RESULT);
+    b.bind(top);
+    b.extract_low(WORK_MPY, 4, COUNT);
+    b.blr(COUNT, table);
+
+    // 16 two-instruction entries; additive-only decompositions through
+    // trapping instructions. Tails share the +1/+2/+3/+4/+5/+6/+7 codas.
+    let tails: Vec<pa_isa::Label> = (0..7)
+        .map(|i| b.named_label(&format!("ctail{i}")))
+        .collect();
+    b.bind(table);
+    // 0
+    b.b(next);
+    b.nop();
+    // 1
+    b.addo(WORK_MCAND, RESULT, RESULT);
+    b.b(next);
+    // 2
+    b.shaddo(pa_isa::ShAmount::One, WORK_MCAND, RESULT, RESULT);
+    b.b(next);
+    // 3 = 2 + 1
+    b.shaddo(pa_isa::ShAmount::One, WORK_MCAND, RESULT, RESULT);
+    b.b(tails[0]);
+    // 4
+    b.shaddo(pa_isa::ShAmount::Two, WORK_MCAND, RESULT, RESULT);
+    b.b(next);
+    // 5 = 4 + 1
+    b.shaddo(pa_isa::ShAmount::Two, WORK_MCAND, RESULT, RESULT);
+    b.b(tails[0]);
+    // 6 = 4 + 2
+    b.shaddo(pa_isa::ShAmount::Two, WORK_MCAND, RESULT, RESULT);
+    b.b(tails[1]);
+    // 7 = 4 + 2 + 1 (additive only)
+    b.shaddo(pa_isa::ShAmount::Two, WORK_MCAND, RESULT, RESULT);
+    b.b(tails[2]);
+    // 8
+    b.shaddo(pa_isa::ShAmount::Three, WORK_MCAND, RESULT, RESULT);
+    b.b(next);
+    // 9 = 8 + 1
+    b.shaddo(pa_isa::ShAmount::Three, WORK_MCAND, RESULT, RESULT);
+    b.b(tails[0]);
+    // 10 = 8 + 2
+    b.shaddo(pa_isa::ShAmount::Three, WORK_MCAND, RESULT, RESULT);
+    b.b(tails[1]);
+    // 11 = 8 + 2 + 1
+    b.shaddo(pa_isa::ShAmount::Three, WORK_MCAND, RESULT, RESULT);
+    b.b(tails[2]);
+    // 12 = 8 + 4
+    b.shaddo(pa_isa::ShAmount::Three, WORK_MCAND, RESULT, RESULT);
+    b.b(tails[3]);
+    // 13 = 8 + 4 + 1
+    b.shaddo(pa_isa::ShAmount::Three, WORK_MCAND, RESULT, RESULT);
+    b.b(tails[4]);
+    // 14 = 8 + 4 + 2
+    b.shaddo(pa_isa::ShAmount::Three, WORK_MCAND, RESULT, RESULT);
+    b.b(tails[5]);
+    // 15 = 8 + 4 + 2 + 1
+    b.shaddo(pa_isa::ShAmount::Three, WORK_MCAND, RESULT, RESULT);
+    b.b(tails[6]);
+
+    b.bind(tails[0]); // +1
+    b.addo(WORK_MCAND, RESULT, RESULT);
+    b.b(next);
+    b.bind(tails[1]); // +2
+    b.shaddo(pa_isa::ShAmount::One, WORK_MCAND, RESULT, RESULT);
+    b.b(next);
+    b.bind(tails[2]); // +2 then +1
+    b.shaddo(pa_isa::ShAmount::One, WORK_MCAND, RESULT, RESULT);
+    b.addo(WORK_MCAND, RESULT, RESULT);
+    b.b(next);
+    b.bind(tails[3]); // +4
+    b.shaddo(pa_isa::ShAmount::Two, WORK_MCAND, RESULT, RESULT);
+    b.b(next);
+    b.bind(tails[4]); // +4 then +1
+    b.shaddo(pa_isa::ShAmount::Two, WORK_MCAND, RESULT, RESULT);
+    b.addo(WORK_MCAND, RESULT, RESULT);
+    b.b(next);
+    b.bind(tails[5]); // +4 then +2
+    b.shaddo(pa_isa::ShAmount::Two, WORK_MCAND, RESULT, RESULT);
+    b.shaddo(pa_isa::ShAmount::One, WORK_MCAND, RESULT, RESULT);
+    b.b(next);
+    b.bind(tails[6]); // +4 then +2 then +1
+    b.shaddo(pa_isa::ShAmount::Two, WORK_MCAND, RESULT, RESULT);
+    b.shaddo(pa_isa::ShAmount::One, WORK_MCAND, RESULT, RESULT);
+    b.addo(WORK_MCAND, RESULT, RESULT);
+    // falls into next
+
+    b.bind(next);
+    b.shr(WORK_MPY, 4, WORK_MPY);
+    b.comb(Cond::Eq, WORK_MPY, Reg::R0, done);
+    // "Two Shift Two and Adds neatly complete the left shift of the
+    // multiplicand … and check for overflows, all in two instruction
+    // cycles" (§6) — more nibbles follow, so a multiplicand overflow here
+    // implies a product overflow.
+    b.shaddo(pa_isa::ShAmount::Two, WORK_MCAND, Reg::R0, WORK_MCAND);
+    b.shaddo(pa_isa::ShAmount::Two, WORK_MCAND, Reg::R0, WORK_MCAND);
+    b.b(top);
+    b.bind(done);
+    b.build()
+}

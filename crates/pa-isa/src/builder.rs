@@ -1,0 +1,583 @@
+//! A builder for writing programs with symbolic labels.
+
+use std::collections::BTreeMap;
+
+use crate::{
+    BitSense, Cond, Im11, Im14, Im21, Im5, Insn, IsaError, Label, Op, Program, Reg, ShAmount,
+    ShiftPos,
+};
+
+#[derive(Debug, Clone)]
+struct LabelState {
+    pos: Option<usize>,
+    name: Option<String>,
+}
+
+/// Incrementally constructs a [`Program`], resolving forward label references.
+///
+/// Emitter methods are infallible at the call site for chaining comfort;
+/// range errors (immediates, shift amounts) and label problems are recorded
+/// and reported by [`ProgramBuilder::build`]. This keeps millicode sources
+/// readable while still refusing to produce an invalid [`Program`].
+///
+/// # Example
+///
+/// ```
+/// use pa_isa::{ProgramBuilder, Reg, Cond};
+///
+/// # fn main() -> Result<(), pa_isa::IsaError> {
+/// let mut b = ProgramBuilder::new();
+/// let top = b.named_label("loop");
+/// b.bind(top);
+/// b.add(Reg::R3, Reg::R4, Reg::R4);
+/// b.addib(-1, Reg::R5, Cond::Ne, top); // decrement and loop
+/// let p = b.build()?;
+/// assert_eq!(p.len(), 2);
+/// assert!(p.to_string().contains("addib,<> -1,r5,loop"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    insns: Vec<Insn>,
+    labels: Vec<LabelState>,
+    /// Branch fixups: instruction index → label id.
+    fixups: Vec<(usize, Label)>,
+    error: Option<IsaError>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// The index the next emitted instruction will occupy.
+    #[must_use]
+    pub fn next_index(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Number of instructions emitted so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Whether nothing has been emitted yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Creates a fresh unbound, unnamed label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(LabelState { pos: None, name: None });
+        Label(self.labels.len() - 1)
+    }
+
+    /// Creates a fresh unbound label with a display name.
+    pub fn named_label(&mut self, name: &str) -> Label {
+        self.labels.push(LabelState { pos: None, name: Some(name.to_string()) });
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// Binding the same label twice records a
+    /// [`IsaError::DuplicateLabel`] reported at [`build`](Self::build) time.
+    pub fn bind(&mut self, label: Label) {
+        let here = self.insns.len();
+        let state = &mut self.labels[label.0];
+        if state.pos.is_some() {
+            let name = state.name.clone().unwrap_or_else(|| format!("L{}", label.0));
+            self.record(IsaError::DuplicateLabel(name));
+            return;
+        }
+        state.pos = Some(here);
+    }
+
+    /// Creates a label already bound to the current position.
+    pub fn here(&mut self, name: &str) -> Label {
+        let l = self.named_label(name);
+        self.bind(l);
+        l
+    }
+
+    fn record(&mut self, err: IsaError) {
+        if self.error.is_none() {
+            self.error = Some(err);
+        }
+    }
+
+    fn push(&mut self, op: Op) -> &mut Self {
+        self.insns.push(Insn::new(op));
+        self
+    }
+
+    fn push_branch(&mut self, op: Op, label: Label) -> &mut Self {
+        self.fixups.push((self.insns.len(), label));
+        self.insns.push(Insn::new(op));
+        self
+    }
+
+    fn im5(&mut self, v: i32) -> Im5 {
+        match Im5::new(v) {
+            Ok(i) => i,
+            Err(e) => {
+                self.record(e);
+                Im5::new(0).expect("0 fits")
+            }
+        }
+    }
+
+    fn im11(&mut self, v: i32) -> Im11 {
+        match Im11::new(v) {
+            Ok(i) => i,
+            Err(e) => {
+                self.record(e);
+                Im11::new(0).expect("0 fits")
+            }
+        }
+    }
+
+    fn im14(&mut self, v: i32) -> Im14 {
+        match Im14::new(v) {
+            Ok(i) => i,
+            Err(e) => {
+                self.record(e);
+                Im14::new(0).expect("0 fits")
+            }
+        }
+    }
+
+    fn shpos(&mut self, v: u32) -> ShiftPos {
+        match ShiftPos::new(v) {
+            Ok(i) => i,
+            Err(e) => {
+                self.record(e);
+                ShiftPos::new(0).expect("0 fits")
+            }
+        }
+    }
+
+    // ---- three-register arithmetic -------------------------------------
+
+    /// `t = a + b` (sets carry).
+    pub fn add(&mut self, a: Reg, b: Reg, t: Reg) -> &mut Self {
+        self.push(Op::Add { a, b, t, trap: false })
+    }
+
+    /// `t = a + b`, trapping on signed overflow (`ADDO`).
+    pub fn addo(&mut self, a: Reg, b: Reg, t: Reg) -> &mut Self {
+        self.push(Op::Add { a, b, t, trap: true })
+    }
+
+    /// `t = a + b + carry` (`ADDC`).
+    pub fn addc(&mut self, a: Reg, b: Reg, t: Reg) -> &mut Self {
+        self.push(Op::Addc { a, b, t })
+    }
+
+    /// `t = a - b` (sets carry/borrow).
+    pub fn sub(&mut self, a: Reg, b: Reg, t: Reg) -> &mut Self {
+        self.push(Op::Sub { a, b, t, trap: false })
+    }
+
+    /// `t = a - b`, trapping on signed overflow (`SUBO`).
+    pub fn subo(&mut self, a: Reg, b: Reg, t: Reg) -> &mut Self {
+        self.push(Op::Sub { a, b, t, trap: true })
+    }
+
+    /// `t = a - b - borrow` (`SUBB`).
+    pub fn subb(&mut self, a: Reg, b: Reg, t: Reg) -> &mut Self {
+        self.push(Op::Subb { a, b, t })
+    }
+
+    /// `t = (a << sh) + b` for `sh` in 1..=3.
+    pub fn shadd(&mut self, sh: ShAmount, a: Reg, b: Reg, t: Reg) -> &mut Self {
+        self.push(Op::ShAdd { sh, a, b, t, trap: false })
+    }
+
+    /// `t = (a << sh) + b`, trapping on signed overflow.
+    pub fn shaddo(&mut self, sh: ShAmount, a: Reg, b: Reg, t: Reg) -> &mut Self {
+        self.push(Op::ShAdd { sh, a, b, t, trap: true })
+    }
+
+    /// `t = 2a + b` (`SH1ADD`).
+    pub fn sh1add(&mut self, a: Reg, b: Reg, t: Reg) -> &mut Self {
+        self.shadd(ShAmount::One, a, b, t)
+    }
+
+    /// `t = 4a + b` (`SH2ADD`).
+    pub fn sh2add(&mut self, a: Reg, b: Reg, t: Reg) -> &mut Self {
+        self.shadd(ShAmount::Two, a, b, t)
+    }
+
+    /// `t = 8a + b` (`SH3ADD`).
+    pub fn sh3add(&mut self, a: Reg, b: Reg, t: Reg) -> &mut Self {
+        self.shadd(ShAmount::Three, a, b, t)
+    }
+
+    /// Divide step (`DS`).
+    pub fn ds(&mut self, a: Reg, b: Reg, t: Reg) -> &mut Self {
+        self.push(Op::Ds { a, b, t })
+    }
+
+    /// `t = a | b`.
+    pub fn or(&mut self, a: Reg, b: Reg, t: Reg) -> &mut Self {
+        self.push(Op::Or { a, b, t })
+    }
+
+    /// `t = a & b`.
+    pub fn and(&mut self, a: Reg, b: Reg, t: Reg) -> &mut Self {
+        self.push(Op::And { a, b, t })
+    }
+
+    /// `t = a ^ b`.
+    pub fn xor(&mut self, a: Reg, b: Reg, t: Reg) -> &mut Self {
+        self.push(Op::Xor { a, b, t })
+    }
+
+    /// `t = a & !b` (`ANDCM`).
+    pub fn andcm(&mut self, a: Reg, b: Reg, t: Reg) -> &mut Self {
+        self.push(Op::AndCm { a, b, t })
+    }
+
+    /// `t = s` — the `OR s,r0,t` idiom.
+    pub fn copy(&mut self, s: Reg, t: Reg) -> &mut Self {
+        self.or(s, Reg::R0, t)
+    }
+
+    /// Compare and clear; nullifies the next instruction when `cond(a, b)`.
+    pub fn comclr(&mut self, cond: Cond, a: Reg, b: Reg, t: Reg) -> &mut Self {
+        self.push(Op::Comclr { cond, a, b, t })
+    }
+
+    /// Immediate compare and clear; nullifies next when `cond(i, b)`.
+    pub fn comiclr(&mut self, cond: Cond, i: i32, b: Reg, t: Reg) -> &mut Self {
+        let i = self.im11(i);
+        self.push(Op::Comiclr { cond, i, b, t })
+    }
+
+    // ---- immediates ----------------------------------------------------
+
+    /// `t = i + b` for an 11-bit immediate.
+    pub fn addi(&mut self, i: i32, b: Reg, t: Reg) -> &mut Self {
+        let i = self.im11(i);
+        self.push(Op::Addi { i, b, t, trap: false })
+    }
+
+    /// `t = i + b`, trapping on signed overflow (`ADDIO`).
+    pub fn addio(&mut self, i: i32, b: Reg, t: Reg) -> &mut Self {
+        let i = self.im11(i);
+        self.push(Op::Addi { i, b, t, trap: true })
+    }
+
+    /// `t = i - b` (`SUBI`).
+    pub fn subi(&mut self, i: i32, b: Reg, t: Reg) -> &mut Self {
+        let i = self.im11(i);
+        self.push(Op::Subi { i, b, t })
+    }
+
+    /// `t = b + d` (`LDO`).
+    pub fn ldo(&mut self, d: i32, b: Reg, t: Reg) -> &mut Self {
+        let d = self.im14(d);
+        self.push(Op::Ldo { b, d, t })
+    }
+
+    /// `t = i` for a 14-bit immediate (the `LDI` idiom, `LDO i(r0),t`).
+    pub fn ldi(&mut self, i: i32, t: Reg) -> &mut Self {
+        self.ldo(i, Reg::R0, t)
+    }
+
+    /// `t = i << 11` (`LDIL`).
+    pub fn ldil(&mut self, i: u32, t: Reg) -> &mut Self {
+        match Im21::new(i) {
+            Ok(i) => {
+                self.push(Op::Ldil { i, t });
+            }
+            Err(e) => self.record(e),
+        }
+        self
+    }
+
+    /// Loads an arbitrary 32-bit constant: one `LDI` when it fits 14 signed
+    /// bits, otherwise the `LDIL` + `LDO` pair (two instructions) — the cost
+    /// model the paper charges for "large" constants.
+    pub fn load_const(&mut self, value: u32, t: Reg) -> &mut Self {
+        let sv = value as i32;
+        if (Im14::MIN..=Im14::MAX).contains(&sv) {
+            return self.ldi(sv, t);
+        }
+        // Split into (high 21 | low 11) with the low part sign-extended by
+        // LDO, so the high part must compensate when bit 10 is set.
+        let low = ((value << 21) as i32) >> 21; // sign-extend low 11 bits
+        let high = value.wrapping_sub(low as u32) >> 11;
+        self.ldil(high, t);
+        if low != 0 {
+            self.ldo(low, t, t);
+        }
+        self
+    }
+
+    // ---- shifts ---------------------------------------------------------
+
+    /// `t = s << sa` (logical).
+    pub fn shl(&mut self, s: Reg, sa: u32, t: Reg) -> &mut Self {
+        let sa = self.shpos(sa);
+        self.push(Op::Shl { s, sa, t })
+    }
+
+    /// `t = s >> sa` (logical).
+    pub fn shr(&mut self, s: Reg, sa: u32, t: Reg) -> &mut Self {
+        let sa = self.shpos(sa);
+        self.push(Op::ShrU { s, sa, t })
+    }
+
+    /// `t = s >> sa` (arithmetic).
+    pub fn sar(&mut self, s: Reg, sa: u32, t: Reg) -> &mut Self {
+        let sa = self.shpos(sa);
+        self.push(Op::ShrS { s, sa, t })
+    }
+
+    /// `t = low32((hi:lo) >> sa)` (`SHD`).
+    pub fn shd(&mut self, hi: Reg, lo: Reg, sa: u32, t: Reg) -> &mut Self {
+        let sa = self.shpos(sa);
+        self.push(Op::Shd { hi, lo, sa, t })
+    }
+
+    /// `EXTRU s,pos,len,t` with PA-RISC bit numbering (0 = MSB).
+    pub fn extru(&mut self, s: Reg, pos: u8, len: u8, t: Reg) -> &mut Self {
+        if pos > 31 || len == 0 || u32::from(len) > u32::from(pos) + 1 {
+            self.record(IsaError::ShiftAmountOutOfRange(u32::from(pos)));
+            return self;
+        }
+        self.push(Op::Extru { s, pos, len, t })
+    }
+
+    /// Extracts the low `len` bits of `s` (`EXTRU s,31,len,t`).
+    pub fn extract_low(&mut self, s: Reg, len: u8, t: Reg) -> &mut Self {
+        self.extru(s, 31, len, t)
+    }
+
+    // ---- control transfer -------------------------------------------------
+
+    /// Unconditional branch.
+    pub fn b(&mut self, label: Label) -> &mut Self {
+        self.push_branch(Op::B { target: 0 }, label)
+    }
+
+    /// Compare and branch.
+    pub fn comb(&mut self, cond: Cond, a: Reg, b: Reg, label: Label) -> &mut Self {
+        self.push_branch(Op::Comb { cond, a, b, target: 0 }, label)
+    }
+
+    /// Compare immediate and branch (immediate is the left operand).
+    pub fn combi(&mut self, cond: Cond, i: i32, b: Reg, label: Label) -> &mut Self {
+        let i = self.im5(i);
+        self.push_branch(Op::Combi { cond, i, b, target: 0 }, label)
+    }
+
+    /// Add immediate and branch on the updated value.
+    pub fn addib(&mut self, i: i32, b: Reg, cond: Cond, label: Label) -> &mut Self {
+        let i = self.im5(i);
+        self.push_branch(Op::Addib { i, b, cond, target: 0 }, label)
+    }
+
+    /// Branch on bit, PA-RISC numbering (0 = MSB).
+    pub fn bb(&mut self, s: Reg, bit: u8, sense: BitSense, label: Label) -> &mut Self {
+        if bit > 31 {
+            self.record(IsaError::ShiftAmountOutOfRange(u32::from(bit)));
+            return self;
+        }
+        self.push_branch(Op::Bb { s, bit, sense, target: 0 }, label)
+    }
+
+    /// Branch if the low bit (PA-RISC bit 31) of `s` is set — the "test for
+    /// odd" of the paper's Figure 2 loop.
+    pub fn bb_lsb(&mut self, s: Reg, sense: BitSense, label: Label) -> &mut Self {
+        self.bb(s, 31, sense, label)
+    }
+
+    /// Branch if the sign bit of `s` is set.
+    pub fn bb_msb(&mut self, s: Reg, sense: BitSense, label: Label) -> &mut Self {
+        self.bb(s, 0, sense, label)
+    }
+
+    /// Branch vectored: `pc = base + 2 * GR[x]`.
+    pub fn blr(&mut self, x: Reg, base: Label) -> &mut Self {
+        self.push_branch(Op::Blr { x, base: 0 }, base)
+    }
+
+    /// No operation.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Op::Nop)
+    }
+
+    /// Unconditional trap.
+    pub fn brk(&mut self, code: u16) -> &mut Self {
+        self.push(Op::Break { code })
+    }
+
+    /// Emits a raw operation (targets must already be resolved indices).
+    pub fn raw(&mut self, op: Op) -> &mut Self {
+        self.push(op)
+    }
+
+    /// Resolves labels and validates the program.
+    ///
+    /// # Errors
+    ///
+    /// Reports the first recorded emitter error
+    /// ([`IsaError::ImmediateOutOfRange`], …), an
+    /// [`IsaError::UndefinedLabel`]/[`IsaError::DuplicateLabel`], or a
+    /// validation failure from [`Program::with_names`].
+    pub fn build(mut self) -> Result<Program, IsaError> {
+        if let Some(err) = self.error.take() {
+            return Err(err);
+        }
+        for &(at, label) in &self.fixups {
+            let state = &self.labels[label.0];
+            let Some(pos) = state.pos else {
+                let name = state.name.clone().unwrap_or_else(|| format!("L{}", label.0));
+                return Err(IsaError::UndefinedLabel(name));
+            };
+            self.insns[at].op.set_branch_target(pos);
+        }
+        let mut names = BTreeMap::new();
+        let mut used: Vec<String> = Vec::new();
+        for (idx, state) in self.labels.iter().enumerate() {
+            let Some(pos) = state.pos else { continue };
+            // Only keep labels that are actually referenced or named, and at
+            // most one name per position (first named wins).
+            let referenced = self.fixups.iter().any(|&(_, l)| l.0 == idx);
+            if state.name.is_none() && !referenced {
+                continue;
+            }
+            if names.contains_key(&pos) {
+                continue;
+            }
+            let mut name = state
+                .name
+                .clone()
+                .unwrap_or_else(|| format!("L{idx}"));
+            while used.contains(&name) {
+                name.push('_');
+            }
+            used.push(name.clone());
+            names.insert(pos, name);
+        }
+        Program::with_names(self.insns, names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let mut b = ProgramBuilder::new();
+        let top = b.here("top");
+        let out = b.named_label("out");
+        b.comb(Cond::Eq, Reg::R1, Reg::R2, out);
+        b.add(Reg::R1, Reg::R1, Reg::R1);
+        b.b(top);
+        b.bind(out);
+        let p = b.build().unwrap();
+        assert_eq!(p.get(0).unwrap().op.branch_target(), Some(3));
+        assert_eq!(p.get(2).unwrap().op.branch_target(), Some(0));
+        assert_eq!(p.name_at(3), Some("out"));
+    }
+
+    #[test]
+    fn undefined_label_is_reported() {
+        let mut b = ProgramBuilder::new();
+        let missing = b.named_label("missing");
+        b.b(missing);
+        assert_eq!(
+            b.build().unwrap_err(),
+            IsaError::UndefinedLabel("missing".into())
+        );
+    }
+
+    #[test]
+    fn duplicate_bind_is_reported() {
+        let mut b = ProgramBuilder::new();
+        let l = b.named_label("twice");
+        b.bind(l);
+        b.nop();
+        b.bind(l);
+        assert_eq!(
+            b.build().unwrap_err(),
+            IsaError::DuplicateLabel("twice".into())
+        );
+    }
+
+    #[test]
+    fn immediate_errors_surface_at_build() {
+        let mut b = ProgramBuilder::new();
+        b.addi(5000, Reg::R1, Reg::R1);
+        assert!(matches!(
+            b.build(),
+            Err(IsaError::ImmediateOutOfRange { bits: 11, .. })
+        ));
+    }
+
+    #[test]
+    fn load_const_small_is_one_insn() {
+        let mut b = ProgramBuilder::new();
+        b.load_const(42, Reg::R5);
+        assert_eq!(b.len(), 1);
+        let p = b.build().unwrap();
+        assert!(p.to_string().contains("ldo 42(r0),r5"));
+    }
+
+    #[test]
+    fn load_const_large_is_two_insns() {
+        let mut b = ProgramBuilder::new();
+        b.load_const(0xDEAD_BEEF, Reg::R5);
+        let p = b.build().unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn load_const_negative_fits_one() {
+        let mut b = ProgramBuilder::new();
+        b.load_const(-1i32 as u32, Reg::R5);
+        assert_eq!(b.build().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn extru_field_validation() {
+        let mut b = ProgramBuilder::new();
+        b.extru(Reg::R1, 3, 8, Reg::R2); // len 8 > pos+1
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn unnamed_labels_get_synthetic_names() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.bind(l);
+        b.b(l);
+        let p = b.build().unwrap();
+        assert!(p.name_at(0).unwrap().starts_with('L'));
+    }
+
+    #[test]
+    fn colliding_names_are_disambiguated() {
+        let mut b = ProgramBuilder::new();
+        let l1 = b.named_label("x");
+        b.bind(l1);
+        b.nop();
+        let l2 = b.named_label("x");
+        b.bind(l2);
+        b.b(l1);
+        b.b(l2);
+        let p = b.build().unwrap();
+        assert_eq!(p.name_at(0), Some("x"));
+        assert_eq!(p.name_at(1), Some("x_"));
+    }
+}

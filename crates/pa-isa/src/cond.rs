@@ -1,0 +1,241 @@
+//! Comparison conditions for compare-and-branch and conditional nullification.
+
+use core::fmt;
+use core::str::FromStr;
+
+use crate::IsaError;
+
+/// A comparison condition, evaluated between two 32-bit operands.
+///
+/// These are the PA-RISC compare conditions used by `COMB`, `COMIB`,
+/// `COMCLR`, `COMICLR` and `ADDIB`. Signed conditions use the PA-RISC
+/// spellings (`<`, `<=`, …); unsigned ones use the doubled forms (`<<`,
+/// `<<=`, …).
+///
+/// # Example
+///
+/// ```
+/// use pa_isa::Cond;
+///
+/// assert!(Cond::Lt.eval(-1, 0));       // signed
+/// assert!(!Cond::Ult.eval(-1, 0));     // -1 is 0xFFFF_FFFF unsigned
+/// assert!(Cond::Odd.eval(3, 0));
+/// assert_eq!(Cond::Lt.negate(), Cond::Ge);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Cond {
+    /// Never true.
+    Never,
+    /// `a == b`.
+    Eq,
+    /// `a < b`, signed.
+    Lt,
+    /// `a <= b`, signed.
+    Le,
+    /// `a < b`, unsigned (PA-RISC `<<`).
+    Ult,
+    /// `a <= b`, unsigned (PA-RISC `<<=`).
+    Ule,
+    /// `a` is odd (low bit of `a - b` set; used with `b = 0` as a bit test).
+    Odd,
+    /// Always true (PA-RISC `TR`).
+    Always,
+    /// `a != b`.
+    Ne,
+    /// `a >= b`, signed.
+    Ge,
+    /// `a > b`, signed.
+    Gt,
+    /// `a >= b`, unsigned (PA-RISC `>>=`).
+    Uge,
+    /// `a > b`, unsigned (PA-RISC `>>`).
+    Ugt,
+    /// `a` is even (low bit of `a - b` clear).
+    Even,
+}
+
+impl Cond {
+    /// Evaluates the condition between `a` and `b`.
+    ///
+    /// Unsigned conditions reinterpret the operand bits as `u32`. The parity
+    /// conditions test the low bit of the (wrapping) difference `a - b`,
+    /// matching the PA-RISC `OD`/`EV` unit conditions.
+    #[must_use]
+    pub fn eval(self, a: i32, b: i32) -> bool {
+        let (ua, ub) = (a as u32, b as u32);
+        match self {
+            Cond::Never => false,
+            Cond::Eq => a == b,
+            Cond::Lt => a < b,
+            Cond::Le => a <= b,
+            Cond::Ult => ua < ub,
+            Cond::Ule => ua <= ub,
+            Cond::Odd => (a.wrapping_sub(b) & 1) != 0,
+            Cond::Always => true,
+            Cond::Ne => a != b,
+            Cond::Ge => a >= b,
+            Cond::Gt => a > b,
+            Cond::Uge => ua >= ub,
+            Cond::Ugt => ua > ub,
+            Cond::Even => (a.wrapping_sub(b) & 1) == 0,
+        }
+    }
+
+    /// The logically negated condition (PA-RISC's `f`-bit).
+    #[must_use]
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Never => Cond::Always,
+            Cond::Eq => Cond::Ne,
+            Cond::Lt => Cond::Ge,
+            Cond::Le => Cond::Gt,
+            Cond::Ult => Cond::Uge,
+            Cond::Ule => Cond::Ugt,
+            Cond::Odd => Cond::Even,
+            Cond::Always => Cond::Never,
+            Cond::Ne => Cond::Eq,
+            Cond::Ge => Cond::Lt,
+            Cond::Gt => Cond::Le,
+            Cond::Uge => Cond::Ult,
+            Cond::Ugt => Cond::Ule,
+            Cond::Even => Cond::Odd,
+        }
+    }
+
+    /// The condition with the operand order swapped (`a cond b` ⇔ `b swap a`).
+    #[must_use]
+    pub fn swap_operands(self) -> Cond {
+        match self {
+            Cond::Lt => Cond::Gt,
+            Cond::Le => Cond::Ge,
+            Cond::Gt => Cond::Lt,
+            Cond::Ge => Cond::Le,
+            Cond::Ult => Cond::Ugt,
+            Cond::Ule => Cond::Uge,
+            Cond::Ugt => Cond::Ult,
+            Cond::Uge => Cond::Ule,
+            other => other,
+        }
+    }
+
+    /// The assembler completer spelling, e.g. `"<"`, `"<<="`, `"od"`.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Never => "never",
+            Cond::Eq => "=",
+            Cond::Lt => "<",
+            Cond::Le => "<=",
+            Cond::Ult => "<<",
+            Cond::Ule => "<<=",
+            Cond::Odd => "od",
+            Cond::Always => "tr",
+            Cond::Ne => "<>",
+            Cond::Ge => ">=",
+            Cond::Gt => ">",
+            Cond::Uge => ">>=",
+            Cond::Ugt => ">>",
+            Cond::Even => "ev",
+        }
+    }
+
+    /// All conditions, for exhaustive testing.
+    #[must_use]
+    pub fn all() -> [Cond; 14] {
+        [
+            Cond::Never,
+            Cond::Eq,
+            Cond::Lt,
+            Cond::Le,
+            Cond::Ult,
+            Cond::Ule,
+            Cond::Odd,
+            Cond::Always,
+            Cond::Ne,
+            Cond::Ge,
+            Cond::Gt,
+            Cond::Uge,
+            Cond::Ugt,
+            Cond::Even,
+        ]
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+impl FromStr for Cond {
+    type Err = IsaError;
+
+    fn from_str(s: &str) -> Result<Cond, IsaError> {
+        Cond::all()
+            .into_iter()
+            .find(|c| c.mnemonic() == s)
+            .ok_or_else(|| IsaError::Parse {
+                line: 0,
+                message: format!("unknown condition `{s}`"),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negation_is_involutive_and_complementary() {
+        let samples = [
+            (0, 0),
+            (1, 2),
+            (-1, 0),
+            (i32::MIN, i32::MAX),
+            (7, 7),
+            (-5, -9),
+            (i32::MAX, i32::MIN),
+        ];
+        for c in Cond::all() {
+            assert_eq!(c.negate().negate(), c);
+            for &(a, b) in &samples {
+                assert_eq!(c.eval(a, b), !c.negate().eval(a, b), "{c} on ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn swap_operands_is_consistent() {
+        let samples = [(0, 1), (1, 0), (-3, 4), (i32::MIN, -1), (9, 9)];
+        for c in Cond::all() {
+            // Parity conditions are about a - b, whose low bit is symmetric.
+            for &(a, b) in &samples {
+                assert_eq!(c.eval(a, b), c.swap_operands().eval(b, a), "{c} ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_vs_unsigned() {
+        assert!(Cond::Lt.eval(i32::MIN, 0));
+        assert!(!Cond::Ult.eval(i32::MIN, 0));
+        assert!(Cond::Ult.eval(0, i32::MIN));
+        assert!(Cond::Ugt.eval(-1, 1));
+    }
+
+    #[test]
+    fn parity() {
+        assert!(Cond::Odd.eval(5, 0));
+        assert!(Cond::Even.eval(5, 1));
+        assert!(Cond::Odd.eval(0, 1)); // 0 - 1 = -1, odd
+    }
+
+    #[test]
+    fn mnemonic_round_trip() {
+        for c in Cond::all() {
+            let text = c.mnemonic();
+            assert_eq!(text.parse::<Cond>().unwrap(), c);
+        }
+        assert!("bogus".parse::<Cond>().is_err());
+    }
+}

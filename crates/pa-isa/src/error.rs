@@ -1,0 +1,103 @@
+//! Error type for the ISA crate.
+
+use core::fmt;
+
+/// Errors produced while constructing, assembling or parsing programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IsaError {
+    /// A register number outside `0..=31`.
+    RegisterOutOfRange(u8),
+    /// An immediate that does not fit its instruction field.
+    ImmediateOutOfRange {
+        /// The offending value.
+        value: i64,
+        /// The field width it had to fit.
+        bits: u32,
+    },
+    /// A shift amount outside the encodable range of the instruction.
+    ShiftAmountOutOfRange(u32),
+    /// A label was referenced but never defined.
+    UndefinedLabel(String),
+    /// A label was defined more than once.
+    DuplicateLabel(String),
+    /// A branch target index that lies outside the program.
+    ///
+    /// Targets may point one past the last instruction (a branch to the
+    /// procedure's fall-through exit), but no further.
+    TargetOutOfRange {
+        /// The instruction index of the branch.
+        at: usize,
+        /// The out-of-range target index.
+        target: usize,
+        /// The program length.
+        len: usize,
+    },
+    /// A failure while parsing an assembly listing.
+    Parse {
+        /// One-based source line (0 when unknown).
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::RegisterOutOfRange(n) => {
+                write!(f, "register number {n} is out of range (0..=31)")
+            }
+            IsaError::ImmediateOutOfRange { value, bits } => {
+                write!(f, "immediate {value} does not fit a signed {bits}-bit field")
+            }
+            IsaError::ShiftAmountOutOfRange(n) => {
+                write!(f, "shift amount {n} is not encodable")
+            }
+            IsaError::UndefinedLabel(name) => write!(f, "undefined label `{name}`"),
+            IsaError::DuplicateLabel(name) => write!(f, "duplicate label `{name}`"),
+            IsaError::TargetOutOfRange { at, target, len } => write!(
+                f,
+                "branch at instruction {at} targets {target}, outside program of length {len}"
+            ),
+            IsaError::Parse { line, message } => {
+                if *line == 0 {
+                    write!(f, "parse error: {message}")
+                } else {
+                    write!(f, "parse error at line {line}: {message}")
+                }
+            }
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let samples: Vec<IsaError> = vec![
+            IsaError::RegisterOutOfRange(40),
+            IsaError::ImmediateOutOfRange { value: 1 << 20, bits: 11 },
+            IsaError::ShiftAmountOutOfRange(99),
+            IsaError::UndefinedLabel("loop".into()),
+            IsaError::DuplicateLabel("loop".into()),
+            IsaError::TargetOutOfRange { at: 3, target: 17, len: 5 },
+            IsaError::Parse { line: 2, message: "bad mnemonic".into() },
+        ];
+        for e in samples {
+            let text = e.to_string();
+            assert!(!text.is_empty());
+            assert!(text.chars().next().unwrap().is_lowercase() || text.starts_with('`'));
+        }
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<IsaError>();
+    }
+}

@@ -1,0 +1,300 @@
+//! Immediate operand types with PA-RISC field widths.
+//!
+//! PA-RISC instruction formats give each immediate a fixed field width, and
+//! the paper's code sequences are constrained by those widths (for instance
+//! the three-instruction signed divide by *small* powers of two works only
+//! because `2^k - 1` fits the 11-bit `ADDI` immediate). Each width gets its
+//! own validated newtype so that constructing an out-of-range operand is an
+//! error at build time rather than a silent truncation.
+
+use core::fmt;
+
+use crate::IsaError;
+
+macro_rules! signed_imm {
+    ($(#[$doc:meta])* $name:ident, $bits:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(i32);
+
+        impl $name {
+            /// Number of bits in the instruction field.
+            pub const BITS: u32 = $bits;
+            /// Smallest encodable value.
+            pub const MIN: i32 = -(1 << ($bits - 1));
+            /// Largest encodable value.
+            pub const MAX: i32 = (1 << ($bits - 1)) - 1;
+
+            /// Creates the immediate, validating the field range.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`IsaError::ImmediateOutOfRange`] when `value` does not
+            /// fit the signed field.
+            pub fn new(value: i32) -> Result<Self, IsaError> {
+                if (Self::MIN..=Self::MAX).contains(&value) {
+                    Ok(Self(value))
+                } else {
+                    Err(IsaError::ImmediateOutOfRange {
+                        value: i64::from(value),
+                        bits: Self::BITS,
+                    })
+                }
+            }
+
+            /// The immediate value.
+            #[must_use]
+            pub fn value(self) -> i32 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+
+        impl TryFrom<i32> for $name {
+            type Error = IsaError;
+
+            fn try_from(value: i32) -> Result<Self, IsaError> {
+                Self::new(value)
+            }
+        }
+
+        impl From<$name> for i32 {
+            fn from(imm: $name) -> i32 {
+                imm.0
+            }
+        }
+    };
+}
+
+signed_imm! {
+    /// The 5-bit signed immediate of `COMIB`/`ADDIB` (`-16..=15`).
+    Im5, 5
+}
+
+signed_imm! {
+    /// The 11-bit signed immediate of `ADDI`/`SUBI`/`COMICLR` (`-1024..=1023`).
+    ///
+    /// This is the width that separates "small" from "large" powers of two in
+    /// the paper's signed division sequences.
+    Im11, 11
+}
+
+signed_imm! {
+    /// The 14-bit signed immediate of `LDO` (and thus the `LDI` idiom).
+    Im14, 14
+}
+
+/// The 21-bit immediate of `LDIL`, which loads `value << 11` into a register.
+///
+/// Together with a following `LDO`, `LDIL` synthesises any 32-bit constant in
+/// two instructions — the cost charged for "large" constants throughout the
+/// reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Im21(u32);
+
+impl Im21 {
+    /// Number of bits in the instruction field.
+    pub const BITS: u32 = 21;
+    /// Largest encodable field value.
+    pub const MAX: u32 = (1 << 21) - 1;
+
+    /// Creates the immediate, validating the 21-bit field range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::ImmediateOutOfRange`] when `value > Im21::MAX`.
+    pub fn new(value: u32) -> Result<Self, IsaError> {
+        if value <= Self::MAX {
+            Ok(Self(value))
+        } else {
+            Err(IsaError::ImmediateOutOfRange {
+                value: i64::from(value),
+                bits: Self::BITS,
+            })
+        }
+    }
+
+    /// The raw 21-bit field value.
+    #[must_use]
+    pub fn value(self) -> u32 {
+        self.0
+    }
+
+    /// The 32-bit value deposited in the target register: `value << 11`.
+    #[must_use]
+    pub fn shifted(self) -> u32 {
+        self.0 << 11
+    }
+}
+
+impl fmt::Display for Im21 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The shift amount of a shift-and-add instruction: 1, 2 or 3.
+///
+/// The pre-shifter datapath shifts one ALU input left by exactly one of these
+/// amounts — the same shifts needed for half-word/word/double-word indexed
+/// addressing, which is why the hardware exists at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ShAmount {
+    /// Shift left by one (`SH1ADD`): computes `2a + b`.
+    One,
+    /// Shift left by two (`SH2ADD`): computes `4a + b`.
+    Two,
+    /// Shift left by three (`SH3ADD`): computes `8a + b`.
+    Three,
+}
+
+impl ShAmount {
+    /// Creates a shift amount from an integer `1..=3`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::ShiftAmountOutOfRange`] otherwise.
+    pub fn new(amount: u32) -> Result<ShAmount, IsaError> {
+        match amount {
+            1 => Ok(ShAmount::One),
+            2 => Ok(ShAmount::Two),
+            3 => Ok(ShAmount::Three),
+            other => Err(IsaError::ShiftAmountOutOfRange(other)),
+        }
+    }
+
+    /// The number of bit positions shifted, `1..=3`.
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        match self {
+            ShAmount::One => 1,
+            ShAmount::Two => 2,
+            ShAmount::Three => 3,
+        }
+    }
+
+    /// The multiplier applied to the pre-shifted operand (2, 4 or 8).
+    #[must_use]
+    pub fn factor(self) -> u32 {
+        1 << self.bits()
+    }
+}
+
+impl fmt::Display for ShAmount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.bits())
+    }
+}
+
+/// A shift distance for whole-word shifts and `SHD`: `0..=31`.
+///
+/// PA-RISC encodes these in the 5-bit shift/position field of the extract and
+/// deposit instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShiftPos(u8);
+
+impl ShiftPos {
+    /// Creates a shift distance, validating `0..=31`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::ShiftAmountOutOfRange`] when `amount > 31`.
+    pub fn new(amount: u32) -> Result<ShiftPos, IsaError> {
+        if amount < 32 {
+            Ok(ShiftPos(amount as u8))
+        } else {
+            Err(IsaError::ShiftAmountOutOfRange(amount))
+        }
+    }
+
+    /// The shift distance in bits, `0..=31`.
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        u32::from(self.0)
+    }
+}
+
+impl fmt::Display for ShiftPos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl TryFrom<u32> for ShiftPos {
+    type Error = IsaError;
+
+    fn try_from(amount: u32) -> Result<ShiftPos, IsaError> {
+        ShiftPos::new(amount)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn im5_bounds() {
+        assert_eq!(Im5::MIN, -16);
+        assert_eq!(Im5::MAX, 15);
+        assert!(Im5::new(-16).is_ok());
+        assert!(Im5::new(15).is_ok());
+        assert!(Im5::new(16).is_err());
+        assert!(Im5::new(-17).is_err());
+    }
+
+    #[test]
+    fn im11_bounds() {
+        assert_eq!(Im11::MIN, -1024);
+        assert_eq!(Im11::MAX, 1023);
+        assert!(Im11::new(1023).is_ok());
+        assert!(Im11::new(1024).is_err());
+    }
+
+    #[test]
+    fn im14_bounds() {
+        assert_eq!(Im14::MIN, -8192);
+        assert_eq!(Im14::MAX, 8191);
+        assert!(Im14::new(-8192).is_ok());
+        assert!(Im14::new(8192).is_err());
+    }
+
+    #[test]
+    fn im21_shifting() {
+        let i = Im21::new(Im21::MAX).unwrap();
+        assert_eq!(i.shifted(), 0xFFFF_F800);
+        assert!(Im21::new(Im21::MAX + 1).is_err());
+        assert_eq!(Im21::new(1).unwrap().shifted(), 0x800);
+    }
+
+    #[test]
+    fn shamount() {
+        assert_eq!(ShAmount::new(1).unwrap().factor(), 2);
+        assert_eq!(ShAmount::new(2).unwrap().factor(), 4);
+        assert_eq!(ShAmount::new(3).unwrap().factor(), 8);
+        assert!(ShAmount::new(0).is_err());
+        assert!(ShAmount::new(4).is_err());
+    }
+
+    #[test]
+    fn shiftpos() {
+        assert!(ShiftPos::new(0).is_ok());
+        assert_eq!(ShiftPos::new(31).unwrap().bits(), 31);
+        assert!(ShiftPos::new(32).is_err());
+    }
+
+    #[test]
+    fn error_reports_width() {
+        match Im11::new(5000) {
+            Err(IsaError::ImmediateOutOfRange { value, bits }) => {
+                assert_eq!(value, 5000);
+                assert_eq!(bits, 11);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,717 @@
+//! Instruction definitions.
+
+use core::fmt;
+
+use crate::{Cond, Im11, Im14, Im21, Im5, Reg, ShAmount, ShiftPos};
+
+/// Which state of a bit a `BB` branch tests for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BitSense {
+    /// Branch when the bit is 1.
+    Set,
+    /// Branch when the bit is 0.
+    Clear,
+}
+
+impl fmt::Display for BitSense {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BitSense::Set => "set",
+            BitSense::Clear => "clear",
+        })
+    }
+}
+
+/// A single machine operation.
+///
+/// Branch targets are **resolved instruction indices** into the containing
+/// [`Program`](crate::Program); a target equal to the program length is a
+/// branch to the fall-through exit. Use [`ProgramBuilder`](crate::ProgramBuilder)
+/// to write programs with symbolic labels.
+///
+/// Registers named `a`/`b` are sources, `t` is the target. The shift-and-add
+/// family computes `t = (a << sh) + b` — note that it is the *first* operand
+/// that is pre-shifted, matching `SHxADD a,b,t` on the real machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Op {
+    /// `t = a + b`; sets the carry bit. Traps on signed overflow when `trap`.
+    Add {
+        /// First addend.
+        a: Reg,
+        /// Second addend.
+        b: Reg,
+        /// Destination.
+        t: Reg,
+        /// Trap on signed overflow (`ADDO`).
+        trap: bool,
+    },
+    /// `t = a + b + carry`; sets the carry bit (`ADDC`).
+    Addc {
+        /// First addend.
+        a: Reg,
+        /// Second addend.
+        b: Reg,
+        /// Destination.
+        t: Reg,
+    },
+    /// `t = a - b`; sets the carry/borrow bit. Traps on signed overflow when `trap`.
+    Sub {
+        /// Minuend.
+        a: Reg,
+        /// Subtrahend.
+        b: Reg,
+        /// Destination.
+        t: Reg,
+        /// Trap on signed overflow (`SUBO`).
+        trap: bool,
+    },
+    /// `t = a - b - borrow`; sets the carry/borrow bit (`SUBB`).
+    Subb {
+        /// Minuend.
+        a: Reg,
+        /// Subtrahend.
+        b: Reg,
+        /// Destination.
+        t: Reg,
+    },
+    /// `t = (a << sh) + b` — the shift-and-add family (`SH1ADD`..`SH3ADD`).
+    ///
+    /// When `trap` is set this is the `SHxADDO` variant whose overflow
+    /// behaviour depends on the simulator's overflow model (the paper's cheap
+    /// sign-comparison circuit or a precise 35-bit reference).
+    ShAdd {
+        /// Pre-shift applied to `a`: 1, 2 or 3 bits.
+        sh: ShAmount,
+        /// The operand routed through the pre-shifter.
+        a: Reg,
+        /// The unshifted addend.
+        b: Reg,
+        /// Destination.
+        t: Reg,
+        /// Trap on signed overflow (`SHxADDO`).
+        trap: bool,
+    },
+    /// One step of non-restoring division (`DS`), the paper's §4 instruction.
+    ///
+    /// Using the PSW carry and V bits:
+    /// `shifted = (a << 1) | carry`; then `t = shifted - b` if `V = 0` else
+    /// `t = shifted + b`. The carry out of the 33-bit operation becomes both
+    /// the new carry (the quotient bit collected by a following `ADDC`) and,
+    /// complemented, the new V bit.
+    Ds {
+        /// Low word of the partial dividend / partial remainder.
+        a: Reg,
+        /// Divisor.
+        b: Reg,
+        /// Destination (partial remainder).
+        t: Reg,
+    },
+    /// `t = a | b`. (`COPY s,t` is the `OR s,r0,t` idiom.)
+    Or {
+        /// First operand.
+        a: Reg,
+        /// Second operand.
+        b: Reg,
+        /// Destination.
+        t: Reg,
+    },
+    /// `t = a & b`.
+    And {
+        /// First operand.
+        a: Reg,
+        /// Second operand.
+        b: Reg,
+        /// Destination.
+        t: Reg,
+    },
+    /// `t = a ^ b`.
+    Xor {
+        /// First operand.
+        a: Reg,
+        /// Second operand.
+        b: Reg,
+        /// Destination.
+        t: Reg,
+    },
+    /// `t = a & !b` (`ANDCM`).
+    AndCm {
+        /// First operand.
+        a: Reg,
+        /// Complemented operand.
+        b: Reg,
+        /// Destination.
+        t: Reg,
+    },
+    /// Compare and clear: `t = 0`, and **nullify the next instruction** when
+    /// `cond(a, b)` holds (`COMCLR`). With `t = r0` this is a pure
+    /// conditional skip — PA-RISC's conditional execution primitive.
+    Comclr {
+        /// Condition evaluated between `a` and `b`.
+        cond: Cond,
+        /// Left comparison operand.
+        a: Reg,
+        /// Right comparison operand.
+        b: Reg,
+        /// Destination cleared to zero.
+        t: Reg,
+    },
+    /// Immediate compare and clear: `t = 0`, nullify next when `cond(i, b)`
+    /// (`COMICLR`). The immediate is the *left* operand, as on PA-RISC.
+    Comiclr {
+        /// Condition evaluated between `i` and `b`.
+        cond: Cond,
+        /// Left comparison operand (11-bit immediate).
+        i: Im11,
+        /// Right comparison operand.
+        b: Reg,
+        /// Destination cleared to zero.
+        t: Reg,
+    },
+    /// `t = i + b`; sets carry. Traps on signed overflow when `trap` (`ADDIO`).
+    Addi {
+        /// 11-bit immediate addend.
+        i: Im11,
+        /// Register addend.
+        b: Reg,
+        /// Destination.
+        t: Reg,
+        /// Trap on signed overflow.
+        trap: bool,
+    },
+    /// `t = i - b` (`SUBI`); sets carry/borrow.
+    Subi {
+        /// 11-bit immediate minuend.
+        i: Im11,
+        /// Register subtrahend.
+        b: Reg,
+        /// Destination.
+        t: Reg,
+    },
+    /// `t = b + d` (`LDO d(b),t`); `LDI i,t` is `LDO i(r0),t`.
+    Ldo {
+        /// Base register.
+        b: Reg,
+        /// 14-bit displacement.
+        d: Im14,
+        /// Destination.
+        t: Reg,
+    },
+    /// `t = i << 11` (`LDIL`), the high-part half of a 32-bit constant load.
+    Ldil {
+        /// 21-bit immediate.
+        i: Im21,
+        /// Destination.
+        t: Reg,
+    },
+    /// `t = s << sa` (logical left shift; the `ZDEP` idiom).
+    Shl {
+        /// Source.
+        s: Reg,
+        /// Shift distance, `0..=31`.
+        sa: ShiftPos,
+        /// Destination.
+        t: Reg,
+    },
+    /// `t = s >> sa` logical (the `EXTRU` shift idiom).
+    ShrU {
+        /// Source.
+        s: Reg,
+        /// Shift distance, `0..=31`.
+        sa: ShiftPos,
+        /// Destination.
+        t: Reg,
+    },
+    /// `t = s >> sa` arithmetic (the `EXTRS` shift idiom).
+    ShrS {
+        /// Source.
+        s: Reg,
+        /// Shift distance, `0..=31`.
+        sa: ShiftPos,
+        /// Destination.
+        t: Reg,
+    },
+    /// Double-word shift (`SHD`): `t = low32((hi:lo) >> sa)`.
+    ///
+    /// This is the instruction that makes the two-word-precision shift-add
+    /// pairs of the derived division method cost 4 cycles instead of 6.
+    Shd {
+        /// High word of the 64-bit pair.
+        hi: Reg,
+        /// Low word of the 64-bit pair.
+        lo: Reg,
+        /// Right-shift distance, `0..=31` (0 simply selects `lo`).
+        sa: ShiftPos,
+        /// Destination.
+        t: Reg,
+    },
+    /// Extract an unsigned field (`EXTRU s,pos,len,t`): the `len`-bit field
+    /// of `s` whose **rightmost** bit is PA-RISC bit `pos` (bit 0 = MSB),
+    /// right-justified and zero-extended.
+    Extru {
+        /// Source.
+        s: Reg,
+        /// PA-RISC bit position of the field's rightmost bit (0 = MSB, 31 = LSB).
+        pos: u8,
+        /// Field length in bits, `1..=32`.
+        len: u8,
+        /// Destination.
+        t: Reg,
+    },
+    /// Unconditional branch.
+    B {
+        /// Resolved target instruction index.
+        target: usize,
+    },
+    /// Compare and branch (`COMB,cond a,b,target`).
+    Comb {
+        /// Condition evaluated between `a` and `b`.
+        cond: Cond,
+        /// Left comparison operand.
+        a: Reg,
+        /// Right comparison operand.
+        b: Reg,
+        /// Resolved target instruction index.
+        target: usize,
+    },
+    /// Compare immediate and branch (`COMIB,cond i,b,target`); the immediate
+    /// is the left operand.
+    Combi {
+        /// Condition evaluated between `i` and `b`.
+        cond: Cond,
+        /// Left comparison operand (5-bit immediate).
+        i: Im5,
+        /// Right comparison operand.
+        b: Reg,
+        /// Resolved target instruction index.
+        target: usize,
+    },
+    /// Add immediate and branch (`ADDIB,cond i,b,target`):
+    /// `b += i`, then branch when `cond(b, 0)` holds on the new value.
+    Addib {
+        /// 5-bit immediate added to `b`.
+        i: Im5,
+        /// Register updated in place (loop counter).
+        b: Reg,
+        /// Condition evaluated between the updated `b` and zero.
+        cond: Cond,
+        /// Resolved target instruction index.
+        target: usize,
+    },
+    /// Branch on bit (`BB`): tests bit `bit` of `s` (PA-RISC numbering,
+    /// 0 = MSB, 31 = LSB) and branches when it matches `sense`.
+    Bb {
+        /// Register holding the tested bit.
+        s: Reg,
+        /// PA-RISC bit position, 0 = MSB through 31 = LSB.
+        bit: u8,
+        /// Branch on set or on clear.
+        sense: BitSense,
+        /// Resolved target instruction index.
+        target: usize,
+    },
+    /// Branch vectored (`BLR x,base`): `pc = base + 2 * GR[x]`.
+    ///
+    /// On the real machine `BLR` indexes two-word table entries; the paper's
+    /// final multiply routine dispatches its 16-case switch through one of
+    /// these, which is why every table entry is "reduced to two instructions".
+    Blr {
+        /// Register holding the table index.
+        x: Reg,
+        /// Resolved instruction index of the table base.
+        base: usize,
+    },
+    /// No operation.
+    Nop,
+    /// Unconditional trap (`BREAK`), used to signal impossible paths.
+    Break {
+        /// Diagnostic code reported by the trap.
+        code: u16,
+    },
+}
+
+impl Op {
+    /// The assembler mnemonic (without condition completers).
+    #[must_use]
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Op::Add { trap: false, .. } => "add",
+            Op::Add { trap: true, .. } => "addo",
+            Op::Addc { .. } => "addc",
+            Op::Sub { trap: false, .. } => "sub",
+            Op::Sub { trap: true, .. } => "subo",
+            Op::Subb { .. } => "subb",
+            Op::ShAdd { sh: ShAmount::One, trap: false, .. } => "sh1add",
+            Op::ShAdd { sh: ShAmount::Two, trap: false, .. } => "sh2add",
+            Op::ShAdd { sh: ShAmount::Three, trap: false, .. } => "sh3add",
+            Op::ShAdd { sh: ShAmount::One, trap: true, .. } => "sh1addo",
+            Op::ShAdd { sh: ShAmount::Two, trap: true, .. } => "sh2addo",
+            Op::ShAdd { sh: ShAmount::Three, trap: true, .. } => "sh3addo",
+            Op::Ds { .. } => "ds",
+            Op::Or { .. } => "or",
+            Op::And { .. } => "and",
+            Op::Xor { .. } => "xor",
+            Op::AndCm { .. } => "andcm",
+            Op::Comclr { .. } => "comclr",
+            Op::Comiclr { .. } => "comiclr",
+            Op::Addi { trap: false, .. } => "addi",
+            Op::Addi { trap: true, .. } => "addio",
+            Op::Subi { .. } => "subi",
+            Op::Ldo { .. } => "ldo",
+            Op::Ldil { .. } => "ldil",
+            Op::Shl { .. } => "shl",
+            Op::ShrU { .. } => "shr",
+            Op::ShrS { .. } => "sar",
+            Op::Shd { .. } => "shd",
+            Op::Extru { .. } => "extru",
+            Op::B { .. } => "b",
+            Op::Comb { .. } => "comb",
+            Op::Combi { .. } => "comib",
+            Op::Addib { .. } => "addib",
+            Op::Bb { .. } => "bb",
+            Op::Blr { .. } => "blr",
+            Op::Nop => "nop",
+            Op::Break { .. } => "break",
+        }
+    }
+
+    /// The register written by this operation, if any.
+    #[must_use]
+    pub fn def(&self) -> Option<Reg> {
+        let t = match *self {
+            Op::Add { t, .. }
+            | Op::Addc { t, .. }
+            | Op::Sub { t, .. }
+            | Op::Subb { t, .. }
+            | Op::ShAdd { t, .. }
+            | Op::Ds { t, .. }
+            | Op::Or { t, .. }
+            | Op::And { t, .. }
+            | Op::Xor { t, .. }
+            | Op::AndCm { t, .. }
+            | Op::Comclr { t, .. }
+            | Op::Comiclr { t, .. }
+            | Op::Addi { t, .. }
+            | Op::Subi { t, .. }
+            | Op::Ldo { t, .. }
+            | Op::Ldil { t, .. }
+            | Op::Shl { t, .. }
+            | Op::ShrU { t, .. }
+            | Op::ShrS { t, .. }
+            | Op::Shd { t, .. }
+            | Op::Extru { t, .. } => t,
+            Op::Addib { b, .. } => b,
+            Op::B { .. }
+            | Op::Comb { .. }
+            | Op::Combi { .. }
+            | Op::Bb { .. }
+            | Op::Blr { .. }
+            | Op::Nop
+            | Op::Break { .. } => return None,
+        };
+        Some(t)
+    }
+
+    /// The registers read by this operation (duplicates removed, `r0` kept).
+    #[must_use]
+    pub fn uses(&self) -> Vec<Reg> {
+        let mut v: Vec<Reg> = match *self {
+            Op::Add { a, b, .. }
+            | Op::Addc { a, b, .. }
+            | Op::Sub { a, b, .. }
+            | Op::Subb { a, b, .. }
+            | Op::ShAdd { a, b, .. }
+            | Op::Ds { a, b, .. }
+            | Op::Or { a, b, .. }
+            | Op::And { a, b, .. }
+            | Op::Xor { a, b, .. }
+            | Op::AndCm { a, b, .. }
+            | Op::Comclr { a, b, .. }
+            | Op::Comb { a, b, .. } => vec![a, b],
+            Op::Comiclr { b, .. }
+            | Op::Addi { b, .. }
+            | Op::Subi { b, .. }
+            | Op::Ldo { b, .. }
+            | Op::Combi { b, .. }
+            | Op::Addib { b, .. } => vec![b],
+            Op::Shl { s, .. }
+            | Op::ShrU { s, .. }
+            | Op::ShrS { s, .. }
+            | Op::Extru { s, .. }
+            | Op::Bb { s, .. } => vec![s],
+            Op::Shd { hi, lo, .. } => vec![hi, lo],
+            Op::Blr { x, .. } => vec![x],
+            Op::Ldil { .. } | Op::B { .. } | Op::Nop | Op::Break { .. } => vec![],
+        };
+        v.dedup();
+        v
+    }
+
+    /// The static branch target, for ordinary branches.
+    ///
+    /// `BLR` is data-dependent and reports its table `base` here.
+    #[must_use]
+    pub fn branch_target(&self) -> Option<usize> {
+        match *self {
+            Op::B { target }
+            | Op::Comb { target, .. }
+            | Op::Combi { target, .. }
+            | Op::Addib { target, .. }
+            | Op::Bb { target, .. } => Some(target),
+            Op::Blr { base, .. } => Some(base),
+            _ => None,
+        }
+    }
+
+    /// Rewrites the branch target (no-op for non-branches).
+    pub(crate) fn set_branch_target(&mut self, new: usize) {
+        match self {
+            Op::B { target }
+            | Op::Comb { target, .. }
+            | Op::Combi { target, .. }
+            | Op::Addib { target, .. }
+            | Op::Bb { target, .. } => *target = new,
+            Op::Blr { base, .. } => *base = new,
+            _ => {}
+        }
+    }
+
+    /// Whether this operation can transfer control.
+    #[must_use]
+    pub fn is_branch(&self) -> bool {
+        matches!(
+            self,
+            Op::B { .. }
+                | Op::Comb { .. }
+                | Op::Combi { .. }
+                | Op::Addib { .. }
+                | Op::Bb { .. }
+                | Op::Blr { .. }
+        )
+    }
+
+    /// Whether this operation may raise a trap.
+    #[must_use]
+    pub fn can_trap(&self) -> bool {
+        matches!(
+            self,
+            Op::Add { trap: true, .. }
+                | Op::Sub { trap: true, .. }
+                | Op::ShAdd { trap: true, .. }
+                | Op::Addi { trap: true, .. }
+                | Op::Break { .. }
+        )
+    }
+
+    /// Whether this operation may nullify its successor (`COMCLR`/`COMICLR`).
+    #[must_use]
+    pub fn can_nullify(&self) -> bool {
+        matches!(self, Op::Comclr { .. } | Op::Comiclr { .. })
+    }
+}
+
+/// An instruction: an [`Op`] (kept separate so per-instruction metadata can
+/// grow without touching every constructor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Insn {
+    /// The operation performed.
+    pub op: Op,
+}
+
+impl Insn {
+    /// Wraps an operation.
+    #[must_use]
+    pub fn new(op: Op) -> Insn {
+        Insn { op }
+    }
+}
+
+impl From<Op> for Insn {
+    fn from(op: Op) -> Insn {
+        Insn::new(op)
+    }
+}
+
+/// Formats the operands in listing syntax; target indices print as `@N`
+/// (the [`Program`](crate::Program) display substitutes label names).
+pub(crate) fn format_op(op: &Op, f: &mut fmt::Formatter<'_>, target_name: &str) -> fmt::Result {
+    let m = op.mnemonic();
+    match *op {
+        Op::Add { a, b, t, .. }
+        | Op::Addc { a, b, t }
+        | Op::Sub { a, b, t, .. }
+        | Op::Subb { a, b, t }
+        | Op::ShAdd { a, b, t, .. }
+        | Op::Ds { a, b, t }
+        | Op::Or { a, b, t }
+        | Op::And { a, b, t }
+        | Op::Xor { a, b, t }
+        | Op::AndCm { a, b, t } => write!(f, "{m} {a},{b},{t}"),
+        Op::Comclr { cond, a, b, t } => write!(f, "{m},{cond} {a},{b},{t}"),
+        Op::Comiclr { cond, i, b, t } => write!(f, "{m},{cond} {i},{b},{t}"),
+        Op::Addi { i, b, t, .. } => write!(f, "{m} {i},{b},{t}"),
+        Op::Subi { i, b, t } => write!(f, "{m} {i},{b},{t}"),
+        Op::Ldo { b, d, t } => write!(f, "{m} {d}({b}),{t}"),
+        Op::Ldil { i, t } => write!(f, "{m} {i},{t}"),
+        Op::Shl { s, sa, t } | Op::ShrU { s, sa, t } | Op::ShrS { s, sa, t } => {
+            write!(f, "{m} {s},{sa},{t}")
+        }
+        Op::Shd { hi, lo, sa, t } => write!(f, "{m} {hi},{lo},{sa},{t}"),
+        Op::Extru { s, pos, len, t } => write!(f, "{m} {s},{pos},{len},{t}"),
+        Op::B { .. } => write!(f, "{m} {target_name}"),
+        Op::Comb { cond, a, b, .. } => write!(f, "{m},{cond} {a},{b},{target_name}"),
+        Op::Combi { cond, i, b, .. } => write!(f, "{m},{cond} {i},{b},{target_name}"),
+        Op::Addib { i, b, cond, .. } => write!(f, "{m},{cond} {i},{b},{target_name}"),
+        Op::Bb { s, bit, sense, .. } => write!(f, "{m},{sense} {s},{bit},{target_name}"),
+        Op::Blr { x, .. } => write!(f, "{m} {x},{target_name}"),
+        Op::Nop => write!(f, "{m}"),
+        Op::Break { code } => write!(f, "{m} {code}"),
+    }
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = self
+            .op
+            .branch_target()
+            .map(|t| format!("@{t}"))
+            .unwrap_or_default();
+        format_op(&self.op, f, &name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_ops() -> Vec<Op> {
+        vec![
+            Op::Add { a: Reg::R1, b: Reg::R2, t: Reg::R3, trap: false },
+            Op::Add { a: Reg::R1, b: Reg::R2, t: Reg::R3, trap: true },
+            Op::Addc { a: Reg::R1, b: Reg::R2, t: Reg::R3 },
+            Op::Sub { a: Reg::R1, b: Reg::R2, t: Reg::R3, trap: false },
+            Op::Subb { a: Reg::R1, b: Reg::R2, t: Reg::R3 },
+            Op::ShAdd {
+                sh: ShAmount::Two,
+                a: Reg::R4,
+                b: Reg::R5,
+                t: Reg::R6,
+                trap: true,
+            },
+            Op::Ds { a: Reg::R9, b: Reg::R10, t: Reg::R9 },
+            Op::Comclr { cond: Cond::Ult, a: Reg::R1, b: Reg::R2, t: Reg::R0 },
+            Op::Comiclr {
+                cond: Cond::Eq,
+                i: Im11::new(5).unwrap(),
+                b: Reg::R2,
+                t: Reg::R0,
+            },
+            Op::Addi { i: Im11::new(-1).unwrap(), b: Reg::R7, t: Reg::R7, trap: false },
+            Op::Ldo { b: Reg::R0, d: Im14::new(42).unwrap(), t: Reg::R3 },
+            Op::Ldil { i: Im21::new(77).unwrap(), t: Reg::R3 },
+            Op::Shl { s: Reg::R1, sa: ShiftPos::new(4).unwrap(), t: Reg::R2 },
+            Op::Shd {
+                hi: Reg::R1,
+                lo: Reg::R2,
+                sa: ShiftPos::new(30).unwrap(),
+                t: Reg::R3,
+            },
+            Op::Extru { s: Reg::R1, pos: 31, len: 4, t: Reg::R2 },
+            Op::B { target: 7 },
+            Op::Comb { cond: Cond::Lt, a: Reg::R1, b: Reg::R2, target: 3 },
+            Op::Addib {
+                i: Im5::new(-1).unwrap(),
+                b: Reg::R5,
+                cond: Cond::Ne,
+                target: 0,
+            },
+            Op::Bb { s: Reg::R1, bit: 31, sense: BitSense::Set, target: 2 },
+            Op::Blr { x: Reg::R8, base: 12 },
+            Op::Nop,
+            Op::Break { code: 1 },
+        ]
+    }
+
+    #[test]
+    fn mnemonics_are_distinctive() {
+        assert_eq!(
+            Op::ShAdd {
+                sh: ShAmount::One,
+                a: Reg::R1,
+                b: Reg::R1,
+                t: Reg::R1,
+                trap: false
+            }
+            .mnemonic(),
+            "sh1add"
+        );
+        assert_eq!(
+            Op::Add { a: Reg::R1, b: Reg::R1, t: Reg::R1, trap: true }.mnemonic(),
+            "addo"
+        );
+    }
+
+    #[test]
+    fn defs_and_uses() {
+        let op = Op::ShAdd {
+            sh: ShAmount::Three,
+            a: Reg::R4,
+            b: Reg::R5,
+            t: Reg::R6,
+            trap: false,
+        };
+        assert_eq!(op.def(), Some(Reg::R6));
+        assert_eq!(op.uses(), vec![Reg::R4, Reg::R5]);
+
+        let addib = Op::Addib {
+            i: Im5::new(-1).unwrap(),
+            b: Reg::R5,
+            cond: Cond::Gt,
+            target: 0,
+        };
+        assert_eq!(addib.def(), Some(Reg::R5));
+        assert_eq!(addib.uses(), vec![Reg::R5]);
+
+        assert_eq!(Op::Nop.def(), None);
+        assert!(Op::Nop.uses().is_empty());
+    }
+
+    #[test]
+    fn duplicate_uses_are_deduped() {
+        let op = Op::Add { a: Reg::R2, b: Reg::R2, t: Reg::R2, trap: false };
+        assert_eq!(op.uses(), vec![Reg::R2]);
+    }
+
+    #[test]
+    fn branch_classification() {
+        for op in sample_ops() {
+            assert_eq!(op.is_branch(), op.branch_target().is_some(), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn trap_classification() {
+        assert!(Op::Break { code: 0 }.can_trap());
+        assert!(Op::Add { a: Reg::R1, b: Reg::R1, t: Reg::R1, trap: true }.can_trap());
+        assert!(!Op::Addc { a: Reg::R1, b: Reg::R1, t: Reg::R1 }.can_trap());
+    }
+
+    #[test]
+    fn retargeting() {
+        let mut op = Op::B { target: 5 };
+        op.set_branch_target(9);
+        assert_eq!(op.branch_target(), Some(9));
+        let mut nop = Op::Nop;
+        nop.set_branch_target(9); // silently ignored
+        assert_eq!(nop.branch_target(), None);
+    }
+
+    #[test]
+    fn display_every_op() {
+        for op in sample_ops() {
+            let text = Insn::new(op).to_string();
+            assert!(!text.is_empty());
+            assert!(text.starts_with(op.mnemonic()), "{text}");
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! # pa-isa — a PA-RISC-like instruction set for integer multiply/divide study
+//!
+//! This crate defines the subset of the HP Precision Architecture (PA-RISC)
+//! instruction set that the ASPLOS'87 paper *"Integer Multiplication and
+//! Division on the HP Precision Architecture"* builds its multiply and divide
+//! support from:
+//!
+//! * three-register arithmetic (`ADD`, `SUB`, carry/borrow variants) with
+//!   optional trap-on-overflow,
+//! * the **shift and add** family (`SH1ADD`, `SH2ADD`, `SH3ADD` and their
+//!   trapping variants) fed by the pre-shifter datapath,
+//! * the simplified **divide step** (`DS`) that pairs with `ADDC`,
+//! * conditional-nullification compares (`COMCLR`, `COMICLR`),
+//! * compare-and-branch (`COMB`, `COMIB`, `ADDIB`), branch-on-bit (`BB`) and
+//!   the **branch vectored** (`BLR`) instruction used for switch tables,
+//! * single and double-word shifts (`SHD` is the pair-precision workhorse of
+//!   the derived division method).
+//!
+//! The crate is purely *symbolic*: it models the semantics-relevant
+//! instruction fields (register numbers, PA-RISC immediate field widths,
+//! conditions) and provides a [`Program`] container, a [`ProgramBuilder`] with
+//! labels, an assembler-style [`core::fmt::Display`] listing, and a text
+//! [`parser`](crate::parse) that round-trips listings. Execution lives in the
+//! companion `pa-sim` crate.
+//!
+//! ## Example
+//!
+//! ```
+//! use pa_isa::{ProgramBuilder, Reg};
+//!
+//! # fn main() -> Result<(), pa_isa::IsaError> {
+//! let mut b = ProgramBuilder::new();
+//! let (x, r) = (Reg::R26, Reg::R28);
+//! // r = 10 * x  (the paper's two-step chain: r = 4x + x; r = r + r)
+//! b.sh2add(x, x, r);
+//! b.add(r, r, r);
+//! let program = b.build()?;
+//! assert_eq!(program.len(), 2);
+//! println!("{program}");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod cond;
+mod error;
+mod imm;
+mod insn;
+pub mod parse;
+mod program;
+mod reg;
+
+pub use builder::ProgramBuilder;
+pub use cond::Cond;
+pub use error::IsaError;
+pub use imm::{Im11, Im14, Im21, Im5, ShAmount, ShiftPos};
+pub use insn::{BitSense, Insn, Op};
+pub use program::{Label, Program};
+pub use reg::Reg;
+
+/// The number of general registers in the architecture (`r0`..`r31`).
+pub const NUM_REGS: usize = 32;
+
+/// Width, in bits, of a machine word.
+pub const WORD_BITS: u32 = 32;

@@ -1,0 +1,497 @@
+//! A parser for the assembler listing format produced by
+//! [`Program`]'s `Display` implementation.
+//!
+//! The grammar is line-oriented:
+//!
+//! ```text
+//! label:
+//!     mnemonic[,completer] operand,operand,...
+//!     ; comment lines and blank lines are ignored
+//! ```
+//!
+//! Branch targets are label names or `@N` absolute instruction indices.
+//! `parse_program(p.to_string())` round-trips every well-formed [`Program`]
+//! (a property exercised in the test suites of this and downstream crates).
+
+use std::collections::BTreeMap;
+
+use crate::{
+    BitSense, Cond, Im11, Im14, Im21, Im5, Insn, IsaError, Op, Program, Reg, ShAmount, ShiftPos,
+};
+
+fn perr(line: usize, message: impl Into<String>) -> IsaError {
+    IsaError::Parse { line, message: message.into() }
+}
+
+/// Parses an assembler listing into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`IsaError::Parse`] describing the first offending line, or the
+/// underlying construction error (bad immediate, undefined label, …).
+///
+/// # Example
+///
+/// ```
+/// let src = "
+/// loop:
+///     sh2add r26,r26,r28
+///     addib,<> -1,r5,loop
+/// ";
+/// let p = pa_isa::parse::parse_program(src)?;
+/// assert_eq!(p.len(), 2);
+/// # Ok::<(), pa_isa::IsaError>(())
+/// ```
+pub fn parse_program(source: &str) -> Result<Program, IsaError> {
+    // Pass 1: assign instruction indices and collect label positions.
+    let mut labels: BTreeMap<String, usize> = BTreeMap::new();
+    let mut index = 0usize;
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_suffix(':') {
+            let name = name.trim();
+            if name.is_empty() || !is_ident(name) {
+                return Err(perr(lineno + 1, format!("invalid label `{name}`")));
+            }
+            if labels.insert(name.to_string(), index).is_some() {
+                return Err(IsaError::DuplicateLabel(name.to_string()));
+            }
+        } else {
+            index += 1;
+        }
+    }
+    let len = index;
+
+    // Pass 2: parse instructions.
+    let mut insns = Vec::with_capacity(len);
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() || line.ends_with(':') {
+            continue;
+        }
+        let op = parse_line(line, lineno + 1, &labels, len)?;
+        insns.push(Insn::new(op));
+    }
+
+    let names = labels.into_iter().map(|(name, idx)| (idx, name)).collect();
+    Program::with_names(insns, names)
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find(';') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$' || c == '.')
+}
+
+struct Operands<'a> {
+    parts: Vec<&'a str>,
+    line: usize,
+    mnemonic: &'a str,
+    next: usize,
+}
+
+impl<'a> Operands<'a> {
+    fn next(&mut self) -> Result<&'a str, IsaError> {
+        let part = self.parts.get(self.next).copied().ok_or_else(|| {
+            perr(
+                self.line,
+                format!("`{}` is missing operand {}", self.mnemonic, self.next + 1),
+            )
+        })?;
+        self.next += 1;
+        Ok(part)
+    }
+
+    fn finish(&self) -> Result<(), IsaError> {
+        if self.next == self.parts.len() {
+            Ok(())
+        } else {
+            Err(perr(
+                self.line,
+                format!("`{}` has extra operands", self.mnemonic),
+            ))
+        }
+    }
+
+    fn reg(&mut self) -> Result<Reg, IsaError> {
+        let line = self.line;
+        let part = self.next()?;
+        part.parse::<Reg>()
+            .map_err(|_| perr(line, format!("expected register, found `{part}`")))
+    }
+
+    fn int(&mut self) -> Result<i64, IsaError> {
+        let line = self.line;
+        let part = self.next()?;
+        parse_int(part).ok_or_else(|| perr(line, format!("expected integer, found `{part}`")))
+    }
+
+    fn target(&mut self, labels: &BTreeMap<String, usize>, len: usize) -> Result<usize, IsaError> {
+        let line = self.line;
+        let part = self.next()?;
+        if let Some(idx) = part.strip_prefix('@') {
+            return idx
+                .parse::<usize>()
+                .ok()
+                .filter(|&i| i <= len)
+                .ok_or_else(|| perr(line, format!("bad target `{part}`")));
+        }
+        labels
+            .get(part)
+            .copied()
+            .ok_or_else(|| IsaError::UndefinedLabel(part.to_string()))
+    }
+}
+
+fn parse_int(s: &str) -> Option<i64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        return i64::from_str_radix(hex, 16).ok();
+    }
+    if let Some(hex) = s.strip_prefix("-0x") {
+        return i64::from_str_radix(hex, 16).ok().map(|v| -v);
+    }
+    s.parse::<i64>().ok()
+}
+
+fn parse_line(
+    line: &str,
+    lineno: usize,
+    labels: &BTreeMap<String, usize>,
+    len: usize,
+) -> Result<Op, IsaError> {
+    let (head, rest) = match line.find(char::is_whitespace) {
+        Some(pos) => (&line[..pos], line[pos..].trim()),
+        None => (line, ""),
+    };
+    let (mnemonic, completer) = match head.find(',') {
+        Some(pos) => (&head[..pos], Some(&head[pos + 1..])),
+        None => (head, None),
+    };
+    let parts: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let mut ops = Operands { parts, line: lineno, mnemonic, next: 0 };
+
+    let cond = |c: Option<&str>| -> Result<Cond, IsaError> {
+        let c = c.ok_or_else(|| perr(lineno, format!("`{mnemonic}` needs a condition")))?;
+        c.parse::<Cond>()
+            .map_err(|_| perr(lineno, format!("unknown condition `{c}`")))
+    };
+    let no_completer = |c: Option<&str>| -> Result<(), IsaError> {
+        match c {
+            None => Ok(()),
+            Some(c) => Err(perr(lineno, format!("`{mnemonic}` takes no `,{c}` completer"))),
+        }
+    };
+
+    let im5 = |v: i64| Im5::new(v as i32).map_err(|e| attach_line(e, lineno));
+    let im11 = |v: i64| Im11::new(v as i32).map_err(|e| attach_line(e, lineno));
+    let im14 = |v: i64| Im14::new(v as i32).map_err(|e| attach_line(e, lineno));
+    let shpos = |v: i64| {
+        u32::try_from(v)
+            .ok()
+            .and_then(|v| ShiftPos::new(v).ok())
+            .ok_or_else(|| perr(lineno, format!("bad shift amount {v}")))
+    };
+
+    let op = match mnemonic {
+        "add" | "addo" | "addc" | "sub" | "subo" | "subb" | "ds" | "or" | "and" | "xor"
+        | "andcm" | "sh1add" | "sh2add" | "sh3add" | "sh1addo" | "sh2addo" | "sh3addo" => {
+            no_completer(completer)?;
+            let (a, b, t) = (ops.reg()?, ops.reg()?, ops.reg()?);
+            match mnemonic {
+                "add" => Op::Add { a, b, t, trap: false },
+                "addo" => Op::Add { a, b, t, trap: true },
+                "addc" => Op::Addc { a, b, t },
+                "sub" => Op::Sub { a, b, t, trap: false },
+                "subo" => Op::Sub { a, b, t, trap: true },
+                "subb" => Op::Subb { a, b, t },
+                "ds" => Op::Ds { a, b, t },
+                "or" => Op::Or { a, b, t },
+                "and" => Op::And { a, b, t },
+                "xor" => Op::Xor { a, b, t },
+                "andcm" => Op::AndCm { a, b, t },
+                sh => {
+                    let amount = match &sh[..6] {
+                        "sh1add" => ShAmount::One,
+                        "sh2add" => ShAmount::Two,
+                        _ => ShAmount::Three,
+                    };
+                    Op::ShAdd { sh: amount, a, b, t, trap: sh.ends_with('o') }
+                }
+            }
+        }
+        "comclr" => {
+            let cond = cond(completer)?;
+            let (a, b, t) = (ops.reg()?, ops.reg()?, ops.reg()?);
+            Op::Comclr { cond, a, b, t }
+        }
+        "comiclr" => {
+            let cond = cond(completer)?;
+            let i = im11(ops.int()?)?;
+            let (b, t) = (ops.reg()?, ops.reg()?);
+            Op::Comiclr { cond, i, b, t }
+        }
+        "addi" | "addio" | "subi" => {
+            no_completer(completer)?;
+            let i = im11(ops.int()?)?;
+            let (b, t) = (ops.reg()?, ops.reg()?);
+            match mnemonic {
+                "addi" => Op::Addi { i, b, t, trap: false },
+                "addio" => Op::Addi { i, b, t, trap: true },
+                _ => Op::Subi { i, b, t },
+            }
+        }
+        "ldo" => {
+            no_completer(completer)?;
+            // ldo D(B),T
+            let line = ops.line;
+            let first = ops.next()?;
+            let (d_text, b_text) = first
+                .strip_suffix(')')
+                .and_then(|s| s.split_once('('))
+                .ok_or_else(|| perr(line, format!("expected `disp(base)`, found `{first}`")))?;
+            let d = im14(
+                parse_int(d_text.trim())
+                    .ok_or_else(|| perr(line, format!("bad displacement `{d_text}`")))?,
+            )?;
+            let b = b_text
+                .trim()
+                .parse::<Reg>()
+                .map_err(|_| perr(line, format!("bad base register `{b_text}`")))?;
+            let t = ops.reg()?;
+            Op::Ldo { b, d, t }
+        }
+        "ldil" => {
+            no_completer(completer)?;
+            let v = ops.int()?;
+            let i = u32::try_from(v)
+                .ok()
+                .and_then(|v| Im21::new(v).ok())
+                .ok_or_else(|| perr(lineno, format!("bad ldil immediate {v}")))?;
+            Op::Ldil { i, t: ops.reg()? }
+        }
+        "shl" | "shr" | "sar" => {
+            no_completer(completer)?;
+            let s = ops.reg()?;
+            let sa = shpos(ops.int()?)?;
+            let t = ops.reg()?;
+            match mnemonic {
+                "shl" => Op::Shl { s, sa, t },
+                "shr" => Op::ShrU { s, sa, t },
+                _ => Op::ShrS { s, sa, t },
+            }
+        }
+        "shd" => {
+            no_completer(completer)?;
+            let (hi, lo) = (ops.reg()?, ops.reg()?);
+            let sa = shpos(ops.int()?)?;
+            Op::Shd { hi, lo, sa, t: ops.reg()? }
+        }
+        "extru" => {
+            no_completer(completer)?;
+            let s = ops.reg()?;
+            let pos = ops.int()?;
+            let lenf = ops.int()?;
+            let t = ops.reg()?;
+            if !(0..=31).contains(&pos) || !(1..=32).contains(&lenf) || lenf > pos + 1 {
+                return Err(perr(lineno, format!("bad extru field ({pos},{lenf})")));
+            }
+            Op::Extru { s, pos: pos as u8, len: lenf as u8, t }
+        }
+        "b" => {
+            no_completer(completer)?;
+            Op::B { target: ops.target(labels, len)? }
+        }
+        "comb" => {
+            let cond = cond(completer)?;
+            let (a, b) = (ops.reg()?, ops.reg()?);
+            Op::Comb { cond, a, b, target: ops.target(labels, len)? }
+        }
+        "comib" => {
+            let cond = cond(completer)?;
+            let i = im5(ops.int()?)?;
+            let b = ops.reg()?;
+            Op::Combi { cond, i, b, target: ops.target(labels, len)? }
+        }
+        "addib" => {
+            let cond = cond(completer)?;
+            let i = im5(ops.int()?)?;
+            let b = ops.reg()?;
+            Op::Addib { i, b, cond, target: ops.target(labels, len)? }
+        }
+        "bb" => {
+            let sense = match completer {
+                Some("set") => BitSense::Set,
+                Some("clear") => BitSense::Clear,
+                other => {
+                    return Err(perr(lineno, format!("bb needs `,set`/`,clear`, got {other:?}")))
+                }
+            };
+            let s = ops.reg()?;
+            let bit = ops.int()?;
+            if !(0..=31).contains(&bit) {
+                return Err(perr(lineno, format!("bad bit position {bit}")));
+            }
+            Op::Bb { s, bit: bit as u8, sense, target: ops.target(labels, len)? }
+        }
+        "blr" => {
+            no_completer(completer)?;
+            let x = ops.reg()?;
+            Op::Blr { x, base: ops.target(labels, len)? }
+        }
+        "nop" => {
+            no_completer(completer)?;
+            Op::Nop
+        }
+        "break" => {
+            no_completer(completer)?;
+            let code = ops.int()?;
+            let code = u16::try_from(code)
+                .map_err(|_| perr(lineno, format!("bad break code {code}")))?;
+            Op::Break { code }
+        }
+        other => return Err(perr(lineno, format!("unknown mnemonic `{other}`"))),
+    };
+    ops.finish()?;
+    Ok(op)
+}
+
+fn attach_line(err: IsaError, line: usize) -> IsaError {
+    match err {
+        IsaError::Parse { message, .. } => IsaError::Parse { line, message },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProgramBuilder;
+
+    #[test]
+    fn parses_basic_listing() {
+        let src = "
+            ; multiply r26 by 10 into r28
+            ldo 0(r26),r28
+            sh2add r26,r26,r28
+            add r28,r28,r28
+        ";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(
+            p.get(1).unwrap().op,
+            Op::ShAdd {
+                sh: ShAmount::Two,
+                a: Reg::R26,
+                b: Reg::R26,
+                t: Reg::R28,
+                trap: false
+            }
+        );
+    }
+
+    #[test]
+    fn labels_and_branches() {
+        let src = "
+        top:
+            addib,<> -1,r5,top
+            b out
+        out:
+        ";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.get(0).unwrap().op.branch_target(), Some(0));
+        assert_eq!(p.get(1).unwrap().op.branch_target(), Some(2));
+        assert_eq!(p.name_at(2), Some("out"));
+    }
+
+    #[test]
+    fn at_targets() {
+        let p = parse_program("b @1\nnop\n").unwrap();
+        assert_eq!(p.get(0).unwrap().op.branch_target(), Some(1));
+        assert!(parse_program("b @5\nnop\n").is_err());
+    }
+
+    #[test]
+    fn hex_immediates() {
+        let p = parse_program("addi 0x3f,r1,r2\n").unwrap();
+        assert_eq!(
+            p.get(0).unwrap().op,
+            Op::Addi { i: Im11::new(63).unwrap(), b: Reg::R1, t: Reg::R2, trap: false }
+        );
+    }
+
+    #[test]
+    fn undefined_label_error() {
+        assert_eq!(
+            parse_program("b nowhere\n").unwrap_err(),
+            IsaError::UndefinedLabel("nowhere".into())
+        );
+    }
+
+    #[test]
+    fn duplicate_label_error() {
+        let src = "x:\nnop\nx:\nnop\n";
+        assert_eq!(
+            parse_program(src).unwrap_err(),
+            IsaError::DuplicateLabel("x".into())
+        );
+    }
+
+    #[test]
+    fn error_mentions_line() {
+        let err = parse_program("nop\nfrobnicate r1\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn rejects_extra_operands() {
+        assert!(parse_program("nop r1\n").is_err());
+        assert!(parse_program("add r1,r2,r3,r4\n").is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_completers() {
+        assert!(parse_program("add,= r1,r2,r3\n").is_err());
+        assert!(parse_program("comb r1,r2,@0\n").is_err());
+        assert!(parse_program("bb,maybe r1,31,@0\n").is_err());
+    }
+
+    #[test]
+    fn round_trips_builder_output() {
+        let mut b = ProgramBuilder::new();
+        let top = b.here("top");
+        let tbl = b.named_label("table");
+        b.comclr(Cond::Ult, Reg::R3, Reg::R4, Reg::R0);
+        b.addio(-1, Reg::R7, Reg::R7);
+        b.shd(Reg::R1, Reg::R2, 30, Reg::R3);
+        b.extru(Reg::R9, 31, 4, Reg::R8);
+        b.blr(Reg::R8, tbl);
+        b.bind(tbl);
+        b.sh3add(Reg::R1, Reg::R2, Reg::R3);
+        b.bb_lsb(Reg::R5, BitSense::Clear, top);
+        b.ds(Reg::R9, Reg::R10, Reg::R9);
+        b.addc(Reg::R4, Reg::R4, Reg::R4);
+        b.ldil(0x1234, Reg::R6);
+        b.ldo(-100, Reg::R6, Reg::R6);
+        b.brk(3);
+        let p = b.build().unwrap();
+        let reparsed = parse_program(&p.to_string()).unwrap();
+        assert_eq!(reparsed, p);
+    }
+}

@@ -1,0 +1,295 @@
+//! Programs: validated instruction sequences with display labels.
+
+use core::fmt;
+use std::collections::BTreeMap;
+
+use crate::insn::format_op;
+use crate::{Insn, IsaError, Op};
+
+/// An opaque label handle issued by [`ProgramBuilder`](crate::ProgramBuilder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(pub(crate) usize);
+
+/// A validated, fully resolved instruction sequence.
+///
+/// All branch targets are instruction indices within `0..=len()` (a target of
+/// exactly `len()` is a branch to the fall-through exit). Construct programs
+/// through [`ProgramBuilder`](crate::ProgramBuilder) or
+/// [`parse::parse_program`](crate::parse::parse_program).
+///
+/// The [`Display`](core::fmt::Display) implementation prints an assembler
+/// listing that [`parse::parse_program`](crate::parse::parse_program) accepts
+/// back (round-trip property, tested).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    insns: Vec<Insn>,
+    /// Display names for instruction indices (exit label allowed at `len()`).
+    names: BTreeMap<usize, String>,
+}
+
+impl Program {
+    /// Builds a program from raw instructions, validating every branch target.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::TargetOutOfRange`] if any branch targets an index
+    /// greater than `insns.len()`.
+    pub fn new(insns: Vec<Insn>) -> Result<Program, IsaError> {
+        Program::with_names(insns, BTreeMap::new())
+    }
+
+    /// Builds a program with display names attached to instruction indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::TargetOutOfRange`] for an out-of-range branch, or
+    /// [`IsaError::UndefinedLabel`] if a name maps past the exit index.
+    pub fn with_names(
+        insns: Vec<Insn>,
+        names: BTreeMap<usize, String>,
+    ) -> Result<Program, IsaError> {
+        let len = insns.len();
+        for (at, insn) in insns.iter().enumerate() {
+            if let Some(target) = insn.op.branch_target() {
+                if target > len {
+                    return Err(IsaError::TargetOutOfRange { at, target, len });
+                }
+            }
+        }
+        if let Some((&idx, name)) = names.iter().find(|&(&idx, _)| idx > len) {
+            let _ = idx;
+            return Err(IsaError::UndefinedLabel(name.clone()));
+        }
+        Ok(Program { insns, names })
+    }
+
+    /// The number of instructions (static size, as the paper counts it).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Whether the program contains no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// The instruction at `index`.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<&Insn> {
+        self.insns.get(index)
+    }
+
+    /// All instructions, in order.
+    #[must_use]
+    pub fn insns(&self) -> &[Insn] {
+        &self.insns
+    }
+
+    /// Iterates over the instructions.
+    pub fn iter(&self) -> impl Iterator<Item = &Insn> {
+        self.insns.iter()
+    }
+
+    /// The display name attached to instruction index `idx`, if any.
+    #[must_use]
+    pub fn name_at(&self, idx: usize) -> Option<&str> {
+        self.names.get(&idx).map(String::as_str)
+    }
+
+    /// The instruction index a display name refers to.
+    #[must_use]
+    pub fn resolve_name(&self, name: &str) -> Option<usize> {
+        self.names
+            .iter()
+            .find_map(|(&idx, n)| (n == name).then_some(idx))
+    }
+
+    /// All `(index, name)` pairs in index order.
+    pub fn names(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.names.iter().map(|(&i, n)| (i, n.as_str()))
+    }
+
+    /// The set of registers written anywhere in the program.
+    #[must_use]
+    pub fn clobbered_registers(&self) -> Vec<crate::Reg> {
+        let mut regs: Vec<crate::Reg> = self
+            .insns
+            .iter()
+            .filter_map(|i| i.op.def())
+            .filter(|r| !r.is_zero())
+            .collect();
+        regs.sort_unstable();
+        regs.dedup();
+        regs
+    }
+
+    /// Concatenates another program after this one, shifting its branch
+    /// targets and renaming colliding labels with a `suffix`.
+    ///
+    /// Useful for composing millicode fragments into one routine.
+    #[must_use]
+    pub fn concat(&self, other: &Program, suffix: &str) -> Program {
+        let offset = self.insns.len();
+        let mut insns = self.insns.clone();
+        for insn in &other.insns {
+            let mut op = insn.op;
+            if let Some(t) = op.branch_target() {
+                op.set_branch_target(t + offset);
+            }
+            insns.push(Insn::new(op));
+        }
+        let mut names = self.names.clone();
+        for (&idx, name) in &other.names {
+            let mut candidate = name.clone();
+            if names.values().any(|n| *n == candidate) {
+                candidate = format!("{name}{suffix}");
+                let mut k = 2;
+                while names.values().any(|n| *n == candidate) {
+                    candidate = format!("{name}{suffix}{k}");
+                    k += 1;
+                }
+            }
+            names.insert(idx + offset, candidate);
+        }
+        Program { insns, names }
+    }
+
+    fn target_name(&self, target: usize) -> String {
+        match self.names.get(&target) {
+            Some(name) => name.clone(),
+            None => format!("@{target}"),
+        }
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        struct OpLine<'a>(&'a Program, &'a Op);
+        impl fmt::Display for OpLine<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                let name = self
+                    .1
+                    .branch_target()
+                    .map(|t| self.0.target_name(t))
+                    .unwrap_or_default();
+                format_op(self.1, f, &name)
+            }
+        }
+        for (idx, insn) in self.insns.iter().enumerate() {
+            if let Some(name) = self.names.get(&idx) {
+                writeln!(f, "{name}:")?;
+            }
+            writeln!(f, "    {}", OpLine(self, &insn.op))?;
+        }
+        if let Some(name) = self.names.get(&self.insns.len()) {
+            writeln!(f, "{name}:")?;
+        }
+        Ok(())
+    }
+}
+
+impl IntoIterator for Program {
+    type Item = Insn;
+    type IntoIter = std::vec::IntoIter<Insn>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.insns.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Program {
+    type Item = &'a Insn;
+    type IntoIter = std::slice::Iter<'a, Insn>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.insns.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cond, Reg};
+
+    fn add(t: Reg) -> Insn {
+        Insn::new(Op::Add { a: Reg::R1, b: Reg::R2, t, trap: false })
+    }
+
+    #[test]
+    fn target_validation() {
+        let insns = vec![Insn::new(Op::B { target: 2 }), add(Reg::R3)];
+        assert!(Program::new(insns).is_ok()); // exit target allowed
+
+        let insns = vec![Insn::new(Op::B { target: 3 }), add(Reg::R3)];
+        match Program::new(insns) {
+            Err(IsaError::TargetOutOfRange { at, target, len }) => {
+                assert_eq!((at, target, len), (0, 3, 2));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_uses_label_names() {
+        let mut names = BTreeMap::new();
+        names.insert(0usize, "loop".to_string());
+        let insns = vec![
+            Insn::new(Op::Comb { cond: Cond::Lt, a: Reg::R1, b: Reg::R2, target: 0 }),
+        ];
+        let p = Program::with_names(insns, names).unwrap();
+        let listing = p.to_string();
+        assert!(listing.contains("loop:"), "{listing}");
+        assert!(listing.contains("comb,< r1,r2,loop"), "{listing}");
+    }
+
+    #[test]
+    fn display_falls_back_to_index() {
+        let insns = vec![Insn::new(Op::B { target: 1 }), add(Reg::R3)];
+        let p = Program::new(insns).unwrap();
+        assert!(p.to_string().contains("b @1"));
+    }
+
+    #[test]
+    fn clobbered_registers_sorted_unique() {
+        let insns = vec![add(Reg::R5), add(Reg::R3), add(Reg::R5), add(Reg::R0)];
+        let p = Program::new(insns).unwrap();
+        assert_eq!(p.clobbered_registers(), vec![Reg::R3, Reg::R5]);
+    }
+
+    #[test]
+    fn concat_shifts_targets_and_renames() {
+        let mut names = BTreeMap::new();
+        names.insert(0usize, "start".to_string());
+        let a = Program::with_names(vec![add(Reg::R3)], names.clone()).unwrap();
+        let b = Program::with_names(
+            vec![Insn::new(Op::B { target: 0 })],
+            names,
+        )
+        .unwrap();
+        let joined = a.concat(&b, "_x");
+        assert_eq!(joined.len(), 2);
+        assert_eq!(joined.get(1).unwrap().op.branch_target(), Some(1));
+        assert_eq!(joined.name_at(0), Some("start"));
+        assert_eq!(joined.name_at(1), Some("start_x"));
+    }
+
+    #[test]
+    fn exit_label_is_printed() {
+        let mut names = BTreeMap::new();
+        names.insert(1usize, "done".to_string());
+        let p = Program::with_names(vec![add(Reg::R3)], names).unwrap();
+        assert!(p.to_string().ends_with("done:\n"));
+    }
+
+    #[test]
+    fn name_resolution() {
+        let mut names = BTreeMap::new();
+        names.insert(1usize, "out".to_string());
+        let p = Program::with_names(vec![add(Reg::R3)], names).unwrap();
+        assert_eq!(p.resolve_name("out"), Some(1));
+        assert_eq!(p.resolve_name("nope"), None);
+        assert_eq!(p.names().collect::<Vec<_>>(), vec![(1, "out")]);
+    }
+}

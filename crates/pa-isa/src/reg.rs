@@ -1,0 +1,177 @@
+//! General registers.
+
+use core::fmt;
+use core::str::FromStr;
+
+use crate::IsaError;
+
+/// A general register, `r0` through `r31`.
+///
+/// `r0` ([`Reg::R0`]) is hardwired to zero: writes to it are discarded and
+/// reads always yield `0`, exactly as on the HP Precision Architecture. The
+/// paper leans on this ("the Precision architecture allows access to a
+/// register which always contains the value zero") to seed addition chains
+/// with `a₋₁ = 0`.
+///
+/// # Example
+///
+/// ```
+/// use pa_isa::Reg;
+///
+/// let r = Reg::new(26).unwrap();
+/// assert_eq!(r, Reg::R26);
+/// assert_eq!(r.number(), 26);
+/// assert_eq!(r.to_string(), "r26");
+/// assert!(Reg::new(32).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+macro_rules! named_regs {
+    ($($name:ident = $n:expr),* $(,)?) => {
+        impl Reg {
+            $(
+                #[doc = concat!("General register `r", stringify!($n), "`.")]
+                pub const $name: Reg = Reg($n);
+            )*
+        }
+    };
+}
+
+named_regs! {
+    R0 = 0, R1 = 1, R2 = 2, R3 = 3, R4 = 4, R5 = 5, R6 = 6, R7 = 7,
+    R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12, R13 = 13, R14 = 14,
+    R15 = 15, R16 = 16, R17 = 17, R18 = 18, R19 = 19, R20 = 20, R21 = 21,
+    R22 = 22, R23 = 23, R24 = 24, R25 = 25, R26 = 26, R27 = 27, R28 = 28,
+    R29 = 29, R30 = 30, R31 = 31,
+}
+
+impl Reg {
+    /// Creates a register from its number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::RegisterOutOfRange`] if `n > 31`.
+    pub fn new(n: u8) -> Result<Reg, IsaError> {
+        if n < 32 {
+            Ok(Reg(n))
+        } else {
+            Err(IsaError::RegisterOutOfRange(n))
+        }
+    }
+
+    /// The register's number, `0..=31`.
+    #[must_use]
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// The register's number as an index usable into a 32-entry register file.
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// Whether this is the hardwired-zero register `r0`.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over all 32 registers in numeric order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0u8..32).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl TryFrom<u8> for Reg {
+    type Error = IsaError;
+
+    fn try_from(n: u8) -> Result<Reg, IsaError> {
+        Reg::new(n)
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(r: Reg) -> u8 {
+        r.0
+    }
+}
+
+impl FromStr for Reg {
+    type Err = IsaError;
+
+    /// Parses `"r<N>"` (e.g. `"r17"`).
+    fn from_str(s: &str) -> Result<Reg, IsaError> {
+        let bad = || IsaError::Parse {
+            line: 0,
+            message: format!("invalid register name `{s}`"),
+        };
+        let num = s.strip_prefix('r').ok_or_else(bad)?;
+        if num.is_empty() || num.len() > 2 || !num.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(bad());
+        }
+        // Reject leading zeros other than "r0" itself so the listing format
+        // stays canonical and round-trippable.
+        if num.len() == 2 && num.starts_with('0') {
+            return Err(bad());
+        }
+        let n: u8 = num.parse().map_err(|_| bad())?;
+        Reg::new(n).map_err(|_| bad())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_bounds() {
+        assert!(Reg::new(0).is_ok());
+        assert!(Reg::new(31).is_ok());
+        assert!(matches!(Reg::new(32), Err(IsaError::RegisterOutOfRange(32))));
+        assert!(Reg::new(255).is_err());
+    }
+
+    #[test]
+    fn zero_register() {
+        assert!(Reg::R0.is_zero());
+        assert!(!Reg::R1.is_zero());
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for r in Reg::all() {
+            let text = r.to_string();
+            let back: Reg = text.parse().unwrap();
+            assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "r", "r32", "r99", "x5", "r-1", "r05", "r1x"] {
+            assert!(bad.parse::<Reg>().is_err(), "{bad} should not parse");
+        }
+    }
+
+    #[test]
+    fn all_yields_32() {
+        assert_eq!(Reg::all().count(), 32);
+        assert_eq!(Reg::all().next(), Some(Reg::R0));
+        assert_eq!(Reg::all().last(), Some(Reg::R31));
+    }
+
+    #[test]
+    fn conversions() {
+        let r = Reg::try_from(7u8).unwrap();
+        assert_eq!(u8::from(r), 7);
+        assert_eq!(r.index(), 7);
+    }
+}

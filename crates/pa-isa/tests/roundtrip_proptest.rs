@@ -1,0 +1,110 @@
+//! Property test: arbitrary well-formed programs survive a
+//! `Display → parse_program` round trip bit-for-bit.
+
+use pa_isa::parse::parse_program;
+use pa_isa::{
+    BitSense, Cond, Im11, Im14, Im21, Im5, Insn, Op, Program, Reg, ShAmount, ShiftPos,
+};
+use proptest::prelude::*;
+
+fn reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(|n| Reg::new(n).unwrap())
+}
+
+fn cond() -> impl Strategy<Value = Cond> {
+    prop::sample::select(Cond::all().to_vec())
+}
+
+fn shamount() -> impl Strategy<Value = ShAmount> {
+    (1u32..=3).prop_map(|n| ShAmount::new(n).unwrap())
+}
+
+fn shiftpos() -> impl Strategy<Value = ShiftPos> {
+    (0u32..32).prop_map(|n| ShiftPos::new(n).unwrap())
+}
+
+fn im5() -> impl Strategy<Value = Im5> {
+    (Im5::MIN..=Im5::MAX).prop_map(|v| Im5::new(v).unwrap())
+}
+
+fn im11() -> impl Strategy<Value = Im11> {
+    (Im11::MIN..=Im11::MAX).prop_map(|v| Im11::new(v).unwrap())
+}
+
+fn im14() -> impl Strategy<Value = Im14> {
+    (Im14::MIN..=Im14::MAX).prop_map(|v| Im14::new(v).unwrap())
+}
+
+fn im21() -> impl Strategy<Value = Im21> {
+    (0u32..=Im21::MAX).prop_map(|v| Im21::new(v).unwrap())
+}
+
+/// One op with branch targets in `0..=len`.
+fn op(len: usize) -> impl Strategy<Value = Op> {
+    let target = 0..=len;
+    prop_oneof![
+        (reg(), reg(), reg(), any::<bool>())
+            .prop_map(|(a, b, t, trap)| Op::Add { a, b, t, trap }),
+        (reg(), reg(), reg()).prop_map(|(a, b, t)| Op::Addc { a, b, t }),
+        (reg(), reg(), reg(), any::<bool>())
+            .prop_map(|(a, b, t, trap)| Op::Sub { a, b, t, trap }),
+        (reg(), reg(), reg()).prop_map(|(a, b, t)| Op::Subb { a, b, t }),
+        (shamount(), reg(), reg(), reg(), any::<bool>())
+            .prop_map(|(sh, a, b, t, trap)| Op::ShAdd { sh, a, b, t, trap }),
+        (reg(), reg(), reg()).prop_map(|(a, b, t)| Op::Ds { a, b, t }),
+        (reg(), reg(), reg()).prop_map(|(a, b, t)| Op::Or { a, b, t }),
+        (reg(), reg(), reg()).prop_map(|(a, b, t)| Op::And { a, b, t }),
+        (reg(), reg(), reg()).prop_map(|(a, b, t)| Op::Xor { a, b, t }),
+        (reg(), reg(), reg()).prop_map(|(a, b, t)| Op::AndCm { a, b, t }),
+        (cond(), reg(), reg(), reg())
+            .prop_map(|(cond, a, b, t)| Op::Comclr { cond, a, b, t }),
+        (cond(), im11(), reg(), reg())
+            .prop_map(|(cond, i, b, t)| Op::Comiclr { cond, i, b, t }),
+        (im11(), reg(), reg(), any::<bool>())
+            .prop_map(|(i, b, t, trap)| Op::Addi { i, b, t, trap }),
+        (im11(), reg(), reg()).prop_map(|(i, b, t)| Op::Subi { i, b, t }),
+        (reg(), im14(), reg()).prop_map(|(b, d, t)| Op::Ldo { b, d, t }),
+        (im21(), reg()).prop_map(|(i, t)| Op::Ldil { i, t }),
+        (reg(), shiftpos(), reg()).prop_map(|(s, sa, t)| Op::Shl { s, sa, t }),
+        (reg(), shiftpos(), reg()).prop_map(|(s, sa, t)| Op::ShrU { s, sa, t }),
+        (reg(), shiftpos(), reg()).prop_map(|(s, sa, t)| Op::ShrS { s, sa, t }),
+        (reg(), reg(), shiftpos(), reg())
+            .prop_map(|(hi, lo, sa, t)| Op::Shd { hi, lo, sa, t }),
+        (reg(), 0u8..32, reg()).prop_flat_map(|(s, pos, t)| {
+            (1u8..=pos + 1).prop_map(move |len| Op::Extru { s, pos, len, t })
+        }),
+        target.clone().prop_map(|target| Op::B { target }),
+        (cond(), reg(), reg(), target.clone())
+            .prop_map(|(cond, a, b, target)| Op::Comb { cond, a, b, target }),
+        (cond(), im5(), reg(), target.clone())
+            .prop_map(|(cond, i, b, target)| Op::Combi { cond, i, b, target }),
+        (im5(), reg(), cond(), target.clone())
+            .prop_map(|(i, b, cond, target)| Op::Addib { i, b, cond, target }),
+        (reg(), 0u8..32, prop_oneof![Just(BitSense::Set), Just(BitSense::Clear)], target.clone())
+            .prop_map(|(s, bit, sense, target)| Op::Bb { s, bit, sense, target }),
+        (reg(), target).prop_map(|(x, base)| Op::Blr { x, base }),
+        Just(Op::Nop),
+        any::<u16>().prop_map(|code| Op::Break { code }),
+    ]
+}
+
+fn program() -> impl Strategy<Value = Program> {
+    (1usize..40).prop_flat_map(|len| {
+        prop::collection::vec(op(len), len).prop_map(|ops| {
+            Program::new(ops.into_iter().map(Insn::new).collect())
+                .expect("targets within 0..=len are valid")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn arbitrary_programs_round_trip(p in program()) {
+        let text = p.to_string();
+        let back = parse_program(&text)
+            .unwrap_or_else(|e| panic!("parse failed: {e}\n{text}"));
+        prop_assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,1122 @@
+//! The interpreter: instruction semantics, cycle accounting, traps.
+
+use core::fmt;
+
+use pa_isa::{BitSense, Op, Program, Reg};
+
+use crate::overflow::{cheap_circuit_overflow, precise_overflow, OverflowModel};
+use crate::Machine;
+
+/// Execution configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Overflow detector applied to trapping instructions.
+    pub overflow: OverflowModel,
+    /// Cycle budget; execution stops with [`Termination::CycleLimit`] when
+    /// exceeded (a watchdog against mis-built loops).
+    pub max_cycles: u64,
+    /// Collect a per-instruction execution profile (`RunResult::profile`).
+    pub profile: bool,
+    /// Record the executed instruction stream (`RunResult::trace`); entries
+    /// are capped at `max_cycles`, so bound it for long runs.
+    pub trace: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> ExecConfig {
+        ExecConfig {
+            overflow: OverflowModel::default(),
+            max_cycles: 1_000_000,
+            profile: false,
+            trace: false,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// A configuration using the precise full-width overflow detector.
+    #[must_use]
+    pub fn precise() -> ExecConfig {
+        ExecConfig { overflow: OverflowModel::Precise, ..ExecConfig::default() }
+    }
+
+    /// Returns the configuration with profiling enabled.
+    #[must_use]
+    pub fn with_profile(mut self) -> ExecConfig {
+        self.profile = true;
+        self
+    }
+
+    /// Returns the configuration with instruction tracing enabled.
+    #[must_use]
+    pub fn with_trace(mut self) -> ExecConfig {
+        self.trace = true;
+        self
+    }
+}
+
+/// One entry of an execution trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceEntry {
+    /// The instruction index fetched this cycle.
+    pub pc: usize,
+    /// Whether the slot was nullified by a preceding `COMCLR`/`COMICLR`.
+    pub nullified: bool,
+}
+
+/// Renders a trace against its program as an assembler-style listing, one
+/// executed instruction per line (nullified slots are marked).
+///
+/// # Example
+///
+/// ```
+/// use pa_isa::{ProgramBuilder, Reg, Cond};
+/// use pa_sim::{format_trace, run, ExecConfig, Machine};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.comclr(Cond::Eq, Reg::R0, Reg::R0, Reg::R0);
+/// b.ldi(1, Reg::R5);
+/// let p = b.build()?;
+/// let mut m = Machine::new();
+/// let r = run(&p, &mut m, &ExecConfig::default().with_trace());
+/// let text = format_trace(&p, &r.trace);
+/// assert!(text.contains("[nullified]"));
+/// # Ok::<(), pa_isa::IsaError>(())
+/// ```
+#[must_use]
+pub fn format_trace(program: &Program, trace: &[TraceEntry]) -> String {
+    use core::fmt::Write as _;
+    let mut out = String::new();
+    for entry in trace {
+        let insn = program
+            .get(entry.pc)
+            .map(|i| i.to_string())
+            .unwrap_or_else(|| "<out of range>".into());
+        let mark = if entry.nullified { "  [nullified]" } else { "" };
+        let _ = writeln!(out, "{:>5}: {insn}{mark}", entry.pc);
+    }
+    out
+}
+
+/// Why a trap was raised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrapKind {
+    /// Signed overflow in a trapping arithmetic instruction.
+    Overflow,
+    /// An explicit `BREAK` with its diagnostic code.
+    Break(u16),
+}
+
+/// A trap: what happened and where.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Trap {
+    /// Trap cause.
+    pub kind: TrapKind,
+    /// Index of the trapping instruction.
+    pub at: usize,
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            TrapKind::Overflow => write!(f, "overflow trap at instruction {}", self.at),
+            TrapKind::Break(code) => {
+                write!(f, "break trap (code {code}) at instruction {}", self.at)
+            }
+        }
+    }
+}
+
+/// A structural fault — the program computed a control transfer outside
+/// itself (only possible through `BLR`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fault {
+    /// Index of the faulting `BLR`.
+    pub at: usize,
+    /// The computed, out-of-range target.
+    pub target: u64,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "vectored branch at instruction {} computed wild target {}",
+            self.at, self.target
+        )
+    }
+}
+
+/// How a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Termination {
+    /// Control reached the fall-through exit.
+    Completed,
+    /// A trap fired (overflow or `BREAK`).
+    Trapped(Trap),
+    /// The [`ExecConfig::max_cycles`] watchdog fired.
+    CycleLimit,
+    /// A wild vectored branch.
+    Faulted(Fault),
+}
+
+impl Termination {
+    /// Whether the program ran to its fall-through exit.
+    #[must_use]
+    pub fn is_completed(&self) -> bool {
+        matches!(self, Termination::Completed)
+    }
+
+    /// The trap, if execution trapped.
+    #[must_use]
+    pub fn trap(&self) -> Option<Trap> {
+        match self {
+            Termination::Trapped(t) => Some(*t),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Termination {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Termination::Completed => write!(f, "completed"),
+            Termination::Trapped(t) => write!(f, "{t}"),
+            Termination::CycleLimit => write!(f, "cycle limit exceeded"),
+            Termination::Faulted(fault) => write!(f, "{fault}"),
+        }
+    }
+}
+
+/// Statistics from one run.
+///
+/// `cycles` is the paper's unit of account: every fetched slot — including
+/// nullified ones — costs one cycle. `executed` counts instructions whose
+/// effects actually happened (`cycles = executed + nullified`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunResult {
+    /// Total cycles consumed.
+    pub cycles: u64,
+    /// Instructions that executed (not nullified).
+    pub executed: u64,
+    /// Nullified slots.
+    pub nullified: u64,
+    /// Branches that were taken.
+    pub taken_branches: u64,
+    /// How the run ended.
+    pub termination: Termination,
+    /// Per-instruction execution counts (empty unless
+    /// [`ExecConfig::profile`] was set). Nullified slots are not counted.
+    pub profile: Vec<u64>,
+    /// The fetched instruction stream (empty unless [`ExecConfig::trace`]
+    /// was set); render with [`format_trace`].
+    pub trace: Vec<TraceEntry>,
+}
+
+/// Executes `program` on `machine` from instruction 0 until it exits, traps,
+/// faults or exhausts the cycle budget.
+///
+/// # Example
+///
+/// ```
+/// use pa_isa::{ProgramBuilder, Reg};
+/// use pa_sim::{run, ExecConfig, Machine};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.addi(5, Reg::R1, Reg::R2);
+/// let p = b.build()?;
+/// let mut m = Machine::with_regs(&[(Reg::R1, 37)]);
+/// let r = run(&p, &mut m, &ExecConfig::default());
+/// assert_eq!(m.reg(Reg::R2), 42);
+/// assert_eq!(r.cycles, 1);
+/// # Ok::<(), pa_isa::IsaError>(())
+/// ```
+pub fn run(program: &Program, machine: &mut Machine, config: &ExecConfig) -> RunResult {
+    let len = program.len();
+    let mut result = RunResult {
+        cycles: 0,
+        executed: 0,
+        nullified: 0,
+        taken_branches: 0,
+        termination: Termination::Completed,
+        profile: if config.profile { vec![0; len] } else { Vec::new() },
+        trace: Vec::new(),
+    };
+    let mut pc = 0usize;
+    let mut nullify_next = false;
+
+    while pc < len {
+        if result.cycles >= config.max_cycles {
+            result.termination = Termination::CycleLimit;
+            return result;
+        }
+        result.cycles += 1;
+
+        if config.trace {
+            result.trace.push(TraceEntry { pc, nullified: nullify_next });
+        }
+        if nullify_next {
+            nullify_next = false;
+            result.nullified += 1;
+            pc += 1;
+            continue;
+        }
+
+        let insn = program.get(pc).expect("pc < len");
+        result.executed += 1;
+        if config.profile {
+            result.profile[pc] += 1;
+        }
+
+        match step(&insn.op, machine, len, config.overflow) {
+            StepOutcome::Next => pc += 1,
+            StepOutcome::NullifyNext => {
+                nullify_next = true;
+                pc += 1;
+            }
+            StepOutcome::Branch(target) => {
+                result.taken_branches += 1;
+                pc = target;
+            }
+            StepOutcome::Trap(kind) => {
+                result.termination = Termination::Trapped(Trap { kind, at: pc });
+                return result;
+            }
+            StepOutcome::Fault(target) => {
+                result.termination = Termination::Faulted(Fault { at: pc, target });
+                return result;
+            }
+        }
+    }
+    result
+}
+
+/// Convenience wrapper: preload registers, run, and return the machine
+/// together with the statistics.
+///
+/// # Example
+///
+/// ```
+/// use pa_isa::{ProgramBuilder, Reg};
+/// use pa_sim::{run_fn, ExecConfig};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.sh3add(Reg::R26, Reg::R26, Reg::R28); // r28 = 9 * r26
+/// let p = b.build()?;
+/// let (m, stats) = run_fn(&p, &[(Reg::R26, 5)], &ExecConfig::default());
+/// assert_eq!(m.reg(Reg::R28), 45);
+/// assert!(stats.termination.is_completed());
+/// # Ok::<(), pa_isa::IsaError>(())
+/// ```
+pub fn run_fn(
+    program: &Program,
+    inputs: &[(Reg, u32)],
+    config: &ExecConfig,
+) -> (Machine, RunResult) {
+    let mut machine = Machine::with_regs(inputs);
+    let result = run(program, &mut machine, config);
+    (machine, result)
+}
+
+enum StepOutcome {
+    Next,
+    NullifyNext,
+    Branch(usize),
+    Trap(TrapKind),
+    Fault(u64),
+}
+
+/// Adds `x + y + cin` and returns `(sum, carry_out)`.
+fn add_with_carry(x: u32, y: u32, cin: bool) -> (u32, bool) {
+    let wide = u64::from(x) + u64::from(y) + u64::from(cin);
+    (wide as u32, wide >> 32 != 0)
+}
+
+fn step(op: &Op, m: &mut Machine, len: usize, ovf: OverflowModel) -> StepOutcome {
+    use StepOutcome::{Branch, Fault, Next, NullifyNext, Trap};
+
+    let overflows = |a: i32, sh: u32, b: i32| -> bool {
+        match ovf {
+            OverflowModel::Precise => precise_overflow(a, sh, b),
+            OverflowModel::CheapCircuit => cheap_circuit_overflow(a, sh, b),
+        }
+    };
+
+    match *op {
+        Op::Add { a, b, t, trap } => {
+            let (av, bv) = (m.reg(a), m.reg(b));
+            if trap && overflows(av as i32, 0, bv as i32) {
+                return Trap(TrapKind::Overflow);
+            }
+            let (sum, c) = add_with_carry(av, bv, false);
+            m.set_reg(t, sum);
+            m.set_carry(c);
+            Next
+        }
+        Op::Addc { a, b, t } => {
+            let (sum, c) = add_with_carry(m.reg(a), m.reg(b), m.carry());
+            m.set_reg(t, sum);
+            m.set_carry(c);
+            Next
+        }
+        Op::Sub { a, b, t, trap } => {
+            let (av, bv) = (m.reg(a), m.reg(b));
+            if trap {
+                let full = i64::from(av as i32) - i64::from(bv as i32);
+                if i32::try_from(full).is_err() {
+                    return Trap(TrapKind::Overflow);
+                }
+            }
+            let (diff, c) = add_with_carry(av, !bv, true);
+            m.set_reg(t, diff);
+            m.set_carry(c); // carry set ⇔ no borrow (a >= b unsigned)
+            Next
+        }
+        Op::Subb { a, b, t } => {
+            let (diff, c) = add_with_carry(m.reg(a), !m.reg(b), m.carry());
+            m.set_reg(t, diff);
+            m.set_carry(c);
+            Next
+        }
+        Op::ShAdd { sh, a, b, t, trap } => {
+            let (av, bv) = (m.reg(a), m.reg(b));
+            let bits = sh.bits();
+            if trap && overflows(av as i32, bits, bv as i32) {
+                return Trap(TrapKind::Overflow);
+            }
+            let shifted = av.wrapping_shl(bits);
+            let (sum, c) = add_with_carry(shifted, bv, false);
+            m.set_reg(t, sum);
+            m.set_carry(c);
+            Next
+        }
+        Op::Ds { a, b, t } => {
+            // One non-restoring divide step (§4 of the paper): shift the
+            // partial remainder left bringing in the carry (the next dividend
+            // bit, exported by the preceding ADDC), then add or subtract the
+            // divisor according to the V bit. The carry out is the quotient
+            // bit (collected by the next ADDC); its complement is the new V.
+            let shifted = m.reg(a).wrapping_shl(1) | u32::from(m.carry());
+            let bv = m.reg(b);
+            let (res, c) = if m.v_bit() {
+                add_with_carry(shifted, bv, false)
+            } else {
+                add_with_carry(shifted, !bv, true)
+            };
+            m.set_reg(t, res);
+            m.set_carry(c);
+            m.set_v_bit(!c);
+            Next
+        }
+        Op::Or { a, b, t } => {
+            m.set_reg(t, m.reg(a) | m.reg(b));
+            Next
+        }
+        Op::And { a, b, t } => {
+            m.set_reg(t, m.reg(a) & m.reg(b));
+            Next
+        }
+        Op::Xor { a, b, t } => {
+            m.set_reg(t, m.reg(a) ^ m.reg(b));
+            Next
+        }
+        Op::AndCm { a, b, t } => {
+            m.set_reg(t, m.reg(a) & !m.reg(b));
+            Next
+        }
+        Op::Comclr { cond, a, b, t } => {
+            let taken = cond.eval(m.reg_i32(a), m.reg_i32(b));
+            m.set_reg(t, 0);
+            if taken {
+                NullifyNext
+            } else {
+                Next
+            }
+        }
+        Op::Comiclr { cond, i, b, t } => {
+            let taken = cond.eval(i.value(), m.reg_i32(b));
+            m.set_reg(t, 0);
+            if taken {
+                NullifyNext
+            } else {
+                Next
+            }
+        }
+        Op::Addi { i, b, t, trap } => {
+            let (iv, bv) = (i.value(), m.reg(b));
+            if trap && overflows(iv, 0, bv as i32) {
+                return Trap(TrapKind::Overflow);
+            }
+            let (sum, c) = add_with_carry(iv as u32, bv, false);
+            m.set_reg(t, sum);
+            m.set_carry(c);
+            Next
+        }
+        Op::Subi { i, b, t } => {
+            let (diff, c) = add_with_carry(i.value() as u32, !m.reg(b), true);
+            m.set_reg(t, diff);
+            m.set_carry(c);
+            Next
+        }
+        Op::Ldo { b, d, t } => {
+            m.set_reg(t, m.reg(b).wrapping_add(d.value() as u32));
+            Next
+        }
+        Op::Ldil { i, t } => {
+            m.set_reg(t, i.shifted());
+            Next
+        }
+        Op::Shl { s, sa, t } => {
+            m.set_reg(t, m.reg(s).wrapping_shl(sa.bits()));
+            Next
+        }
+        Op::ShrU { s, sa, t } => {
+            m.set_reg(t, m.reg(s) >> sa.bits());
+            Next
+        }
+        Op::ShrS { s, sa, t } => {
+            m.set_reg(t, (m.reg_i32(s) >> sa.bits()) as u32);
+            Next
+        }
+        Op::Shd { hi, lo, sa, t } => {
+            let pair = (u64::from(m.reg(hi)) << 32) | u64::from(m.reg(lo));
+            m.set_reg(t, (pair >> sa.bits()) as u32);
+            Next
+        }
+        Op::Extru { s, pos, len: flen, t } => {
+            let shifted = m.reg(s) >> (31 - u32::from(pos));
+            let value = if flen == 32 {
+                shifted
+            } else {
+                shifted & ((1u32 << flen) - 1)
+            };
+            m.set_reg(t, value);
+            Next
+        }
+        Op::B { target } => Branch(target),
+        Op::Comb { cond, a, b, target } => {
+            if cond.eval(m.reg_i32(a), m.reg_i32(b)) {
+                Branch(target)
+            } else {
+                Next
+            }
+        }
+        Op::Combi { cond, i, b, target } => {
+            if cond.eval(i.value(), m.reg_i32(b)) {
+                Branch(target)
+            } else {
+                Next
+            }
+        }
+        Op::Addib { i, b, cond, target } => {
+            let updated = m.reg(b).wrapping_add(i.value() as u32);
+            m.set_reg(b, updated);
+            if cond.eval(updated as i32, 0) {
+                Branch(target)
+            } else {
+                Next
+            }
+        }
+        Op::Bb { s, bit, sense, target } => {
+            let value = (m.reg(s) >> (31 - u32::from(bit))) & 1;
+            let taken = match sense {
+                BitSense::Set => value == 1,
+                BitSense::Clear => value == 0,
+            };
+            if taken {
+                Branch(target)
+            } else {
+                Next
+            }
+        }
+        Op::Blr { x, base } => {
+            let target = base as u64 + 2 * u64::from(m.reg(x));
+            if target > len as u64 {
+                Fault(target)
+            } else {
+                Branch(target as usize)
+            }
+        }
+        Op::Nop => Next,
+        Op::Break { code } => Trap(TrapKind::Break(code)),
+        _ => unreachable!("pa-sim handles every pa-isa op"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pa_isa::{Cond, ProgramBuilder};
+
+    fn exec(build: impl FnOnce(&mut ProgramBuilder)) -> (Machine, RunResult) {
+        let mut b = ProgramBuilder::new();
+        build(&mut b);
+        let p = b.build().unwrap();
+        let mut m = Machine::new();
+        let r = run(&p, &mut m, &ExecConfig::default());
+        (m, r)
+    }
+
+    #[test]
+    fn add_sets_carry() {
+        let (m, _) = exec(|b| {
+            b.load_const(0xFFFF_FFFF, Reg::R1);
+            b.addi(1, Reg::R1, Reg::R2);
+            b.addc(Reg::R0, Reg::R0, Reg::R3); // capture carry
+        });
+        assert_eq!(m.reg(Reg::R2), 0);
+        assert_eq!(m.reg(Reg::R3), 1);
+    }
+
+    #[test]
+    fn sub_carry_means_no_borrow() {
+        let (m, _) = exec(|b| {
+            b.ldi(5, Reg::R1);
+            b.ldi(3, Reg::R2);
+            b.sub(Reg::R1, Reg::R2, Reg::R3); // 5-3: no borrow, carry=1
+            b.addc(Reg::R0, Reg::R0, Reg::R4);
+            b.sub(Reg::R2, Reg::R1, Reg::R5); // 3-5: borrow, carry=0
+            b.addc(Reg::R0, Reg::R0, Reg::R6);
+        });
+        assert_eq!(m.reg(Reg::R3), 2);
+        assert_eq!(m.reg(Reg::R4), 1);
+        assert_eq!(m.reg(Reg::R5), -2i32 as u32);
+        assert_eq!(m.reg(Reg::R6), 0);
+    }
+
+    #[test]
+    fn subb_chains_borrow() {
+        // 64-bit subtraction (0x1_00000000 - 1) via sub/subb.
+        let (m, _) = exec(|b| {
+            b.ldi(0, Reg::R1); // lo of minuend
+            b.ldi(1, Reg::R2); // hi of minuend
+            b.ldi(1, Reg::R3); // lo of subtrahend
+            b.sub(Reg::R1, Reg::R3, Reg::R4);
+            b.subb(Reg::R2, Reg::R0, Reg::R5);
+        });
+        assert_eq!(m.reg(Reg::R4), 0xFFFF_FFFF);
+        assert_eq!(m.reg(Reg::R5), 0);
+    }
+
+    #[test]
+    fn shadd_factors() {
+        let (m, _) = exec(|b| {
+            b.ldi(10, Reg::R1);
+            b.ldi(3, Reg::R2);
+            b.sh1add(Reg::R1, Reg::R2, Reg::R3);
+            b.sh2add(Reg::R1, Reg::R2, Reg::R4);
+            b.sh3add(Reg::R1, Reg::R2, Reg::R5);
+        });
+        assert_eq!(m.reg(Reg::R3), 23);
+        assert_eq!(m.reg(Reg::R4), 43);
+        assert_eq!(m.reg(Reg::R5), 83);
+    }
+
+    #[test]
+    fn shadd_carry_feeds_pair_arithmetic() {
+        // 3 * 0xC0000000: the pre-shifter drops the bit shifted out of the
+        // low word (SHD recovers it), and the ALU carry of the truncated add
+        // is exactly the carry pair arithmetic needs.
+        let (m, _) = exec(|b| {
+            b.load_const(0xC000_0000, Reg::R1);
+            b.sh1add(Reg::R1, Reg::R1, Reg::R2);
+            b.addc(Reg::R0, Reg::R0, Reg::R3);
+        });
+        assert_eq!(m.reg(Reg::R2), 0x4000_0000); // low word of 0x2_4000_0000
+        assert_eq!(m.reg(Reg::R3), 1, "ALU carry out of truncated add");
+    }
+
+    #[test]
+    fn overflow_traps() {
+        let mut b = ProgramBuilder::new();
+        b.load_const(0x7FFF_FFFF, Reg::R1);
+        b.addio(1, Reg::R1, Reg::R2);
+        let p = b.build().unwrap();
+        let mut m = Machine::new();
+        let r = run(&p, &mut m, &ExecConfig::default());
+        assert_eq!(
+            r.termination.trap().map(|t| t.kind),
+            Some(TrapKind::Overflow)
+        );
+        assert_eq!(m.reg(Reg::R2), 0, "trapping instruction must not write");
+    }
+
+    #[test]
+    fn non_trapping_add_wraps() {
+        let (m, r) = exec(|b| {
+            b.load_const(0x7FFF_FFFF, Reg::R1);
+            b.addi(1, Reg::R1, Reg::R2);
+        });
+        assert!(r.termination.is_completed());
+        assert_eq!(m.reg(Reg::R2), 0x8000_0000);
+    }
+
+    #[test]
+    fn comclr_nullifies_and_costs_a_cycle() {
+        let (m, r) = exec(|b| {
+            b.ldi(1, Reg::R1);
+            b.comclr(Cond::Eq, Reg::R1, Reg::R1, Reg::R0); // true: skip next
+            b.ldi(99, Reg::R2);
+            b.ldi(7, Reg::R3);
+        });
+        assert_eq!(m.reg(Reg::R2), 0, "nullified write must not land");
+        assert_eq!(m.reg(Reg::R3), 7);
+        assert_eq!(r.nullified, 1);
+        assert_eq!(r.cycles, 4); // the nullified slot still costs its cycle
+        assert_eq!(r.executed, 3);
+    }
+
+    #[test]
+    fn comclr_false_does_not_nullify() {
+        let (m, r) = exec(|b| {
+            b.ldi(1, Reg::R1);
+            b.comclr(Cond::Ne, Reg::R1, Reg::R1, Reg::R0);
+            b.ldi(99, Reg::R2);
+        });
+        assert_eq!(m.reg(Reg::R2), 99);
+        assert_eq!(r.nullified, 0);
+    }
+
+    #[test]
+    fn comiclr_immediate_is_left_operand() {
+        let (m, _) = exec(|b| {
+            b.ldi(10, Reg::R1);
+            b.comiclr(Cond::Lt, 5, Reg::R1, Reg::R0); // 5 < 10: nullify
+            b.ldi(99, Reg::R2);
+        });
+        assert_eq!(m.reg(Reg::R2), 0);
+    }
+
+    #[test]
+    fn nullified_branch_does_not_branch() {
+        let mut b = ProgramBuilder::new();
+        let out = b.named_label("out");
+        b.comclr(Cond::Eq, Reg::R0, Reg::R0, Reg::R0);
+        b.b(out); // nullified
+        b.ldi(42, Reg::R1);
+        b.bind(out);
+        let p = b.build().unwrap();
+        let (m, r) = run_fn(&p, &[], &ExecConfig::default());
+        assert_eq!(m.reg(Reg::R1), 42);
+        assert_eq!(r.taken_branches, 0);
+    }
+
+    #[test]
+    fn shifts() {
+        let (m, _) = exec(|b| {
+            b.load_const(0x8000_0010, Reg::R1);
+            b.shl(Reg::R1, 4, Reg::R2);
+            b.shr(Reg::R1, 4, Reg::R3);
+            b.sar(Reg::R1, 4, Reg::R4);
+        });
+        assert_eq!(m.reg(Reg::R2), 0x0000_0100);
+        assert_eq!(m.reg(Reg::R3), 0x0800_0001);
+        assert_eq!(m.reg(Reg::R4), 0xF800_0001);
+    }
+
+    #[test]
+    fn shd_extracts_from_pair() {
+        let (m, _) = exec(|b| {
+            b.load_const(0x1234_5678, Reg::R1); // hi
+            b.load_const(0x9ABC_DEF0, Reg::R2); // lo
+            b.shd(Reg::R1, Reg::R2, 16, Reg::R3);
+            b.shd(Reg::R1, Reg::R2, 0, Reg::R4);
+        });
+        assert_eq!(m.reg(Reg::R3), 0x5678_9ABC);
+        assert_eq!(m.reg(Reg::R4), 0x9ABC_DEF0);
+    }
+
+    #[test]
+    fn extru_fields() {
+        let (m, _) = exec(|b| {
+            b.load_const(0xABCD_1234, Reg::R1);
+            b.extru(Reg::R1, 31, 4, Reg::R2); // low nibble
+            b.extru(Reg::R1, 15, 8, Reg::R3); // rightmost bit = PA bit 15 (LSB bit 16)
+            b.extru(Reg::R1, 31, 32, Reg::R4); // whole word
+        });
+        assert_eq!(m.reg(Reg::R2), 0x4);
+        assert_eq!(m.reg(Reg::R3), 0xCD);
+        assert_eq!(m.reg(Reg::R4), 0xABCD_1234);
+    }
+
+    #[test]
+    fn branches_and_loops() {
+        // Sum 1..=5 with an ADDIB counted loop.
+        let mut b = ProgramBuilder::new();
+        b.ldi(5, Reg::R1);
+        b.ldi(0, Reg::R2);
+        let top = b.here("top");
+        b.add(Reg::R1, Reg::R2, Reg::R2);
+        b.addib(-1, Reg::R1, Cond::Ne, top);
+        let p = b.build().unwrap();
+        let (m, r) = run_fn(&p, &[], &ExecConfig::default());
+        assert_eq!(m.reg(Reg::R2), 15);
+        assert_eq!(r.taken_branches, 4);
+        assert_eq!(r.cycles, 2 + 2 * 5);
+    }
+
+    #[test]
+    fn bb_tests_bits_msb_numbering() {
+        let mut b = ProgramBuilder::new();
+        let hit = b.named_label("hit");
+        b.ldi(1, Reg::R1);
+        b.bb_lsb(Reg::R1, BitSense::Set, hit);
+        b.ldi(99, Reg::R2);
+        b.bind(hit);
+        b.ldi(7, Reg::R3);
+        let p = b.build().unwrap();
+        let (m, _) = run_fn(&p, &[], &ExecConfig::default());
+        assert_eq!(m.reg(Reg::R2), 0);
+        assert_eq!(m.reg(Reg::R3), 7);
+    }
+
+    #[test]
+    fn blr_dispatches_two_instruction_entries() {
+        // Table of two 2-instruction entries; select entry 1.
+        let mut b = ProgramBuilder::new();
+        let table = b.named_label("table");
+        let out = b.named_label("out");
+        b.ldi(1, Reg::R1);
+        b.blr(Reg::R1, table);
+        b.bind(table);
+        b.ldi(100, Reg::R2); // entry 0
+        b.b(out);
+        b.ldi(200, Reg::R2); // entry 1
+        b.b(out);
+        b.bind(out);
+        let p = b.build().unwrap();
+        let (m, r) = run_fn(&p, &[], &ExecConfig::default());
+        assert_eq!(m.reg(Reg::R2), 200);
+        assert!(r.termination.is_completed());
+    }
+
+    #[test]
+    fn blr_wild_target_faults() {
+        let mut b = ProgramBuilder::new();
+        let table = b.named_label("table");
+        b.ldi(500, Reg::R1);
+        b.blr(Reg::R1, table);
+        b.bind(table);
+        b.nop();
+        let p = b.build().unwrap();
+        let (_, r) = run_fn(&p, &[], &ExecConfig::default());
+        assert!(matches!(r.termination, Termination::Faulted(_)));
+    }
+
+    #[test]
+    fn break_traps_with_code() {
+        let (_, r) = exec(|b| {
+            b.brk(42);
+        });
+        assert_eq!(
+            r.termination.trap().map(|t| t.kind),
+            Some(TrapKind::Break(42))
+        );
+    }
+
+    #[test]
+    fn cycle_limit_watchdog() {
+        let mut b = ProgramBuilder::new();
+        let top = b.here("spin");
+        b.b(top);
+        let p = b.build().unwrap();
+        let mut m = Machine::new();
+        let cfg = ExecConfig { max_cycles: 100, ..ExecConfig::default() };
+        let r = run(&p, &mut m, &cfg);
+        assert_eq!(r.termination, Termination::CycleLimit);
+        assert_eq!(r.cycles, 100);
+    }
+
+    #[test]
+    fn profile_counts_executions() {
+        let mut b = ProgramBuilder::new();
+        b.ldi(3, Reg::R1);
+        let top = b.here("top");
+        b.addib(-1, Reg::R1, Cond::Ne, top);
+        let p = b.build().unwrap();
+        let mut m = Machine::new();
+        let r = run(&p, &mut m, &ExecConfig::default().with_profile());
+        assert_eq!(r.profile, vec![1, 3]);
+    }
+
+    #[test]
+    fn ds_single_step_subtracts_when_v_clear() {
+        // carry=0, v=0: t = (a<<1) - b.
+        let mut b = ProgramBuilder::new();
+        b.ds(Reg::R1, Reg::R2, Reg::R3);
+        let p = b.build().unwrap();
+        let (m, _) = run_fn(&p, &[(Reg::R1, 10), (Reg::R2, 3)], &ExecConfig::default());
+        assert_eq!(m.reg(Reg::R3), 17);
+        assert!(m.carry(), "20-3 does not borrow");
+        assert!(!m.v_bit());
+    }
+
+    #[test]
+    fn ds_adds_after_negative_partial_remainder() {
+        // First step: (0<<1) - 3 borrows → V set. Second step adds.
+        let mut b = ProgramBuilder::new();
+        b.ds(Reg::R1, Reg::R2, Reg::R3);
+        b.ds(Reg::R3, Reg::R2, Reg::R4);
+        let p = b.build().unwrap();
+        let (m, _) = run_fn(&p, &[(Reg::R1, 0), (Reg::R2, 3)], &ExecConfig::default());
+        assert_eq!(m.reg(Reg::R3), -3i32 as u32);
+        // second step: ((-3)<<1 | 0) + 3 = -3
+        assert_eq!(m.reg(Reg::R4), -3i32 as u32);
+        assert!(m.v_bit());
+    }
+
+    #[test]
+    fn ds_addc_pair_divides_16_by_3() {
+        // The paper's §4 pairing, unrolled 32 times: 16 / 3 = 5 rem 1.
+        let mut b = ProgramBuilder::new();
+        let dividend = Reg::R26;
+        let divisor = Reg::R25;
+        let rem = Reg::R1;
+        b.ldi(0, rem);
+        b.add(dividend, dividend, dividend); // carry = msb, dividend <<= 1
+        for _ in 0..32 {
+            b.ds(rem, divisor, rem);
+            b.addc(dividend, dividend, dividend);
+        }
+        // Non-restoring correction: if V set the remainder is off by +divisor.
+        let done = b.named_label("done");
+        b.comclr(Cond::Eq, Reg::R0, Reg::R0, Reg::R0); // placeholder: always skip
+        b.bind(done);
+        let p = b.build().unwrap();
+        let (m, _) = run_fn(
+            &p,
+            &[(dividend, 16), (divisor, 3)],
+            &ExecConfig::default(),
+        );
+        assert_eq!(m.reg(dividend), 5, "quotient");
+        // remainder may need correction; if V set, rem + divisor is the true one
+        let rem_v = m.reg(rem);
+        let fixed = if m.v_bit() { rem_v.wrapping_add(3) } else { rem_v };
+        assert_eq!(fixed, 1, "remainder");
+    }
+}
+
+/// What one [`Stepper::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepStatus {
+    /// The instruction at `pc` executed; control moved to `next_pc`.
+    Executed {
+        /// The instruction that ran.
+        pc: usize,
+        /// Where control went.
+        next_pc: usize,
+    },
+    /// The slot at `pc` was nullified by the preceding compare-and-clear.
+    Nullified {
+        /// The skipped slot.
+        pc: usize,
+    },
+    /// Execution has ended (fall-through exit, trap or fault).
+    Done(Termination),
+}
+
+/// A resumable, instruction-at-a-time executor — the debugger-style
+/// counterpart of [`run`], with identical semantics and cycle accounting.
+///
+/// # Example
+///
+/// ```
+/// use pa_isa::{ProgramBuilder, Reg};
+/// use pa_sim::{Machine, OverflowModel, StepStatus, Stepper};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.sh2add(Reg::R26, Reg::R26, Reg::R28);
+/// b.add(Reg::R28, Reg::R28, Reg::R28);
+/// let p = b.build()?;
+///
+/// let mut s = Stepper::new(&p, Machine::with_regs(&[(Reg::R26, 7)]));
+/// assert!(matches!(s.step(), StepStatus::Executed { pc: 0, next_pc: 1 }));
+/// assert_eq!(s.machine().reg(Reg::R28), 35); // after the first instruction
+/// s.step();
+/// assert!(matches!(s.step(), StepStatus::Done(_)));
+/// assert_eq!(s.machine().reg(Reg::R28), 70);
+/// assert_eq!(s.cycles(), 2);
+/// # Ok::<(), pa_isa::IsaError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Stepper<'p> {
+    program: &'p Program,
+    machine: Machine,
+    overflow: OverflowModel,
+    pc: usize,
+    nullify_next: bool,
+    cycles: u64,
+    finished: Option<Termination>,
+}
+
+impl<'p> Stepper<'p> {
+    /// Starts at instruction 0 with the given machine state and the default
+    /// (cheap-circuit) overflow model.
+    #[must_use]
+    pub fn new(program: &'p Program, machine: Machine) -> Stepper<'p> {
+        Stepper::with_overflow(program, machine, OverflowModel::default())
+    }
+
+    /// Starts with an explicit overflow model.
+    #[must_use]
+    pub fn with_overflow(
+        program: &'p Program,
+        machine: Machine,
+        overflow: OverflowModel,
+    ) -> Stepper<'p> {
+        Stepper {
+            program,
+            machine,
+            overflow,
+            pc: 0,
+            nullify_next: false,
+            cycles: 0,
+            finished: None,
+        }
+    }
+
+    /// The next instruction index to execute.
+    #[must_use]
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Cycles consumed so far.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// The machine state.
+    #[must_use]
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable machine state (poke registers mid-run, debugger style).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// How execution ended, once it has.
+    #[must_use]
+    pub fn termination(&self) -> Option<Termination> {
+        self.finished
+    }
+
+    /// Executes one slot.
+    pub fn step(&mut self) -> StepStatus {
+        if let Some(t) = self.finished {
+            return StepStatus::Done(t);
+        }
+        if self.pc >= self.program.len() {
+            self.finished = Some(Termination::Completed);
+            return StepStatus::Done(Termination::Completed);
+        }
+        self.cycles += 1;
+        let pc = self.pc;
+        if self.nullify_next {
+            self.nullify_next = false;
+            self.pc += 1;
+            return StepStatus::Nullified { pc };
+        }
+        let insn = self.program.get(pc).expect("pc < len");
+        match step(&insn.op, &mut self.machine, self.program.len(), self.overflow) {
+            StepOutcome::Next => self.pc += 1,
+            StepOutcome::NullifyNext => {
+                self.nullify_next = true;
+                self.pc += 1;
+            }
+            StepOutcome::Branch(target) => self.pc = target,
+            StepOutcome::Trap(kind) => {
+                let t = Termination::Trapped(Trap { kind, at: pc });
+                self.finished = Some(t);
+                return StepStatus::Done(t);
+            }
+            StepOutcome::Fault(target) => {
+                let t = Termination::Faulted(Fault { at: pc, target });
+                self.finished = Some(t);
+                return StepStatus::Done(t);
+            }
+        }
+        StepStatus::Executed { pc, next_pc: self.pc }
+    }
+
+    /// Runs until completion (or `max_cycles`), returning the termination.
+    pub fn run_to_end(&mut self, max_cycles: u64) -> Termination {
+        while self.finished.is_none() && self.cycles < max_cycles {
+            self.step();
+        }
+        self.finished.unwrap_or(Termination::CycleLimit)
+    }
+}
+
+#[cfg(test)]
+mod stepper_tests {
+    use super::*;
+    use pa_isa::{Cond, ProgramBuilder};
+
+    #[test]
+    fn stepper_matches_run() {
+        // A branchy program: both executors must agree on state and cycles.
+        let mut b = ProgramBuilder::new();
+        b.ldi(5, Reg::R1);
+        b.copy(Reg::R0, Reg::R2);
+        let top = b.here("top");
+        b.add(Reg::R1, Reg::R2, Reg::R2);
+        b.comclr(Cond::Odd, Reg::R1, Reg::R0, Reg::R0);
+        b.addi(10, Reg::R2, Reg::R2);
+        b.addib(-1, Reg::R1, Cond::Ne, top);
+        let p = b.build().unwrap();
+
+        let mut m1 = Machine::new();
+        let batch = run(&p, &mut m1, &ExecConfig::default());
+
+        let mut s = Stepper::new(&p, Machine::new());
+        let t = s.run_to_end(1_000_000);
+        assert_eq!(t, batch.termination);
+        assert_eq!(s.cycles(), batch.cycles);
+        assert_eq!(s.machine(), &m1);
+    }
+
+    #[test]
+    fn stepper_reports_nullification() {
+        let mut b = ProgramBuilder::new();
+        b.comclr(Cond::Eq, Reg::R0, Reg::R0, Reg::R0);
+        b.ldi(9, Reg::R1);
+        let p = b.build().unwrap();
+        let mut s = Stepper::new(&p, Machine::new());
+        assert!(matches!(s.step(), StepStatus::Executed { pc: 0, .. }));
+        assert!(matches!(s.step(), StepStatus::Nullified { pc: 1 }));
+        assert!(matches!(s.step(), StepStatus::Done(Termination::Completed)));
+        assert_eq!(s.machine().reg(Reg::R1), 0);
+    }
+
+    #[test]
+    fn stepper_surfaces_traps_and_stays_done() {
+        let mut b = ProgramBuilder::new();
+        b.brk(3);
+        let p = b.build().unwrap();
+        let mut s = Stepper::new(&p, Machine::new());
+        let first = s.step();
+        assert!(matches!(
+            first,
+            StepStatus::Done(Termination::Trapped(Trap { kind: TrapKind::Break(3), at: 0 }))
+        ));
+        // Idempotent after completion.
+        assert_eq!(s.step(), first);
+        assert_eq!(s.cycles(), 1);
+    }
+
+    #[test]
+    fn stepper_allows_poking_registers() {
+        let mut b = ProgramBuilder::new();
+        b.add(Reg::R1, Reg::R2, Reg::R3);
+        let p = b.build().unwrap();
+        let mut s = Stepper::new(&p, Machine::new());
+        s.machine_mut().set_reg(Reg::R1, 40);
+        s.machine_mut().set_reg(Reg::R2, 2);
+        s.step();
+        assert_eq!(s.machine().reg(Reg::R3), 42);
+    }
+}

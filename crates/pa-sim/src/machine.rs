@@ -1,0 +1,182 @@
+//! Architectural state: general registers and the PSW bits.
+
+use core::fmt;
+
+use pa_isa::Reg;
+
+/// The architectural state visible to programs: 32 general registers and the
+/// two PSW bits the multiply/divide millicode relies on.
+///
+/// `r0` is hardwired to zero — [`Machine::set_reg`] discards writes to it.
+///
+/// # Example
+///
+/// ```
+/// use pa_isa::Reg;
+/// use pa_sim::Machine;
+///
+/// let mut m = Machine::new();
+/// m.set_reg(Reg::R5, 0xFFFF_FFFF);
+/// assert_eq!(m.reg(Reg::R5), 0xFFFF_FFFF);
+/// assert_eq!(m.reg_i32(Reg::R5), -1);
+/// m.set_reg(Reg::R0, 99);
+/// assert_eq!(m.reg(Reg::R0), 0); // hardwired zero
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Machine {
+    regs: [u32; pa_isa::NUM_REGS],
+    carry: bool,
+    v: bool,
+}
+
+impl Machine {
+    /// A machine with all registers and PSW bits zeroed.
+    #[must_use]
+    pub fn new() -> Machine {
+        Machine { regs: [0; pa_isa::NUM_REGS], carry: false, v: false }
+    }
+
+    /// A machine with the given `(register, value)` pairs preloaded.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pa_isa::Reg;
+    /// use pa_sim::Machine;
+    ///
+    /// let m = Machine::with_regs(&[(Reg::R26, 7), (Reg::R25, 9)]);
+    /// assert_eq!(m.reg(Reg::R25), 9);
+    /// ```
+    #[must_use]
+    pub fn with_regs(values: &[(Reg, u32)]) -> Machine {
+        let mut m = Machine::new();
+        for &(r, v) in values {
+            m.set_reg(r, v);
+        }
+        m
+    }
+
+    /// Reads a register (always 0 for `r0`).
+    #[must_use]
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    /// Reads a register as a signed value.
+    #[must_use]
+    pub fn reg_i32(&self, r: Reg) -> i32 {
+        self.regs[r.index()] as i32
+    }
+
+    /// Writes a register; writes to `r0` are discarded.
+    pub fn set_reg(&mut self, r: Reg, value: u32) {
+        if !r.is_zero() {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    /// Writes a register with a signed value.
+    pub fn set_reg_i32(&mut self, r: Reg, value: i32) {
+        self.set_reg(r, value as u32);
+    }
+
+    /// The PSW carry/borrow bit.
+    #[must_use]
+    pub fn carry(&self) -> bool {
+        self.carry
+    }
+
+    /// Sets the PSW carry/borrow bit.
+    pub fn set_carry(&mut self, carry: bool) {
+        self.carry = carry;
+    }
+
+    /// The PSW V bit (divide-step state).
+    #[must_use]
+    pub fn v_bit(&self) -> bool {
+        self.v
+    }
+
+    /// Sets the PSW V bit.
+    pub fn set_v_bit(&mut self, v: bool) {
+        self.v = v;
+    }
+
+    /// A snapshot of all 32 registers, indexable by register number.
+    #[must_use]
+    pub fn regs(&self) -> [u32; pa_isa::NUM_REGS] {
+        self.regs
+    }
+}
+
+impl Default for Machine {
+    fn default() -> Machine {
+        Machine::new()
+    }
+}
+
+impl fmt::Display for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "psw: c={} v={}",
+            u8::from(self.carry),
+            u8::from(self.v)
+        )?;
+        for (i, chunk) in self.regs.chunks(4).enumerate() {
+            let base = i * 4;
+            for (j, v) in chunk.iter().enumerate() {
+                write!(f, "r{:<2} {v:08x}  ", base + j)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r0_is_hardwired() {
+        let mut m = Machine::new();
+        m.set_reg(Reg::R0, 1234);
+        assert_eq!(m.reg(Reg::R0), 0);
+        m.set_reg_i32(Reg::R0, -5);
+        assert_eq!(m.reg_i32(Reg::R0), 0);
+    }
+
+    #[test]
+    fn signed_views() {
+        let mut m = Machine::new();
+        m.set_reg_i32(Reg::R3, i32::MIN);
+        assert_eq!(m.reg(Reg::R3), 0x8000_0000);
+        assert_eq!(m.reg_i32(Reg::R3), i32::MIN);
+    }
+
+    #[test]
+    fn psw_bits() {
+        let mut m = Machine::new();
+        assert!(!m.carry() && !m.v_bit());
+        m.set_carry(true);
+        m.set_v_bit(true);
+        assert!(m.carry() && m.v_bit());
+    }
+
+    #[test]
+    fn with_regs_preloads() {
+        let m = Machine::with_regs(&[(Reg::R1, 10), (Reg::R2, 20), (Reg::R0, 30)]);
+        assert_eq!(m.reg(Reg::R1), 10);
+        assert_eq!(m.reg(Reg::R2), 20);
+        assert_eq!(m.reg(Reg::R0), 0);
+    }
+
+    #[test]
+    fn display_mentions_psw_and_regs() {
+        let m = Machine::new();
+        let text = m.to_string();
+        assert!(text.contains("psw:"));
+        assert!(text.contains("r31"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Overflow detection models for the trapping arithmetic instructions.
+//!
+//! The paper (§4, *Shift and Add Instructions*) explains the hardware
+//! trade-off this module reproduces:
+//!
+//! > One might suspect that proper overflow detection requires a full 35-bit
+//! > addition to be performed — an expensive proposition especially in a
+//! > discrete implementation. Instead, a normal 32-bit addition is performed
+//! > and overflow is detected by a circuit that compares the sign bits of the
+//! > operands with the shifted out sign bits and the sign bit of the result.
+//! > Although this does not allow for proper overflow detection if the
+//! > operands are of different signs, this case hardly ever arises and, in
+//! > practice, can easily be avoided.
+//!
+//! [`precise_overflow`] is the full-width reference; [`cheap_circuit_overflow`]
+//! is the sign-comparison circuit. The circuit is **conservative**: it never
+//! misses a true overflow, but may report a spurious one when the pre-shift
+//! overflows and an opposite-signed addend brings the sum back into range
+//! (ablation A1 measures how often).
+
+use core::fmt;
+
+/// Which overflow detector the simulator applies to `ADDO`, `SUBO`,
+/// `ADDIO` and the `SHxADDO` family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OverflowModel {
+    /// The paper's cheap sign-comparison circuit (the architecture's actual
+    /// behaviour) — conservative for mixed-sign shift-and-add operands.
+    #[default]
+    CheapCircuit,
+    /// A full-width (35-bit) reference adder: traps iff the mathematical
+    /// result does not fit in 32 signed bits.
+    Precise,
+}
+
+impl fmt::Display for OverflowModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OverflowModel::CheapCircuit => "cheap-circuit",
+            OverflowModel::Precise => "precise",
+        })
+    }
+}
+
+/// Precise signed-overflow test for `(a << sh) + b` (use `sh = 0` for plain
+/// addition). Subtraction is tested as `a + (-b)` at full width, so
+/// `a - i32::MIN` overflows for non-negative `a`, as on real hardware.
+#[must_use]
+pub fn precise_overflow(a: i32, sh: u32, b: i32) -> bool {
+    debug_assert!(sh <= 3);
+    let full = (i64::from(a) << sh) + i64::from(b);
+    i32::try_from(full).is_err()
+}
+
+/// The paper's cheap sign-comparison circuit for `(a << sh) + b`.
+///
+/// The circuit looks at the sign bit of `a`, the `sh` bits shifted out, the
+/// sign of the shifted value and a conventional add-overflow check on the
+/// 32-bit sum:
+///
+/// * the pre-shift is flagged when the shifted-out bits and the resulting
+///   sign are not all copies of `a`'s sign;
+/// * the addition is flagged by the usual same-sign/different-result rule.
+///
+/// For `sh = 0` this degenerates to exact add-overflow detection.
+#[must_use]
+pub fn cheap_circuit_overflow(a: i32, sh: u32, b: i32) -> bool {
+    debug_assert!(sh <= 3);
+    let shifted = a.wrapping_shl(sh);
+    // Bits of `a` at positions 31, 30, …, 31-sh must all match: they are the
+    // sign, the shifted-out bits and the post-shift sign bit.
+    let top = (a >> (31 - sh)) as i64; // arithmetic: sign-extends bit 31
+    let shift_ovf = top != 0 && top != -1;
+    let sum = shifted.wrapping_add(b);
+    let add_ovf = (shifted >= 0) == (b >= 0) && (sum >= 0) != (shifted >= 0);
+    shift_ovf || add_ovf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precise_matches_checked_ops() {
+        let samples = [0, 1, -1, 2, 100, -100, i32::MAX, i32::MIN, 0x3FFF_FFFF, -0x4000_0000];
+        for &a in &samples {
+            for &b in &samples {
+                assert_eq!(
+                    precise_overflow(a, 0, b),
+                    a.checked_add(b).is_none(),
+                    "add {a} {b}"
+                );
+                for sh in 1..=3u32 {
+                    let expected = (i64::from(a) << sh) + i64::from(b);
+                    assert_eq!(
+                        precise_overflow(a, sh, b),
+                        i32::try_from(expected).is_err(),
+                        "shadd {a} << {sh} + {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cheap_equals_precise_for_plain_add() {
+        let samples = [0, 1, -1, i32::MAX, i32::MIN, 12345, -98765, i32::MAX / 2 + 1];
+        for &a in &samples {
+            for &b in &samples {
+                assert_eq!(
+                    cheap_circuit_overflow(a, 0, b),
+                    precise_overflow(a, 0, b),
+                    "{a} + {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cheap_is_exact_for_same_sign_operands() {
+        // The paper's claim: with same-sign operands the circuit is correct.
+        let mut rng: u64 = 0x1234_5678_9abc_def0;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng as u32
+        };
+        for _ in 0..20_000 {
+            let a = (next() & 0x7FFF_FFFF) as i32;
+            let b = (next() & 0x7FFF_FFFF) as i32;
+            for sh in 0..=3u32 {
+                // both non-negative
+                assert_eq!(
+                    cheap_circuit_overflow(a, sh, b),
+                    precise_overflow(a, sh, b),
+                    "pos {a} << {sh} + {b}"
+                );
+                // both negative
+                let (na, nb) = (-1 - a, -1 - b);
+                assert_eq!(
+                    cheap_circuit_overflow(na, sh, nb),
+                    precise_overflow(na, sh, nb),
+                    "neg {na} << {sh} + {nb}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cheap_never_misses_a_true_overflow() {
+        let mut rng: u64 = 0xdead_beef_cafe_f00d;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng as u32
+        };
+        for _ in 0..50_000 {
+            let a = next() as i32;
+            let b = next() as i32;
+            for sh in 0..=3u32 {
+                if precise_overflow(a, sh, b) {
+                    assert!(
+                        cheap_circuit_overflow(a, sh, b),
+                        "missed overflow: {a} << {sh} + {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cheap_false_positive_example() {
+        // 2 * 2^30 overflows the pre-shift, but adding -2^30 lands back in
+        // range; the circuit still traps — the mixed-sign case the paper
+        // tells compilers to avoid.
+        let a = 1 << 30;
+        let b = -(1 << 30);
+        assert!(!precise_overflow(a, 1, b));
+        assert!(cheap_circuit_overflow(a, 1, b));
+    }
+}

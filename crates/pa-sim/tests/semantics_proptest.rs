@@ -1,0 +1,123 @@
+//! Property tests for the machine semantics: carry/borrow chains against
+//! 64-bit reference arithmetic, the `DS`/`ADDC` pairing against hardware
+//! division, and the `SHD` pair shifts.
+
+use pa_isa::{ProgramBuilder, Reg};
+use pa_sim::{run_fn, ExecConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(500))]
+
+    /// 64-bit addition through ADD/ADDC equals native u64 addition.
+    #[test]
+    fn add_addc_is_u64_addition(a in any::<u64>(), b in any::<u64>()) {
+        let mut builder = ProgramBuilder::new();
+        builder.add(Reg::R4, Reg::R6, Reg::R8);  // low words
+        builder.addc(Reg::R5, Reg::R7, Reg::R9); // high words + carry
+        let p = builder.build().unwrap();
+        let (m, _) = run_fn(
+            &p,
+            &[
+                (Reg::R4, a as u32),
+                (Reg::R5, (a >> 32) as u32),
+                (Reg::R6, b as u32),
+                (Reg::R7, (b >> 32) as u32),
+            ],
+            &ExecConfig::default(),
+        );
+        let got = (u64::from(m.reg(Reg::R9)) << 32) | u64::from(m.reg(Reg::R8));
+        prop_assert_eq!(got, a.wrapping_add(b));
+    }
+
+    /// 64-bit subtraction through SUB/SUBB equals native u64 subtraction.
+    #[test]
+    fn sub_subb_is_u64_subtraction(a in any::<u64>(), b in any::<u64>()) {
+        let mut builder = ProgramBuilder::new();
+        builder.sub(Reg::R4, Reg::R6, Reg::R8);
+        builder.subb(Reg::R5, Reg::R7, Reg::R9);
+        let p = builder.build().unwrap();
+        let (m, _) = run_fn(
+            &p,
+            &[
+                (Reg::R4, a as u32),
+                (Reg::R5, (a >> 32) as u32),
+                (Reg::R6, b as u32),
+                (Reg::R7, (b >> 32) as u32),
+            ],
+            &ExecConfig::default(),
+        );
+        let got = (u64::from(m.reg(Reg::R9)) << 32) | u64::from(m.reg(Reg::R8));
+        prop_assert_eq!(got, a.wrapping_sub(b));
+    }
+
+    /// The paper's §4 DS/ADDC pairing divides correctly for any divisor
+    /// below 2^31 (the millicode's precondition).
+    #[test]
+    fn ds_addc_divides(x in any::<u32>(), y in 1u32..0x8000_0000) {
+        let mut b = ProgramBuilder::new();
+        let dividend = Reg::R26;
+        let divisor = Reg::R25;
+        let rem = Reg::R1;
+        b.copy(Reg::R0, rem);
+        b.add(dividend, dividend, dividend);
+        for _ in 0..32 {
+            b.ds(rem, divisor, rem);
+            b.addc(dividend, dividend, dividend);
+        }
+        let p = b.build().unwrap();
+        let (m, _) = run_fn(&p, &[(dividend, x), (divisor, y)], &ExecConfig::default());
+        prop_assert_eq!(m.reg(dividend), x / y, "quotient of {} / {}", x, y);
+        // Remainder needs the non-restoring correction when negative.
+        let raw = m.reg(rem);
+        let fixed = if (raw as i32) < 0 { raw.wrapping_add(y) } else { raw };
+        prop_assert_eq!(fixed, x % y, "remainder of {} / {}", x, y);
+    }
+
+    /// SHD extracts any 32-bit window of a 64-bit pair.
+    #[test]
+    fn shd_is_pair_shift(hi in any::<u32>(), lo in any::<u32>(), sa in 0u32..32) {
+        let mut b = ProgramBuilder::new();
+        b.shd(Reg::R4, Reg::R5, sa, Reg::R6);
+        let p = b.build().unwrap();
+        let (m, _) = run_fn(&p, &[(Reg::R4, hi), (Reg::R5, lo)], &ExecConfig::default());
+        let pair = (u64::from(hi) << 32) | u64::from(lo);
+        prop_assert_eq!(m.reg(Reg::R6), (pair >> sa) as u32);
+    }
+
+    /// SHxADD equals the arithmetic it claims, wrapping.
+    #[test]
+    fn shadd_semantics(a in any::<u32>(), b2 in any::<u32>(), sh in 1u32..=3) {
+        let mut builder = ProgramBuilder::new();
+        builder.shadd(
+            pa_isa::ShAmount::new(sh).unwrap(),
+            Reg::R4,
+            Reg::R5,
+            Reg::R6,
+        );
+        let p = builder.build().unwrap();
+        let (m, _) = run_fn(&p, &[(Reg::R4, a), (Reg::R5, b2)], &ExecConfig::default());
+        prop_assert_eq!(m.reg(Reg::R6), a.wrapping_shl(sh).wrapping_add(b2));
+    }
+
+    /// Trapping adds trap exactly when i32 addition overflows (sh = 0 makes
+    /// the cheap circuit and the precise detector coincide).
+    #[test]
+    fn addo_traps_iff_checked_add_fails(a in any::<i32>(), b2 in any::<i32>()) {
+        let mut builder = ProgramBuilder::new();
+        builder.addo(Reg::R4, Reg::R5, Reg::R6);
+        let p = builder.build().unwrap();
+        let (m, r) = run_fn(
+            &p,
+            &[(Reg::R4, a as u32), (Reg::R5, b2 as u32)],
+            &ExecConfig::default(),
+        );
+        match a.checked_add(b2) {
+            Some(sum) => {
+                prop_assert!(r.termination.is_completed());
+                prop_assert_eq!(m.reg_i32(Reg::R6), sum);
+            }
+            None => prop_assert!(r.termination.trap().is_some()),
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! `hppa-codegen` — emit the Precision code sequences for a constant
+//! multiply or divide, as a compiler back end would.
+//!
+//! ```text
+//! hppa-codegen mul <N>            multiply by N (wrapping)
+//! hppa-codegen mul-checked <N>    multiply by N with overflow traps
+//! hppa-codegen udiv <Y>           unsigned divide by Y
+//! hppa-codegen sdiv <Y>           signed divide by Y (Y may be negative)
+//! hppa-codegen urem <Y>           unsigned remainder by Y
+//! hppa-codegen chain <N>          just the shift-add chain, paper notation
+//! hppa-codegen magic <Y>          the derived-method parameters for odd Y
+//! ```
+//!
+//! Example:
+//!
+//! ```sh
+//! cargo run -p tools --bin hppa-codegen -- udiv 3
+//! ```
+
+use std::process::ExitCode;
+
+use hppa_muldiv::chains;
+use hppa_muldiv::divconst::Magic;
+use hppa_muldiv::Compiler;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: hppa-codegen <mul|mul-checked|udiv|sdiv|urem|chain|magic> <constant>"
+    );
+    ExitCode::from(1)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [mode, value] = args.as_slice() else {
+        return usage();
+    };
+    let Ok(n) = value.parse::<i64>() else {
+        eprintln!("hppa-codegen: `{value}` is not an integer");
+        return ExitCode::from(1);
+    };
+    let compiler = Compiler::new();
+    let compiled = match mode.as_str() {
+        "mul" => compiler.mul_const(n),
+        "mul-checked" => compiler.mul_const_checked(n),
+        "udiv" => match u32::try_from(n) {
+            Ok(y) => compiler.udiv_const(y),
+            Err(_) => {
+                eprintln!("hppa-codegen: unsigned divisor out of range");
+                return ExitCode::from(1);
+            }
+        },
+        "sdiv" => match i32::try_from(n) {
+            Ok(y) => compiler.sdiv_const(y),
+            Err(_) => {
+                eprintln!("hppa-codegen: signed divisor out of range");
+                return ExitCode::from(1);
+            }
+        },
+        "urem" => match u32::try_from(n) {
+            Ok(y) => compiler.urem_const(y),
+            Err(_) => {
+                eprintln!("hppa-codegen: unsigned divisor out of range");
+                return ExitCode::from(1);
+            }
+        },
+        "chain" => {
+            let chain = chains::find_chain(n);
+            println!(
+                "; l({n}) = {} step(s){}{}",
+                chain.len(),
+                if chain.is_overflow_safe() { ", overflow-safe" } else { "" },
+                if chain.needs_temp() { ", needs a temporary" } else { "" },
+            );
+            print!("{chain}");
+            return ExitCode::SUCCESS;
+        }
+        "magic" => match u32::try_from(n).map_err(|_| ()).and_then(|y| {
+            Magic::minimal(y).map_err(|e| eprintln!("hppa-codegen: {e}"))
+        }) {
+            Ok(m) => {
+                println!("{m}");
+                println!(
+                    "b = {:#x}, fits two words: {}",
+                    m.b(),
+                    if m.fits_pair() { "yes" } else { "no (third word needed)" }
+                );
+                return ExitCode::SUCCESS;
+            }
+            Err(()) => return ExitCode::from(1),
+        },
+        _ => return usage(),
+    };
+    match compiled {
+        Ok(op) => {
+            println!("; {} — {} cycles", op.kind(), op.cycles());
+            print!("{}", op.program());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("hppa-codegen: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! `pa-run` — assemble and execute a `pa-isa` program from a text listing.
+//!
+//! ```text
+//! pa-run [options] <file.s>
+//!   -r REG=VALUE   preload a register (repeatable); VALUE may be 0x-hex or
+//!                  a negative decimal
+//!   -t             print the execution trace
+//!   -p             print the per-instruction profile
+//!   -m CYCLES      cycle budget (default 1000000)
+//!   --precise      use the precise overflow detector instead of the cheap
+//!                  circuit
+//! ```
+//!
+//! Exit status: 0 on completion, 2 on trap, 3 on fault/limit, 1 on usage or
+//! parse errors. Prints the final register file (non-zero registers only).
+//!
+//! Example:
+//!
+//! ```sh
+//! cargo run -p tools --bin pa-run -- -r r26=100 -t examples/asm/div3.s
+//! ```
+
+use std::process::ExitCode;
+
+use pa_isa::parse::parse_program;
+use pa_isa::Reg;
+use pa_sim::{format_trace, run, ExecConfig, Machine, OverflowModel, Termination};
+
+struct Options {
+    file: String,
+    regs: Vec<(Reg, u32)>,
+    trace: bool,
+    profile: bool,
+    max_cycles: u64,
+    precise: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: pa-run [-r REG=VALUE]... [-t] [-p] [-m CYCLES] [--precise] <file.s>"
+    );
+    ExitCode::from(1)
+}
+
+fn parse_value(text: &str) -> Option<u32> {
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16).ok()
+    } else if let Some(neg) = text.strip_prefix('-') {
+        neg.parse::<u32>().ok().map(u32::wrapping_neg)
+    } else {
+        text.parse().ok()
+    }
+}
+
+fn parse_args() -> Option<Options> {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        file: String::new(),
+        regs: Vec::new(),
+        trace: false,
+        profile: false,
+        max_cycles: 1_000_000,
+        precise: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-r" => {
+                let spec = args.next()?;
+                let (reg, value) = spec.split_once('=')?;
+                opts.regs.push((reg.parse().ok()?, parse_value(value)?));
+            }
+            "-t" => opts.trace = true,
+            "-p" => opts.profile = true,
+            "-m" => opts.max_cycles = args.next()?.parse().ok()?,
+            "--precise" => opts.precise = true,
+            file if !file.starts_with('-') && opts.file.is_empty() => {
+                opts.file = file.to_string();
+            }
+            _ => return None,
+        }
+    }
+    (!opts.file.is_empty()).then_some(opts)
+}
+
+fn main() -> ExitCode {
+    let Some(opts) = parse_args() else {
+        return usage();
+    };
+    let source = match std::fs::read_to_string(&opts.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pa-run: {}: {e}", opts.file);
+            return ExitCode::from(1);
+        }
+    };
+    let program = match parse_program(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("pa-run: {}: {e}", opts.file);
+            return ExitCode::from(1);
+        }
+    };
+
+    let mut machine = Machine::with_regs(&opts.regs);
+    let config = ExecConfig {
+        overflow: if opts.precise {
+            OverflowModel::Precise
+        } else {
+            OverflowModel::CheapCircuit
+        },
+        max_cycles: opts.max_cycles,
+        profile: opts.profile,
+        trace: opts.trace,
+    };
+    let result = run(&program, &mut machine, &config);
+
+    if opts.trace {
+        print!("{}", format_trace(&program, &result.trace));
+    }
+    if opts.profile {
+        for (idx, count) in result.profile.iter().enumerate() {
+            if *count > 0 {
+                println!("{count:>8}x  {}", program.get(idx).expect("in range"));
+            }
+        }
+    }
+    println!(
+        "{} in {} cycles ({} executed, {} nullified, {} branches taken)",
+        result.termination,
+        result.cycles,
+        result.executed,
+        result.nullified,
+        result.taken_branches
+    );
+    for r in Reg::all() {
+        let v = machine.reg(r);
+        if v != 0 {
+            println!("  {r:<4} = {v:#010x} ({})", v as i32);
+        }
+    }
+    match result.termination {
+        Termination::Completed => ExitCode::SUCCESS,
+        Termination::Trapped(_) => ExitCode::from(2),
+        _ => ExitCode::from(3),
+    }
+}

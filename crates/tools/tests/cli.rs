@@ -1,0 +1,117 @@
+//! End-to-end tests for the command-line tools, run against the built
+//! binaries.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn pa_run() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pa-run"))
+}
+
+fn codegen() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hppa-codegen"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("pa_cli_test_{name}_{}.s", std::process::id()));
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+#[test]
+fn pa_run_executes_a_listing() {
+    let path = write_temp(
+        "mul10",
+        "; ×10\n    sh2add r26,r26,r28\n    add r28,r28,r28\n",
+    );
+    let out = pa_run()
+        .args(["-r", "r26=7", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("completed in 2 cycles"), "{stdout}");
+    assert!(stdout.contains("(70)"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn pa_run_traces_and_profiles() {
+    let path = write_temp(
+        "loop",
+        "    ldo 3(r0),r5\ntop:\n    addib,<> -1,r5,top\n",
+    );
+    let out = pa_run()
+        .args(["-t", "-p", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("3x"), "profile missing:\n{stdout}");
+    assert!(stdout.matches("addib").count() >= 3, "trace missing:\n{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn pa_run_reports_traps() {
+    let path = write_temp("trap", "    break 7\n");
+    let out = pa_run().arg(path.to_str().unwrap()).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("break trap"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn pa_run_rejects_bad_input() {
+    let path = write_temp("bad", "    frobnicate r1\n");
+    let out = pa_run().arg(path.to_str().unwrap()).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn codegen_emits_runnable_divide() {
+    let out = codegen().args(["udiv", "3"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("17 cycles"), "{stdout}");
+    assert!(stdout.contains("sh2add"), "{stdout}");
+
+    // Round-trip: what hppa-codegen prints, pa-run executes.
+    let listing: String = stdout
+        .lines()
+        .filter(|l| !l.trim_start().starts_with(';'))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let path = write_temp("gen_div3", &listing);
+    let run = pa_run()
+        .args(["-r", "r26=1000", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(run.status.success());
+    let run_out = String::from_utf8(run.stdout).unwrap();
+    assert!(run_out.contains("(333)"), "{run_out}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn codegen_chain_and_magic_modes() {
+    let out = codegen().args(["chain", "45"]).output().unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("l(45) = 2"), "{stdout}");
+
+    let out = codegen().args(["magic", "7"]).output().unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("z=2^33"), "{stdout}");
+
+    let out = codegen().args(["magic", "8"]).output().unwrap();
+    assert!(!out.status.success(), "even divisors have no magic row");
+}
+
+#[test]
+fn codegen_usage_errors() {
+    assert!(!codegen().output().unwrap().status.success());
+    assert!(!codegen().args(["mul", "abc"]).output().unwrap().status.success());
+    assert!(!codegen().args(["nonsense", "3"]).output().unwrap().status.success());
+}

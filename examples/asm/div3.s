@@ -1,0 +1,18 @@
+; Figure 7: r28 = r26 / 3 (unsigned), 17 cycles
+    addi 1,r26,r17
+    addc r0,r0,r16
+    shd r16,r17,30,r1
+    sh2add r17,r17,r17
+    addc r1,r16,r16
+    shd r16,r17,28,r18
+    shl r17,4,r19
+    add r19,r17,r17
+    addc r18,r16,r16
+    shd r16,r17,24,r18
+    shl r17,8,r19
+    add r19,r17,r17
+    addc r18,r16,r16
+    shd r16,r17,16,r18
+    shl r17,16,r19
+    add r19,r17,r29
+    addc r18,r16,r28

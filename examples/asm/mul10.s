@@ -1,0 +1,3 @@
+; r28 = 10 * r26 — the paper's §5 example chain
+    sh2add r26,r26,r28
+    add r28,r28,r28

@@ -1,0 +1,78 @@
+//! Disassemble every millicode routine and trace the four generations of
+//! the multiply algorithm on the same operands — §6 as a guided tour.
+//!
+//! ```sh
+//! cargo run --example millicode_listing            # summary
+//! cargo run --example millicode_listing -- --full  # with full listings
+//! ```
+
+use hppa_muldiv::isa::Reg;
+use hppa_muldiv::millicode::{divvar, mulvar};
+use hppa_muldiv::sim::{run_fn, ExecConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let full = std::env::args().any(|a| a == "--full");
+
+    let generations = [
+        ("naive (Figure 2)", mulvar::naive()?),
+        ("early-exit", mulvar::early_exit()?),
+        ("nibble (Figure 3)", mulvar::nibble()?),
+        ("swap", mulvar::swap()?),
+        ("switched (Figure 4)", mulvar::switched(true)?),
+    ];
+
+    println!("== §6: the four generations, same multiplication 4711 * 13 ==");
+    println!("{:<22} {:>6} {:>8}", "routine", "static", "cycles");
+    for (name, program) in &generations {
+        let (m, stats) = run_fn(
+            program,
+            &[(Reg::R26, 4711), (Reg::R25, 13)],
+            &ExecConfig::default(),
+        );
+        assert_eq!(m.reg(Reg::R28), 4711 * 13);
+        println!("{:<22} {:>6} {:>8}", name, program.len(), stats.cycles);
+    }
+
+    println!();
+    println!("== data dependence of the final algorithm ==");
+    let switched = mulvar::switched(true)?;
+    for (x, y) in [(1i32, 99999), (9, 99999), (300, 99999), (3000, 99999), (46000, 46000)] {
+        let (m, stats) = run_fn(
+            &switched,
+            &[(Reg::R26, x as u32), (Reg::R25, y as u32)],
+            &ExecConfig::default(),
+        );
+        assert_eq!(m.reg_i32(Reg::R28), x.wrapping_mul(y));
+        println!("  {x:>6} * {y:<6} -> {:>3} cycles", stats.cycles);
+    }
+
+    println!();
+    println!("== division routines ==");
+    let divisions = [
+        ("udiv (DS/ADDC, §4)", divvar::udiv()?),
+        ("sdiv", divvar::sdiv()?),
+        ("small_dispatch(20)", divvar::small_dispatch(20)?),
+        ("restoring baseline", divvar::restoring_udiv()?),
+    ];
+    println!("{:<22} {:>6} {:>14}", "routine", "static", "cycles (1e6/7)");
+    for (name, program) in &divisions {
+        let (m, stats) = run_fn(
+            program,
+            &[(Reg::R26, 1_000_000), (Reg::R25, 7)],
+            &ExecConfig::default(),
+        );
+        assert_eq!(m.reg(Reg::R28), 1_000_000 / 7);
+        println!("{:<22} {:>6} {:>14}", name, program.len(), stats.cycles);
+    }
+
+    if full {
+        println!();
+        println!("== full listings ==");
+        for (name, program) in generations.iter().chain(divisions.iter()) {
+            println!("---- {name} ----\n{program}");
+        }
+    } else {
+        println!("\n(re-run with --full for complete assembly listings)");
+    }
+    Ok(())
+}

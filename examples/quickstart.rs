@@ -1,0 +1,54 @@
+//! Quickstart: compile a constant multiply and divide, inspect the code,
+//! run it on the simulated machine, and multiply/divide run-time values
+//! through the millicode.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use hppa_muldiv::{analysis, Compiler, Runtime};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let compiler = Compiler::new();
+
+    // §5: multiplication by a constant is an addition chain. The paper's
+    // own example: ×10 in two shift-and-adds.
+    let times10 = compiler.mul_const(10)?;
+    println!("x * 10  ({} cycles):\n{}", times10.cycles(), times10.program());
+    assert_eq!(times10.run_i32(7)?, 70);
+
+    // A larger constant still fits "four or fewer" (§8).
+    let times1000 = compiler.mul_const(1000)?;
+    println!("x * 1000  ({} cycles):\n{}", times1000.cycles(), times1000.program());
+
+    // Overflow-checking flavour (Pascal): monotonic chain, trapping adds.
+    let checked = compiler.mul_const_checked(31)?;
+    println!(
+        "x * 31 with overflow traps ({} cycles — one more than unchecked):\n{}",
+        checked.cycles(),
+        checked.program()
+    );
+    assert!(checked.run_i32(i32::MAX / 3).is_err(), "overflow must trap");
+
+    // §7: division by a constant is a multiply by the reciprocal — the
+    // 17-instruction divide-by-3 of Figure 7.
+    let div3 = compiler.udiv_const(3)?;
+    println!("x / 3  ({} cycles):\n{}", div3.cycles(), div3.program());
+    assert_eq!(div3.run_u32(u32::MAX)?, u32::MAX / 3);
+
+    // Run-time values go through the millicode routines.
+    let rt = Runtime::new()?;
+    let (product, mul_cycles) = rt.mul_i32(-1234, 5678)?;
+    let (quotient, remainder, div_cycles) = rt.udiv(1_000_000, 7)?;
+    println!("millicode: -1234 * 5678 = {product}  ({mul_cycles} cycles)");
+    println!("millicode: 1000000 / 7 = {quotient} rem {remainder}  ({div_cycles} cycles)");
+
+    // And the paper's famous summary numbers, re-measured:
+    let mul = analysis::multiply_summary(42, 500);
+    let div = analysis::divide_summary(42, 500);
+    println!(
+        "average multiply: {:.1} cycles (paper: ≈6); average divide: {:.1} cycles (paper: ≈40)",
+        mul.average, div.average
+    );
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! §2's compiler observation, measured: strength reduction turns the
+//! multiply inside a loop into an addition — and as multiply cycles vanish,
+//! the divisions the optimiser *cannot* remove eat a growing share of the
+//! runtime.
+//!
+//! ```sh
+//! cargo run --release --example strength_reduction
+//! ```
+
+use hppa_muldiv::strength::{compare, LoopSpec};
+use hppa_muldiv::Compiler;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== for (i = 0; i < 10; i++) j += i * 15  (the paper's loop) ==");
+    let cmp = compare(LoopSpec { trips: 10, factor: 15 })?;
+    println!("  {cmp}");
+    println!("  saved per trip: {:.1} cycles", cmp.saved_per_trip(10));
+
+    println!();
+    println!("== the payoff grows with the chain length of the factor ==");
+    println!("{:>8} {:>12} {:>12} {:>10}", "factor", "naive", "reduced", "saved/trip");
+    for factor in [2i64, 15, 60, 641, 1979, 46341] {
+        let cmp = compare(LoopSpec { trips: 1000, factor })?;
+        println!(
+            "{:>8} {:>12} {:>12} {:>10.1}",
+            factor,
+            cmp.naive_cycles,
+            cmp.reduced_cycles,
+            cmp.saved_per_trip(1000)
+        );
+    }
+
+    println!();
+    println!("== \"the percent of time a program spends doing divisions may actually increase\" ==");
+    // A loop body with one multiply (reducible) and one divide (not):
+    // before: mul(i*15) + div(x/7); after: add + div(x/7).
+    let compiler = Compiler::new();
+    let div_cycles = compiler.udiv_const(7)?.cycles();
+    let mul_cycles = compiler.mul_const(15)?.cycles();
+    let before = mul_cycles + 2 + div_cycles; // mul, acc-add + i-increment, div
+    let after = 2 + div_cycles;
+    println!(
+        "  before optimisation: divide is {div_cycles}/{before} = {:.0}% of the body",
+        100.0 * div_cycles as f64 / before as f64
+    );
+    println!(
+        "  after optimisation:  divide is {div_cycles}/{after} = {:.0}% of the body",
+        100.0 * div_cycles as f64 / after as f64
+    );
+    Ok(())
+}

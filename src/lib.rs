@@ -1,0 +1,5 @@
+//! Workspace root crate: hosts the repository-level integration tests in
+//! `tests/` and the runnable examples in `examples/`. The real library
+//! surface lives in the [`hppa_muldiv`] facade crate and its sub-crates.
+
+pub use hppa_muldiv;

@@ -1,0 +1,59 @@
+//! Every program the system generates must survive a print → parse round
+//! trip, and arbitrary synthesised programs must too (the assembler and
+//! disassembler are part of the public surface).
+
+use hppa_muldiv::millicode::{divvar, mulvar};
+use hppa_muldiv::{Compiler, Runtime};
+use pa_isa::parse::parse_program;
+use proptest::prelude::*;
+
+fn assert_roundtrip(p: &pa_isa::Program, what: &str) {
+    let text = p.to_string();
+    let back = parse_program(&text).unwrap_or_else(|e| panic!("{what}: {e}\n{text}"));
+    assert_eq!(&back, p, "{what} listing does not round-trip");
+}
+
+#[test]
+fn millicode_round_trips() {
+    assert_roundtrip(&mulvar::naive().unwrap(), "naive");
+    assert_roundtrip(&mulvar::early_exit().unwrap(), "early_exit");
+    assert_roundtrip(&mulvar::nibble().unwrap(), "nibble");
+    assert_roundtrip(&mulvar::swap().unwrap(), "swap");
+    assert_roundtrip(&mulvar::switched(true).unwrap(), "switched signed");
+    assert_roundtrip(&mulvar::switched(false).unwrap(), "switched unsigned");
+    assert_roundtrip(&divvar::udiv().unwrap(), "udiv");
+    assert_roundtrip(&divvar::sdiv().unwrap(), "sdiv");
+    assert_roundtrip(&divvar::small_dispatch(20).unwrap(), "small_dispatch");
+    assert_roundtrip(&divvar::restoring_udiv().unwrap(), "restoring");
+}
+
+#[test]
+fn runtime_programs_round_trip() {
+    let rt = Runtime::new().unwrap();
+    for (name, p) in rt.programs() {
+        assert_roundtrip(p, name);
+    }
+}
+
+#[test]
+fn compiled_constants_round_trip() {
+    let c = Compiler::new();
+    for n in -40i64..=300 {
+        assert_roundtrip(c.mul_const(n).unwrap().program(), "mul_const");
+    }
+    for y in 1u32..=64 {
+        assert_roundtrip(c.udiv_const(y).unwrap().program(), "udiv_const");
+        assert_roundtrip(c.sdiv_const(y as i32).unwrap().program(), "sdiv_const");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn prop_random_mul_and_div_round_trip(n in any::<i32>(), y in 1u32..1_000_000) {
+        let c = Compiler::new();
+        assert_roundtrip(c.mul_const(i64::from(n)).unwrap().program(), "mul_const");
+        assert_roundtrip(c.udiv_const(y).unwrap().program(), "udiv_const");
+    }
+}

@@ -1,0 +1,111 @@
+//! Heavy boundary sweeps for the derived-method division — the places magic
+//! numbers break when the `(K+1)y ≥ 2^32` condition is miscomputed are
+//! always right next to multiples of the divisor and at the top of the
+//! dividend range.
+
+use hppa_muldiv::{Compiler, Signedness};
+
+fn boundary_dividends(y: u64) -> Vec<u32> {
+    let mut xs = vec![0u32, 1, 2, y as u32 / 2, u32::MAX, u32::MAX - 1];
+    for k in [1u64, 2, 3, 7, 1 << 8, 1 << 16, u64::from(u32::MAX) / y] {
+        let base = k * y;
+        for d in -2i64..=2 {
+            if let Ok(x) = u32::try_from(base as i64 + d) {
+                xs.push(x);
+            }
+        }
+    }
+    xs
+}
+
+#[test]
+fn unsigned_boundaries_every_divisor_to_384() {
+    let c = Compiler::new();
+    for y in 1..=384u32 {
+        let op = c.udiv_const(y).unwrap();
+        for x in boundary_dividends(u64::from(y)) {
+            assert_eq!(op.run_u32(x).unwrap(), x / y, "{x} / {y}");
+        }
+    }
+}
+
+#[test]
+fn unsigned_boundaries_scattered_large_divisors() {
+    let c = Compiler::new();
+    // Divisors chosen to stress every strategy: large odd primes, odd
+    // composites with repeating-pattern multipliers, even splits, powers of
+    // two, and near-2^31/2^32 extremes.
+    let ys = [
+        513u32,
+        641,
+        999,
+        1000,
+        1023,
+        1024,
+        1025,
+        4097,
+        65535,
+        65536,
+        65537,
+        1_000_003,
+        16_777_213,
+        (1 << 30) - 1,
+        (1 << 30) + 1,
+        0x7FFF_FFFF,
+        0x8000_0000,
+        0x8000_0001,
+        u32::MAX - 2,
+        u32::MAX,
+    ];
+    for y in ys {
+        let op = c.udiv_const(y).unwrap();
+        for x in boundary_dividends(u64::from(y)) {
+            assert_eq!(op.run_u32(x).unwrap(), x / y, "{x} / {y}");
+        }
+    }
+}
+
+#[test]
+fn signed_boundaries_every_divisor_to_128() {
+    let c = Compiler::new();
+    for y in 1..=128i32 {
+        let op = c.sdiv_const(y).unwrap();
+        let ymag = i64::from(y);
+        let mut xs: Vec<i64> = vec![0, 1, -1, i64::from(i32::MAX), i64::from(i32::MIN)];
+        for k in [1i64, 2, 100, i64::from(i32::MAX) / ymag] {
+            for d in -2..=2 {
+                xs.push(k * ymag + d);
+                xs.push(-(k * ymag) + d);
+            }
+        }
+        for x in xs {
+            let Ok(x) = i32::try_from(x) else { continue };
+            let expect = (i64::from(x) / ymag) as i32;
+            assert_eq!(op.run_i32(x).unwrap(), expect, "{x} / {y}");
+        }
+    }
+}
+
+#[test]
+fn strategy_consistency_between_plan_and_code() {
+    // `plan` must describe what `compile` emits: power-of-two divisors get
+    // one instruction, even splits get the shift prefix, magic bodies stay
+    // within the documented width.
+    let c = Compiler::new();
+    for y in 2..=256u32 {
+        let strategy = hppa_muldiv::divconst::plan(y, Signedness::Unsigned).unwrap();
+        let op = c.udiv_const(y).unwrap();
+        match strategy {
+            hppa_muldiv::divconst::DivStrategy::PowerOfTwo { .. } => {
+                assert_eq!(op.len(), 1, "y = {y}");
+            }
+            hppa_muldiv::divconst::DivStrategy::EvenSplit { .. } => {
+                assert!(op.len() >= 2, "y = {y}");
+            }
+            hppa_muldiv::divconst::DivStrategy::Magic { .. } => {
+                assert!(op.len() >= 4, "y = {y}");
+            }
+            other => unreachable!("y ≥ 2 never plans {other}"),
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Cross-crate integration: the compiler and runtime facades against native
+//! Rust integer semantics, including property-based sweeps.
+
+use std::sync::OnceLock;
+
+use hppa_muldiv::{Compiler, CompilerError, Runtime};
+use proptest::prelude::*;
+
+/// The millicode routines are immutable once built; share one instance
+/// across all property cases (building the dispatch table compiles ~20
+/// divide bodies).
+fn runtime() -> &'static Runtime {
+    static RT: OnceLock<Runtime> = OnceLock::new();
+    RT.get_or_init(|| Runtime::new().unwrap())
+}
+
+#[test]
+fn compiler_and_runtime_agree_with_native_ops() {
+    let c = Compiler::new();
+    let rt = Runtime::new().unwrap();
+    for n in [0i64, 1, 2, 3, 10, 59, 100, 641, -7, -100] {
+        let op = c.mul_const(n).unwrap();
+        for x in [0i32, 1, -1, 12345, -99999, i32::MAX, i32::MIN] {
+            let expect = x.wrapping_mul(n as i32);
+            assert_eq!(op.run_i32(x).unwrap(), expect, "compile {x}*{n}");
+            let (product, _) = rt.mul_i32(x, n as i32).unwrap();
+            assert_eq!(product, expect, "millicode {x}*{n}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn prop_mul_const_matches_wrapping_mul(n in -100_000i64..100_000, x in any::<i32>()) {
+        let c = Compiler::new();
+        let op = c.mul_const(n).unwrap();
+        prop_assert_eq!(op.run_i32(x).unwrap(), x.wrapping_mul(n as i32));
+    }
+
+    #[test]
+    fn prop_checked_mul_traps_iff_rust_overflows(
+        n in -5_000i64..5_000,
+        x in any::<i32>(),
+    ) {
+        let c = Compiler::new();
+        let op = c.mul_const_checked(n).unwrap();
+        match x.checked_mul(n as i32) {
+            Some(exact) => prop_assert_eq!(op.run_i32(x).unwrap(), exact),
+            None => prop_assert!(matches!(
+                op.run_i32(x),
+                Err(CompilerError::Trapped(_))
+            )),
+        }
+    }
+
+    #[test]
+    fn prop_udiv_const_matches(y in 1u32.., x in any::<u32>()) {
+        let c = Compiler::new();
+        let op = c.udiv_const(y).unwrap();
+        prop_assert_eq!(op.run_u32(x).unwrap(), x / y);
+    }
+
+    #[test]
+    fn prop_sdiv_const_matches(y in any::<i32>(), x in any::<i32>()) {
+        prop_assume!(y != 0);
+        let c = Compiler::new();
+        let op = c.sdiv_const(y).unwrap();
+        let expect = (i64::from(x) / i64::from(y)) as i32; // wrapping for MIN/-1
+        prop_assert_eq!(op.run_i32(x).unwrap(), expect);
+    }
+
+    #[test]
+    fn prop_urem_const_matches(y in 1u32.., x in any::<u32>()) {
+        let c = Compiler::new();
+        let op = c.urem_const(y).unwrap();
+        prop_assert_eq!(op.run_u32(x).unwrap(), x % y);
+    }
+
+    #[test]
+    fn prop_runtime_mul_matches(x in any::<i32>(), y in any::<i32>()) {
+        let rt = runtime();
+        let (product, cycles) = rt.mul_i32(x, y).unwrap();
+        prop_assert_eq!(product, x.wrapping_mul(y));
+        prop_assert!(cycles <= 130, "switched multiply took {} cycles", cycles);
+    }
+
+    #[test]
+    fn prop_runtime_udiv_matches(x in any::<u32>(), y in 1u32..) {
+        let rt = runtime();
+        let (q, r, cycles) = rt.udiv(x, y).unwrap();
+        prop_assert_eq!((q, r), (x / y, x % y));
+        prop_assert!(cycles <= 90);
+    }
+
+    #[test]
+    fn prop_runtime_sdiv_matches(x in any::<i32>(), y in any::<i32>()) {
+        prop_assume!(y != 0);
+        let rt = runtime();
+        let (q, r, _) = rt.sdiv(x, y).unwrap();
+        prop_assert_eq!(i64::from(q), i64::from(x) / i64::from(y));
+        prop_assert_eq!(i64::from(r), i64::from(x) % i64::from(y));
+    }
+
+    #[test]
+    fn prop_dispatch_matches_udiv(x in any::<u32>(), y in 1u32..64) {
+        let rt = runtime();
+        let (q, _) = rt.udiv_dispatch(x, y).unwrap();
+        prop_assert_eq!(q, x / y);
+    }
+}
+
+#[test]
+fn division_by_zero_is_reported_everywhere() {
+    let c = Compiler::new();
+    assert!(c.udiv_const(0).is_err());
+    assert!(c.sdiv_const(0).is_err());
+    let rt = Runtime::new().unwrap();
+    assert!(rt.udiv(1, 0).is_err());
+    assert!(rt.sdiv(1, 0).is_err());
+    assert!(rt.udiv_dispatch(1, 0).is_err());
+}

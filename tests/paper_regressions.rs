@@ -1,0 +1,145 @@
+//! Regression pins for the paper's published numbers — the tables and
+//! figures as executable assertions (the `bench` crate regenerates them in
+//! report form; EXPERIMENTS.md records paper-vs-measured).
+
+use hppa_muldiv::chains::{self, Frontier, FrontierConfig};
+use hppa_muldiv::divconst::Magic;
+use hppa_muldiv::millicode::mulvar;
+use hppa_muldiv::sim::{run_fn, ExecConfig};
+use hppa_muldiv::{isa::Reg, Compiler};
+
+/// Figure 1, rows 1–4 (rows 5–6 run in the bench harness: minutes of CPU).
+#[test]
+fn figure1_rows_1_to_4() {
+    let f = Frontier::compute(&FrontierConfig {
+        max_len: 4,
+        target_max: 600,
+        value_cap: 1 << 14,
+        max_shift: 14,
+        threads: 2,
+    });
+    assert_eq!(
+        f.row(1),
+        vec![2, 3, 4, 5, 8, 9, 16, 32, 64, 128, 256, 512]
+    );
+    assert_eq!(
+        &f.row(2)[..12],
+        &[6, 7, 10, 11, 12, 13, 15, 17, 18, 19, 20, 21]
+    );
+    assert_eq!(
+        &f.row(3)[..11],
+        &[14, 22, 23, 26, 28, 29, 30, 35, 38, 39, 42]
+    );
+    assert_eq!(
+        &f.row(4)[..9],
+        &[58, 78, 86, 92, 106, 110, 114, 115, 116]
+    );
+}
+
+/// Figure 1, row 5's least value (the full row is bench-harness work).
+#[test]
+fn figure1_row5_least_is_466() {
+    let limits = chains::SearchLimits {
+        max_len: 5,
+        value_cap: 1 << 14,
+        max_shift: 14,
+        node_budget: 100_000_000,
+    };
+    assert_eq!(chains::optimal_len(466, &limits), Some(5));
+}
+
+/// §5 Register Use: only 59, 87, 94 below 100 need a temporary.
+#[test]
+fn register_use_exceptions() {
+    let tf = chains::temp_free_lengths(100, 1 << 13, 13, 8);
+    let limits = chains::SearchLimits {
+        max_len: 6,
+        value_cap: 1 << 13,
+        max_shift: 13,
+        node_budget: 50_000_000,
+    };
+    let need_temp: Vec<u64> = (1..100u64)
+        .filter(|&n| {
+            tf[n as usize].unwrap() > chains::optimal_len(n, &limits).unwrap()
+        })
+        .collect();
+    assert_eq!(need_temp, vec![59, 87, 94]);
+}
+
+/// §5 Overflow: ×15 monotonic in 2 steps; ×31 needs 3.
+#[test]
+fn overflow_detection_penalty() {
+    assert_eq!(chains::monotonic::optimal_len(15, 6), Some(2));
+    assert_eq!(chains::monotonic::optimal_len(31, 6), Some(3));
+    let c = Compiler::new();
+    assert_eq!(c.mul_const(31).unwrap().cycles(), 2);
+    assert_eq!(c.mul_const_checked(31).unwrap().cycles(), 3);
+}
+
+/// Figure 6, all nine rows, exactly.
+#[test]
+fn figure6_magic_numbers() {
+    let expect: [(u32, u32, u64, u64, u128); 9] = [
+        (3, 32, 1, 0x5555_5555, 0x1_0000_0002),
+        (5, 32, 1, 0x3333_3333, 0x1_0000_0004),
+        (7, 33, 1, 0x4924_9249, 0x2_0000_0006),
+        (9, 35, 5, 0xE38E_38E3, 0x1_9999_99A7),
+        (11, 36, 9, 0x1_745D_1745, 0x1_C71C_71D6),
+        (13, 35, 7, 0x9D8_9D89D, 0x1_2492_4938),
+        (15, 32, 1, 0x1111_1111, 0x1_0000_000E),
+        (17, 32, 1, 0xF0F_0F0F, 0x1_0000_0010),
+        (19, 36, 1, 0xD794_35E5, 0x10_0000_0012),
+    ];
+    for ((y, s, r, a, reach), m) in expect.into_iter().zip(Magic::figure6()) {
+        assert_eq!(m.y(), y);
+        assert_eq!((m.s(), m.r(), m.a(), m.reach()), (s, r, a, reach), "y = {y}");
+    }
+}
+
+/// Figure 7: the unsigned divide by 3 is exactly 17 instructions; §7's
+/// signed version is 17–19 cycles depending on sign.
+#[test]
+fn figure7_divide_by_three() {
+    let c = Compiler::new();
+    let udiv3 = c.udiv_const(3).unwrap();
+    assert_eq!(udiv3.cycles(), 17);
+    let sdiv3 = c.sdiv_const(3).unwrap();
+    let pos = sdiv3.cycles_for(100);
+    let neg = sdiv3.cycles_for(-100i32 as u32);
+    assert!((17..=19).contains(&pos), "positive {pos}");
+    assert!((17..=20).contains(&neg), "negative {neg}");
+}
+
+/// §6: the Figure 2 algorithm's 167-instruction dynamic path.
+#[test]
+fn figure2_naive_multiply_path() {
+    let p = mulvar::naive().unwrap();
+    let (m, stats) = run_fn(
+        &p,
+        &[(Reg::R26, 123_456), (Reg::R25, 7)],
+        &ExecConfig::default(),
+    );
+    assert_eq!(m.reg(Reg::R28), 123_456 * 7);
+    assert!(
+        (160..=175).contains(&stats.cycles),
+        "measured {} (paper: 167)",
+        stats.cycles
+    );
+}
+
+/// §7 Performance: constant divisors < 20 stay far below the ~80-cycle
+/// general routine.
+#[test]
+fn constant_divisors_below_twenty() {
+    let c = Compiler::new();
+    let mut lo = u64::MAX;
+    let mut hi = 0u64;
+    for y in 2..20u32 {
+        let op = c.udiv_const(y).unwrap();
+        let cycles = op.cycles_for(1_000_000_007);
+        lo = lo.min(cycles);
+        hi = hi.max(cycles);
+    }
+    assert!(lo <= 4, "fastest constant divisor: {lo} (paper: 1)");
+    assert!(hi <= 45, "slowest constant divisor: {hi} (paper: 27)");
+}
