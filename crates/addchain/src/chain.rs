@@ -86,6 +86,19 @@ impl Step {
     }
 }
 
+/// Per-rule step counts for one chain (see [`Chain::step_mix`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepMix {
+    /// Plain `Add` steps.
+    pub adds: u32,
+    /// `ShAdd` (shift-and-add) steps.
+    pub shift_adds: u32,
+    /// `Sub` steps.
+    pub subs: u32,
+    /// Plain `Shl` steps.
+    pub shifts: u32,
+}
+
 /// Errors from [`Chain::new`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -178,15 +191,26 @@ impl Chain {
         let values = eval_steps(&steps)?;
         let actual = values.last().copied().unwrap_or(1);
         if actual != target {
-            return Err(ChainError::WrongTarget { expected: target, actual });
+            return Err(ChainError::WrongTarget {
+                expected: target,
+                actual,
+            });
         }
-        Ok(Chain { target, steps, values })
+        Ok(Chain {
+            target,
+            steps,
+            values,
+        })
     }
 
     /// The empty chain for the identity multiplication (`n = 1`).
     #[must_use]
     pub fn identity() -> Chain {
-        Chain { target: 1, steps: Vec::new(), values: Vec::new() }
+        Chain {
+            target: 1,
+            steps: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// The number the chain computes.
@@ -211,6 +235,22 @@ impl Chain {
     #[must_use]
     pub fn steps(&self) -> &[Step] {
         &self.steps
+    }
+
+    /// How many steps of each rule kind the chain uses — the "rule mix"
+    /// recorded by chain-search telemetry.
+    #[must_use]
+    pub fn step_mix(&self) -> StepMix {
+        let mut mix = StepMix::default();
+        for step in &self.steps {
+            match step {
+                Step::Add { .. } => mix.adds += 1,
+                Step::ShAdd { .. } => mix.shift_adds += 1,
+                Step::Sub { .. } => mix.subs += 1,
+                Step::Shl { .. } => mix.shifts += 1,
+            }
+        }
+        mix
     }
 
     /// The value of every step, `a₁..=aᵣ` (validated at construction).
@@ -334,9 +374,7 @@ impl fmt::Display for Chain {
             let lhs = i + 1;
             match *step {
                 Step::Add { j, k } => writeln!(f, "a{lhs} = {j} + {k}")?,
-                Step::ShAdd { sh, j, k } => {
-                    writeln!(f, "a{lhs} = {}*{j} + {k}", 1u32 << sh)?
-                }
+                Step::ShAdd { sh, j, k } => writeln!(f, "a{lhs} = {}*{j} + {k}", 1u32 << sh)?,
                 Step::Sub { j, k } => writeln!(f, "a{lhs} = {j} - {k}")?,
                 Step::Shl { j, amount } => writeln!(f, "a{lhs} = {j} << {amount}")?,
             }
@@ -358,7 +396,11 @@ mod tests {
         let c = Chain::new(
             10,
             vec![
-                Step::ShAdd { sh: 2, j: Ref::One, k: Ref::One },
+                Step::ShAdd {
+                    sh: 2,
+                    j: Ref::One,
+                    k: Ref::One,
+                },
                 Step::Add { j: s(1), k: s(1) },
             ],
         )
@@ -375,8 +417,16 @@ mod tests {
         let c = Chain::new(
             15,
             vec![
-                Step::ShAdd { sh: 1, j: Ref::One, k: Ref::One },
-                Step::ShAdd { sh: 2, j: s(1), k: s(1) },
+                Step::ShAdd {
+                    sh: 1,
+                    j: Ref::One,
+                    k: Ref::One,
+                },
+                Step::ShAdd {
+                    sh: 2,
+                    j: s(1),
+                    k: s(1),
+                },
             ],
         )
         .unwrap();
@@ -389,9 +439,21 @@ mod tests {
         let c = Chain::new(
             59,
             vec![
-                Step::ShAdd { sh: 1, j: Ref::One, k: Ref::One }, // a1 = 3
-                Step::ShAdd { sh: 1, j: s(1), k: Ref::One },     // a2 = 7
-                Step::ShAdd { sh: 3, j: s(2), k: s(1) },         // a3 = 59
+                Step::ShAdd {
+                    sh: 1,
+                    j: Ref::One,
+                    k: Ref::One,
+                }, // a1 = 3
+                Step::ShAdd {
+                    sh: 1,
+                    j: s(1),
+                    k: Ref::One,
+                }, // a2 = 7
+                Step::ShAdd {
+                    sh: 3,
+                    j: s(2),
+                    k: s(1),
+                }, // a3 = 59
             ],
         )
         .unwrap();
@@ -405,10 +467,25 @@ mod tests {
         let c = Chain::new(
             59,
             vec![
-                Step::Add { j: Ref::One, k: Ref::One },      // 2
-                Step::ShAdd { sh: 3, j: s(1), k: Ref::One }, // 17
-                Step::ShAdd { sh: 1, j: s(2), k: s(2) },     // 51
-                Step::ShAdd { sh: 3, j: Ref::One, k: s(3) }, // 59
+                Step::Add {
+                    j: Ref::One,
+                    k: Ref::One,
+                }, // 2
+                Step::ShAdd {
+                    sh: 3,
+                    j: s(1),
+                    k: Ref::One,
+                }, // 17
+                Step::ShAdd {
+                    sh: 1,
+                    j: s(2),
+                    k: s(2),
+                }, // 51
+                Step::ShAdd {
+                    sh: 3,
+                    j: Ref::One,
+                    k: s(3),
+                }, // 59
             ],
         )
         .unwrap();
@@ -428,8 +505,14 @@ mod tests {
         let err = Chain::new(
             4,
             vec![
-                Step::Add { j: Ref::One, k: Ref::One },
-                Step::Add { j: s(3), k: Ref::Zero },
+                Step::Add {
+                    j: Ref::One,
+                    k: Ref::One,
+                },
+                Step::Add {
+                    j: s(3),
+                    k: Ref::Zero,
+                },
             ],
         )
         .unwrap_err();
@@ -438,17 +521,44 @@ mod tests {
 
     #[test]
     fn bad_shift_rejected() {
-        let err = Chain::new(2, vec![Step::Shl { j: Ref::One, amount: 32 }]).unwrap_err();
+        let err = Chain::new(
+            2,
+            vec![Step::Shl {
+                j: Ref::One,
+                amount: 32,
+            }],
+        )
+        .unwrap_err();
         assert!(matches!(err, ChainError::BadShift { at: 0, amount: 32 }));
-        let err = Chain::new(5, vec![Step::ShAdd { sh: 4, j: Ref::One, k: Ref::One }])
-            .unwrap_err();
+        let err = Chain::new(
+            5,
+            vec![Step::ShAdd {
+                sh: 4,
+                j: Ref::One,
+                k: Ref::One,
+            }],
+        )
+        .unwrap_err();
         assert!(matches!(err, ChainError::BadShift { at: 0, amount: 4 }));
     }
 
     #[test]
     fn wrong_target_rejected() {
-        let err = Chain::new(7, vec![Step::Add { j: Ref::One, k: Ref::One }]).unwrap_err();
-        assert_eq!(err, ChainError::WrongTarget { expected: 7, actual: 2 });
+        let err = Chain::new(
+            7,
+            vec![Step::Add {
+                j: Ref::One,
+                k: Ref::One,
+            }],
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ChainError::WrongTarget {
+                expected: 7,
+                actual: 2
+            }
+        );
     }
 
     #[test]
@@ -463,7 +573,14 @@ mod tests {
     #[test]
     fn negative_targets_allowed() {
         // a1 = 0 - a0 = -1: the paper's "-n in one more step".
-        let c = Chain::new(-1, vec![Step::Sub { j: Ref::Zero, k: Ref::One }]).unwrap();
+        let c = Chain::new(
+            -1,
+            vec![Step::Sub {
+                j: Ref::Zero,
+                k: Ref::One,
+            }],
+        )
+        .unwrap();
         assert_eq!(c.eval(), vec![-1]);
         assert!(!c.is_monotonic());
     }
@@ -473,7 +590,11 @@ mod tests {
         let c = Chain::new(
             10,
             vec![
-                Step::ShAdd { sh: 2, j: Ref::One, k: Ref::One },
+                Step::ShAdd {
+                    sh: 2,
+                    j: Ref::One,
+                    k: Ref::One,
+                },
                 Step::Add { j: s(1), k: s(1) },
             ],
         )
@@ -489,8 +610,14 @@ mod tests {
         let c = Chain::new(
             15,
             vec![
-                Step::Shl { j: Ref::One, amount: 4 },
-                Step::Sub { j: s(1), k: Ref::One },
+                Step::Shl {
+                    j: Ref::One,
+                    amount: 4,
+                },
+                Step::Sub {
+                    j: s(1),
+                    k: Ref::One,
+                },
             ],
         )
         .unwrap();
@@ -519,8 +646,14 @@ mod tests {
         let c = Chain::new(
             15,
             vec![
-                Step::Shl { j: Ref::One, amount: 4 },
-                Step::Sub { j: s(1), k: Ref::One },
+                Step::Shl {
+                    j: Ref::One,
+                    amount: 4,
+                },
+                Step::Sub {
+                    j: s(1),
+                    k: Ref::One,
+                },
             ],
         )
         .unwrap();

@@ -66,7 +66,14 @@ pub fn optimal_chain(n: u64, limits: &SearchLimits) -> Option<Chain> {
         return Some(Chain::identity());
     }
     if n == 0 {
-        return Chain::new(0, vec![Step::Sub { j: Ref::One, k: Ref::One }]).ok();
+        return Chain::new(
+            0,
+            vec![Step::Sub {
+                j: Ref::One,
+                k: Ref::One,
+            }],
+        )
+        .ok();
     }
     let mut dfs = Dfs {
         limits: *limits,
@@ -77,6 +84,14 @@ pub fn optimal_chain(n: u64, limits: &SearchLimits) -> Option<Chain> {
     };
     for depth in 1..=limits.max_len {
         if let Some(chain) = dfs.search(depth) {
+            telemetry::emit(|| {
+                crate::chain_search_event(
+                    &chain,
+                    i64::try_from(n).unwrap_or(i64::MAX),
+                    Some(dfs.nodes),
+                    "exhaustive",
+                )
+            });
             return Some(chain);
         }
         if dfs.nodes > limits.node_budget {
@@ -191,10 +206,16 @@ impl Dfs {
             // n = vi + vk
             if let Some(diff) = n.checked_sub(vi) {
                 if diff == 0 {
-                    return Some(Step::Add { j: ri, k: Ref::Zero });
+                    return Some(Step::Add {
+                        j: ri,
+                        k: Ref::Zero,
+                    });
                 }
                 if let Some(k) = self.contains(diff) {
-                    return Some(Step::Add { j: ri, k: self.ref_of(k) });
+                    return Some(Step::Add {
+                        j: ri,
+                        k: self.ref_of(k),
+                    });
                 }
             }
             // n = (vi << sh) + vk, sh 1..=3
@@ -202,29 +223,46 @@ impl Dfs {
                 let shifted = vi << sh;
                 if let Some(diff) = n.checked_sub(shifted) {
                     if diff == 0 {
-                        return Some(Step::ShAdd { sh, j: ri, k: Ref::Zero });
+                        return Some(Step::ShAdd {
+                            sh,
+                            j: ri,
+                            k: Ref::Zero,
+                        });
                     }
                     if let Some(k) = self.contains(diff) {
-                        return Some(Step::ShAdd { sh, j: ri, k: self.ref_of(k) });
+                        return Some(Step::ShAdd {
+                            sh,
+                            j: ri,
+                            k: self.ref_of(k),
+                        });
                     }
                 }
             }
             // n = vi - vk
             if vi > n {
                 if let Some(k) = self.contains(vi - n) {
-                    return Some(Step::Sub { j: ri, k: self.ref_of(k) });
+                    return Some(Step::Sub {
+                        j: ri,
+                        k: self.ref_of(k),
+                    });
                 }
             }
             // n = vk - vi (vk in values)
             if let Some(k) = self.contains(n + vi) {
-                return Some(Step::Sub { j: self.ref_of(k), k: ri });
+                return Some(Step::Sub {
+                    j: self.ref_of(k),
+                    k: ri,
+                });
             }
         }
         // n = vi << s
         for s in 1..=self.limits.max_shift {
             if n.trailing_zeros() >= s {
                 if let Some(i) = self.contains(n >> s) {
-                    return Some(Step::Shl { j: self.ref_of(i), amount: s });
+                    return Some(Step::Shl {
+                        j: self.ref_of(i),
+                        amount: s,
+                    });
                 }
             }
         }
@@ -238,7 +276,11 @@ mod tests {
     use crate::find_chain;
 
     fn limits() -> SearchLimits {
-        SearchLimits { value_cap: 1 << 14, max_shift: 14, ..SearchLimits::default() }
+        SearchLimits {
+            value_cap: 1 << 14,
+            max_shift: 14,
+            ..SearchLimits::default()
+        }
     }
 
     #[test]
@@ -295,7 +337,10 @@ mod tests {
 
     #[test]
     fn node_budget_aborts() {
-        let l = SearchLimits { node_budget: 10, ..limits() };
+        let l = SearchLimits {
+            node_budget: 10,
+            ..limits()
+        };
         // Large target with a tiny budget: must give up, not hang.
         assert_eq!(optimal_chain(4838, &l), None);
     }

@@ -92,7 +92,10 @@ impl Frontier {
         if config.target_max >= 1 {
             lens[1] = 0;
         }
-        let mut frontier = Frontier { config: *config, lens };
+        let mut frontier = Frontier {
+            config: *config,
+            lens,
+        };
         frontier.sweep();
         frontier
     }
@@ -201,7 +204,10 @@ impl Frontier {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
         });
         for partial in partials {
             for (slot, p) in self.lens.iter_mut().zip(partial) {
@@ -383,11 +389,7 @@ mod tests {
             node_budget: 10_000_000,
         };
         for n in 1..=100u64 {
-            assert_eq!(
-                f.len_of(n),
-                crate::optimal_len(n, &limits),
-                "n = {n}"
-            );
+            assert_eq!(f.len_of(n), crate::optimal_len(n, &limits), "n = {n}");
         }
     }
 

@@ -55,8 +55,28 @@ pub mod monotonic;
 mod rules;
 mod tempfree;
 
-pub use chain::{Chain, ChainError, Ref, Step};
+pub use chain::{Chain, ChainError, Ref, Step, StepMix};
 pub use exhaustive::{optimal_chain, optimal_len, SearchLimits};
 pub use frontier::{Frontier, FrontierConfig};
 pub use rules::{find_chain, find_chain_minimal, find_chain_with, RuleConfig};
 pub use tempfree::temp_free_lengths;
+
+/// Builds the [`telemetry::Event::ChainSearch`] record for a finished chain.
+pub(crate) fn chain_search_event(
+    chain: &Chain,
+    target: i64,
+    nodes_expanded: Option<u64>,
+    source: &'static str,
+) -> telemetry::Event {
+    let mix = chain.step_mix();
+    telemetry::Event::ChainSearch {
+        target,
+        len: chain.len(),
+        shift_adds: mix.shift_adds,
+        adds: mix.adds,
+        subs: mix.subs,
+        shifts: mix.shifts,
+        nodes_expanded,
+        source,
+    }
+}

@@ -40,7 +40,11 @@ pub fn optimal_chain(n: u64, max_len: u32) -> Option<Chain> {
     if n == 0 {
         return None; // no increasing chain reaches 0
     }
-    let mut dfs = Dfs { target: n, values: vec![1], steps: Vec::new() };
+    let mut dfs = Dfs {
+        target: n,
+        values: vec![1],
+        steps: Vec::new(),
+    };
     for depth in 1..=max_len {
         if let Some(c) = dfs.search(depth) {
             return Some(c);
@@ -133,13 +137,20 @@ impl Dfs {
             let ri = self.ref_of(i);
             if let Some(diff) = n.checked_sub(vi) {
                 if let Some(k) = find(diff) {
-                    return Some(Step::Add { j: ri, k: self.ref_of(k) });
+                    return Some(Step::Add {
+                        j: ri,
+                        k: self.ref_of(k),
+                    });
                 }
             }
             for sh in 1..=3u32 {
                 if let Some(diff) = n.checked_sub(vi << sh) {
                     if let Some(k) = find(diff) {
-                        return Some(Step::ShAdd { sh, j: ri, k: self.ref_of(k) });
+                        return Some(Step::ShAdd {
+                            sh,
+                            j: ri,
+                            k: self.ref_of(k),
+                        });
                     }
                 }
             }
@@ -192,7 +203,10 @@ mod tests {
         for n in 2..=128u64 {
             let mono = optimal_len(n, 7).unwrap();
             let free = crate::optimal_len(n, &limits).unwrap();
-            assert!(mono >= free, "n = {n}: monotonic {mono} < unrestricted {free}");
+            assert!(
+                mono >= free,
+                "n = {n}: monotonic {mono} < unrestricted {free}"
+            );
         }
     }
 

@@ -89,7 +89,10 @@ pub fn multiply(x: i32, y: i32) -> BoothRun {
     // Signed correction: the recoding above already sign-extends correctly
     // for two's-complement x because the final retained bit carries the
     // sign; no extra term is needed at 16 full steps.
-    BoothRun { digits, product: acc }
+    BoothRun {
+        digits,
+        product: acc,
+    }
 }
 
 /// Cycle model for a Multiply Step implementation of a full 32-bit multiply:
@@ -99,7 +102,11 @@ pub fn multiply(x: i32, y: i32) -> BoothRun {
 /// "compares favorably" with.
 #[must_use]
 pub fn cost() -> HwCost {
-    HwCost { setup: 2, steps: 16, fixup: 2 }
+    HwCost {
+        setup: 2,
+        steps: 16,
+        fixup: 2,
+    }
 }
 
 #[cfg(test)]
@@ -110,7 +117,11 @@ mod tests {
     fn small_products() {
         for x in -20i32..=20 {
             for y in -20i32..=20 {
-                assert_eq!(multiply(x, y).product, i64::from(x) * i64::from(y), "{x}*{y}");
+                assert_eq!(
+                    multiply(x, y).product,
+                    i64::from(x) * i64::from(y),
+                    "{x}*{y}"
+                );
             }
         }
     }
@@ -126,7 +137,11 @@ mod tests {
             (0x4000_0000, 4),
             (-0x4000_0000, -4),
         ] {
-            assert_eq!(multiply(x, y).product, i64::from(x) * i64::from(y), "{x}*{y}");
+            assert_eq!(
+                multiply(x, y).product,
+                i64::from(x) * i64::from(y),
+                "{x}*{y}"
+            );
         }
     }
 
@@ -139,7 +154,11 @@ mod tests {
             state ^= state << 17;
             let x = state as i32;
             let y = (state >> 32) as i32;
-            assert_eq!(multiply(x, y).product, i64::from(x) * i64::from(y), "{x}*{y}");
+            assert_eq!(
+                multiply(x, y).product,
+                i64::from(x) * i64::from(y),
+                "{x}*{y}"
+            );
         }
     }
 

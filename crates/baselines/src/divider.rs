@@ -65,7 +65,11 @@ pub fn nonrestoring_divide(x: u32, y: u32) -> DivideRun {
     if remainder < 0 {
         remainder += i64::from(y);
     }
-    DivideRun { quotient, remainder: remainder as u32, adds }
+    DivideRun {
+        quotient,
+        remainder: remainder as u32,
+        adds,
+    }
 }
 
 /// 32-step restoring division (§2's "one of the simplest" methods): trial
@@ -92,7 +96,11 @@ pub fn restoring_divide(x: u32, y: u32) -> DivideRun {
             quotient <<= 1;
         }
     }
-    DivideRun { quotient, remainder: rem as u32, adds }
+    DivideRun {
+        quotient,
+        remainder: rem as u32,
+        adds,
+    }
 }
 
 /// Cycle model for a Jouppi-style one-instruction-per-bit divide step
@@ -102,7 +110,11 @@ pub fn restoring_divide(x: u32, y: u32) -> DivideRun {
 /// V-bit on the cycle-time critical path.
 #[must_use]
 pub fn jouppi_cost() -> HwCost {
-    HwCost { setup: 3, steps: 32, fixup: 3 }
+    HwCost {
+        setup: 3,
+        steps: 32,
+        fixup: 3,
+    }
 }
 
 /// Cycle model for the Precision software pairing: two instructions per bit
@@ -110,7 +122,11 @@ pub fn jouppi_cost() -> HwCost {
 /// V-bit on the critical path.
 #[must_use]
 pub fn precision_cost() -> HwCost {
-    HwCost { setup: 4, steps: 64, fixup: 3 }
+    HwCost {
+        setup: 4,
+        steps: 64,
+        fixup: 3,
+    }
 }
 
 #[cfg(test)]
@@ -119,9 +135,17 @@ mod tests {
 
     fn check(x: u32, y: u32) {
         let nr = nonrestoring_divide(x, y);
-        assert_eq!((nr.quotient, nr.remainder), (x / y, x % y), "nonrestoring {x}/{y}");
+        assert_eq!(
+            (nr.quotient, nr.remainder),
+            (x / y, x % y),
+            "nonrestoring {x}/{y}"
+        );
         let r = restoring_divide(x, y);
-        assert_eq!((r.quotient, r.remainder), (x / y, x % y), "restoring {x}/{y}");
+        assert_eq!(
+            (r.quotient, r.remainder),
+            (x / y, x % y),
+            "restoring {x}/{y}"
+        );
     }
 
     #[test]

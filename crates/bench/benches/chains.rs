@@ -68,7 +68,10 @@ fn bench_frontier(c: &mut Criterion) {
         threads: 2,
     });
     for r in 1..=4 {
-        println!("Figure 1 row {r}: {:?}", &f.row(r)[..f.row(r).len().min(12)]);
+        println!(
+            "Figure 1 row {r}: {:?}",
+            &f.row(r)[..f.row(r).len().min(12)]
+        );
     }
 }
 

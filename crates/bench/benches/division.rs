@@ -43,9 +43,18 @@ fn bench_routines(c: &mut Criterion) {
     let restoring = divvar::restoring_udiv().unwrap();
     let dispatch = divvar::small_dispatch(20).unwrap();
 
-    println!("general divide 1000000007 / 97: {} cycles (paper ≈80)", cycles2(&udiv, 1_000_000_007, 97));
-    println!("restoring baseline:             {} cycles", cycles2(&restoring, 1_000_000_007, 97));
-    println!("dispatch / 7:                   {} cycles (paper 10..36)", cycles2(&dispatch, 1_000_000_007, 7));
+    println!(
+        "general divide 1000000007 / 97: {} cycles (paper ≈80)",
+        cycles2(&udiv, 1_000_000_007, 97)
+    );
+    println!(
+        "restoring baseline:             {} cycles",
+        cycles2(&restoring, 1_000_000_007, 97)
+    );
+    println!(
+        "dispatch / 7:                   {} cycles (paper 10..36)",
+        cycles2(&dispatch, 1_000_000_007, 7)
+    );
 
     let mut group = c.benchmark_group("divvar_simulation");
     group.bench_function("udiv", |b| {
@@ -55,7 +64,13 @@ fn bench_routines(c: &mut Criterion) {
         b.iter(|| cycles2(black_box(&dispatch), black_box(1_000_000_007), black_box(7)))
     });
     group.bench_function("restoring", |b| {
-        b.iter(|| cycles2(black_box(&restoring), black_box(1_000_000_007), black_box(97)))
+        b.iter(|| {
+            cycles2(
+                black_box(&restoring),
+                black_box(1_000_000_007),
+                black_box(97),
+            )
+        })
     });
     group.finish();
 }

@@ -54,5 +54,10 @@ fn bench_const_compile(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_generations, bench_figure5, bench_const_compile);
+criterion_group!(
+    benches,
+    bench_generations,
+    bench_figure5,
+    bench_const_compile
+);
 criterion_main!(benches);

@@ -79,6 +79,40 @@ fn main() {
     if want("dispatch_ablation") {
         dispatch_ablation();
     }
+    if want("telemetry") {
+        telemetry_attribution();
+    }
+}
+
+/// E15 — where the switched multiply's cycles go (per-label attribution)
+/// and which strategies fire under the §8 analysis mix.
+fn telemetry_attribution() {
+    section(
+        "E15 / telemetry",
+        "cycle attribution and strategy histogram",
+    );
+    let p = mulvar::switched(true).unwrap();
+    let mix = Figure5Mix::new();
+    let pairs = mix.pairs(21, 2000);
+    let mut stats = pa_sim::SimStats::default();
+    let mut total = 0u64;
+    for &(x, y) in &pairs {
+        total += bench::cycles2_stats(&p, x as u32, y as u32, &mut stats);
+    }
+    println!(
+        "switched multiply over the Figure 5 mix: {} pairs, {} cycles",
+        pairs.len(),
+        total
+    );
+    bench::print_stats(&stats);
+    let ((), events) = telemetry::collect(|| {
+        let _ = analysis::multiply_summary(13, 500);
+        let _ = analysis::divide_summary(13, 500);
+    });
+    println!("strategy histogram under the §8 analysis mix (500 ops each):");
+    for (key, count) in telemetry::strategy_histogram(&events) {
+        println!("  {key:<24} {count}");
+    }
 }
 
 /// A3 — how far to take the §7 small-divisor dispatch: static size vs
@@ -121,7 +155,10 @@ fn dispatch_ablation() {
 /// E0 — §2's framing: whole-program impact under the Gibson mix.
 fn impact() {
     use operand_dist::InstructionMix;
-    section("E0 / §2", "whole-program impact of multiply/divide cost (Gibson mix)");
+    section(
+        "E0 / §2",
+        "whole-program impact of multiply/divide cost (Gibson mix)",
+    );
     let mul = analysis::multiply_summary(13, 2000);
     let div = analysis::divide_summary(13, 2000);
     println!(
@@ -174,8 +211,12 @@ fn fig1(full: bool) {
             threads: 4,
         }
     };
-    println!("(exhaustive sweep: max_len={}, value_cap=2^{}, shifts ≤ {})",
-        config.max_len, config.value_cap.ilog2(), config.max_shift);
+    println!(
+        "(exhaustive sweep: max_len={}, value_cap=2^{}, shifts ≤ {})",
+        config.max_len,
+        config.value_cap.ilog2(),
+        config.max_shift
+    );
     let start = std::time::Instant::now();
     let f = Frontier::compute(&config);
     println!("computed in {:.1?}", start.elapsed());
@@ -186,7 +227,11 @@ fn fig1(full: bool) {
         println!(
             "r={r}  measured: {:?}{}",
             &row[..take],
-            if ok { "  [matches Figure 1]" } else { "  [MISMATCH]" }
+            if ok {
+                "  [matches Figure 1]"
+            } else {
+                "  [MISMATCH]"
+            }
         );
         println!("      paper:    {:?}", paper[r as usize - 1]);
     }
@@ -206,7 +251,10 @@ fn fig1(full: bool) {
 
 /// E2 — §5 Register Use: temp-needing constants below 100.
 fn reg_use() {
-    section("E2 / §5 Register Use", "constants below 100 whose minimal chains all need a temp");
+    section(
+        "E2 / §5 Register Use",
+        "constants below 100 whose minimal chains all need a temp",
+    );
     let tf = addchain::temp_free_lengths(100, 1 << 13, 13, 8);
     let limits = SearchLimits {
         max_len: 6,
@@ -223,11 +271,18 @@ fn reg_use() {
 
 /// E3 — §5 Overflow: the monotonic (overflow-detecting) chain penalty.
 fn monotonic() {
-    section("E3 / §5 Overflow", "monotonic chain penalty for overflow detection");
-    println!("l(15): unrestricted 2, monotonic {} (paper: 2)",
-        addchain::monotonic::optimal_len(15, 6).unwrap());
-    println!("l(31): unrestricted 2, monotonic {} (paper: 3)",
-        addchain::monotonic::optimal_len(31, 6).unwrap());
+    section(
+        "E3 / §5 Overflow",
+        "monotonic chain penalty for overflow detection",
+    );
+    println!(
+        "l(15): unrestricted 2, monotonic {} (paper: 2)",
+        addchain::monotonic::optimal_len(15, 6).unwrap()
+    );
+    println!(
+        "l(31): unrestricted 2, monotonic {} (paper: 3)",
+        addchain::monotonic::optimal_len(31, 6).unwrap()
+    );
     let limits = SearchLimits {
         max_len: 6,
         value_cap: 1 << 12,
@@ -267,8 +322,7 @@ fn rulegap(full: bool) {
     for n in 2..max {
         let ruled = find_chain(n as i64).len();
         let hybrid = addchain::find_chain_minimal(n as i64, &limits).len();
-        let exact = addchain::optimal_len(n, &limits)
-            .map_or(ruled, |l| l as usize);
+        let exact = addchain::optimal_len(n, &limits).map_or(ruled, |l| l as usize);
         if ruled > exact {
             non_minimal += 1;
             worst_gap = worst_gap.max(ruled - exact);
@@ -292,7 +346,10 @@ fn fig2() {
     section("E5 / Figure 2", "bit-serial multiply: dynamic path");
     let p = mulvar::naive().unwrap();
     let c = cycles2(&p, 12345, 678);
-    println!("measured: {c} single-cycle instructions (static size {})", p.len());
+    println!(
+        "measured: {c} single-cycle instructions (static size {})",
+        p.len()
+    );
     println!("paper:    167");
 }
 
@@ -308,7 +365,10 @@ fn early_exit() {
     for _ in 0..N {
         total += cycles2(&p, dist.sample(&mut rng), 12345);
     }
-    println!("measured: worst {worst}, log-uniform average {:.0}", total as f64 / N as f64);
+    println!(
+        "measured: worst {worst}, log-uniform average {:.0}",
+        total as f64 / N as f64
+    );
     println!("paper:    worst 192, average 103");
 }
 
@@ -324,13 +384,19 @@ fn fig3() {
     for _ in 0..N {
         total += cycles2(&p, dist.sample(&mut rng), 12345);
     }
-    println!("measured: worst {worst}, log-uniform average {:.0}", total as f64 / N as f64);
+    println!(
+        "measured: worst {worst}, log-uniform average {:.0}",
+        total as f64 / N as f64
+    );
     println!("paper:    worst 107, average 55 (13-instruction loop body)");
 }
 
 /// E8 — the operand swap.
 fn swap() {
-    section("E8 / §6 Observation", "operand swap bounds the loop at four iterations");
+    section(
+        "E8 / §6 Observation",
+        "operand swap bounds the loop at four iterations",
+    );
     let p = mulvar::swap().unwrap();
     // Non-overflowing products: min operand ≤ 16 bits.
     let worst = cycles2(&p, 46340, 46340);
@@ -349,9 +415,17 @@ fn swap() {
 
 /// E9 — Figure 5: the final switched algorithm per operand class.
 fn fig5() {
-    section("E9 / Figure 5", "final algorithm: cycles by min(|x|,|y|) class");
+    section(
+        "E9 / Figure 5",
+        "final algorithm: cycles by min(|x|,|y|) class",
+    );
     let p = mulvar::switched(true).unwrap();
-    let paper = [(10, 15, 23, 60), (20, 24, 34, 20), (28, 34, 45, 10), (36, 44, 56, 10)];
+    let paper = [
+        (10, 15, 23, 60),
+        (20, 24, 34, 20),
+        (28, 34, 45, 10),
+        (36, 44, 56, 10),
+    ];
     println!(
         "{:<14} {:>4} {:>6} {:>5}   paper(best avg worst)  weight",
         "min class", "best", "avg", "worst"
@@ -386,7 +460,10 @@ fn fig5() {
 /// E10 — Figure 6: the derived-method parameters.
 fn fig6() {
     section("E10 / Figure 6", "magic numbers for small odd divisors");
-    println!("{:>3} {:>6} {:>3} {:>10} {:>12}", "y", "z", "r", "a", "(K+1)y");
+    println!(
+        "{:>3} {:>6} {:>3} {:>10} {:>12}",
+        "y", "z", "r", "a", "(K+1)y"
+    );
     for m in Magic::figure6() {
         println!(
             "{:>3} {:>6} {:>3} {:>10X} {:>12X}",
@@ -490,7 +567,11 @@ fn const_len() {
     let mut total_len = 0u64;
     let pairs = mix.pairs(14, 4000);
     for &(x, y) in &pairs {
-        let k = if x.unsigned_abs() <= y.unsigned_abs() { x } else { y };
+        let k = if x.unsigned_abs() <= y.unsigned_abs() {
+            x
+        } else {
+            y
+        };
         total_len += c.mul_const(i64::from(k)).unwrap().len() as u64;
     }
     println!(
@@ -501,7 +582,10 @@ fn const_len() {
 
 /// A1 — the cheap overflow circuit vs the precise detector.
 fn ovf_ablation() {
-    section("A1 / §4 ablation", "cheap sign-comparison circuit vs 35-bit reference");
+    section(
+        "A1 / §4 ablation",
+        "cheap sign-comparison circuit vs 35-bit reference",
+    );
     let mut rng = StdRng::seed_from_u64(99);
     let mut mixed_disagree = 0u64;
     let mut same_disagree = 0u64;
@@ -532,9 +616,15 @@ fn ovf_ablation() {
 
 /// A2 — the removed step hardware vs the shipped software.
 fn isa_ablation() {
-    section("A2 / §3 ablation", "step-instruction hardware vs Precision software");
+    section(
+        "A2 / §3 ablation",
+        "step-instruction hardware vs Precision software",
+    );
     println!("multiply:");
-    println!("  Booth multiply-step machine: {} cycles, every multiply", baselines::booth::cost());
+    println!(
+        "  Booth multiply-step machine: {} cycles, every multiply",
+        baselines::booth::cost()
+    );
     let p = mulvar::switched(true).unwrap();
     let mix = Figure5Mix::new();
     let pairs = mix.pairs(15, 4000);
@@ -545,10 +635,14 @@ fn isa_ablation() {
         / pairs.len() as f64;
     println!("  Precision software switched:  {avg:.1} cycles average, no extra hardware");
     println!("divide:");
-    println!("  Jouppi 1-instruction step:    {} (needs HL register + V-bit on critical path)",
-        baselines::divider::jouppi_cost());
-    println!("  Precision DS+ADDC pairing:    {} (two plain register ports)",
-        baselines::divider::precision_cost());
+    println!(
+        "  Jouppi 1-instruction step:    {} (needs HL register + V-bit on critical path)",
+        baselines::divider::jouppi_cost()
+    );
+    println!(
+        "  Precision DS+ADDC pairing:    {} (two plain register ports)",
+        baselines::divider::precision_cost()
+    );
     let restoring = divvar::restoring_udiv().unwrap();
     let ds = divvar::udiv().unwrap();
     println!(

@@ -5,14 +5,18 @@
 #![forbid(unsafe_code)]
 
 use pa_isa::{Program, Reg};
-use pa_sim::{run_fn, ExecConfig, RunResult};
+use pa_sim::{run_fn, ExecConfig, RunResult, SimStats};
 
 /// Runs a two-operand millicode routine and returns its cycle count,
 /// asserting completion.
 #[must_use]
 pub fn cycles2(p: &Program, a: u32, b: u32) -> u64 {
     let (_, stats) = run2(p, a, b);
-    assert!(stats.termination.is_completed(), "{a}, {b}: {:?}", stats.termination);
+    assert!(
+        stats.termination.is_completed(),
+        "{a}, {b}: {:?}",
+        stats.termination
+    );
     stats.cycles
 }
 
@@ -20,6 +24,44 @@ pub fn cycles2(p: &Program, a: u32, b: u32) -> u64 {
 #[must_use]
 pub fn run2(p: &Program, a: u32, b: u32) -> (pa_sim::Machine, RunResult) {
     run_fn(p, &[(Reg::R26, a), (Reg::R25, b)], &ExecConfig::default())
+}
+
+/// Runs a two-operand routine with cycle-attribution stats enabled,
+/// merging the run's [`SimStats`] into `agg`; returns the cycle count.
+#[must_use]
+pub fn cycles2_stats(p: &Program, a: u32, b: u32, agg: &mut SimStats) -> u64 {
+    let (_, result) = run_fn(
+        p,
+        &[(Reg::R26, a), (Reg::R25, b)],
+        &ExecConfig::default().with_stats(),
+    );
+    assert!(
+        result.termination.is_completed(),
+        "{a}, {b}: {:?}",
+        result.termination
+    );
+    agg.merge(result.stats.as_deref().expect("stats enabled"));
+    result.cycles
+}
+
+/// Prints a merged [`SimStats`] as the tables reports do: opcode histogram
+/// first, then per-label cycle attribution.
+pub fn print_stats(stats: &SimStats) {
+    print!("per-opcode (executed):");
+    for (op, n) in stats.per_opcode() {
+        print!(" {op}:{n}");
+    }
+    println!();
+    println!(
+        "{:<20} {:>8} {:>9} {:>10}",
+        "region", "cycles", "executed", "nullified"
+    );
+    for r in &stats.regions {
+        println!(
+            "{:<20} {:>8} {:>9} {:>10}",
+            r.label, r.cycles, r.executed, r.nullified
+        );
+    }
 }
 
 /// Best/average/worst cycles of `p` over multiplier values in
@@ -43,7 +85,11 @@ pub fn cycle_band(p: &Program, lo: u32, hi: u32, multiplicand: u32, samples: u32
             _ => break,
         }
     }
-    Band { best, average: total as f64 / count as f64, worst }
+    Band {
+        best,
+        average: total as f64 / count as f64,
+        worst,
+    }
 }
 
 /// A best/average/worst cycle triple.
@@ -59,7 +105,11 @@ pub struct Band {
 
 impl core::fmt::Display for Band {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "{:>4} {:>6.1} {:>5}", self.best, self.average, self.worst)
+        write!(
+            f,
+            "{:>4} {:>6.1} {:>5}",
+            self.best, self.average, self.worst
+        )
     }
 }
 

@@ -65,10 +65,14 @@ pub fn multiply_summary(seed: u64, n: usize) -> MultiplySummary {
 
     for _ in 0..n {
         let (x, y) = mix.sample(&mut rng);
-        if rng.gen_range(0..100) < CONSTANT_OPERAND_PERCENT {
+        if rng.gen_range(0..100u32) < CONSTANT_OPERAND_PERCENT {
             // The smaller operand plays the compile-time constant, the other
             // the run-time value.
-            let (c, v) = if x.unsigned_abs() <= y.unsigned_abs() { (x, y) } else { (y, x) };
+            let (c, v) = if x.unsigned_abs() <= y.unsigned_abs() {
+                (x, y)
+            } else {
+                (y, x)
+            };
             let op = compiler.mul_const(i64::from(c)).expect("mul codegen");
             const_cycles += op.cycles_for(v as u32);
             const_count += 1;
@@ -142,10 +146,18 @@ mod tests {
             "average multiply {:.2} cycles, paper says ≈6",
             s.average
         );
-        assert!(s.constant_average <= 5.0, "constant avg {:.2}", s.constant_average);
+        assert!(
+            s.constant_average <= 5.0,
+            "constant avg {:.2}",
+            s.constant_average
+        );
         // Paper: "<20"; our switched routine measures ≈26 because branch
         // slots cost full cycles in this model (no delay-slot filling).
-        assert!(s.variable_average < 28.0, "variable avg {:.2}", s.variable_average);
+        assert!(
+            s.variable_average < 28.0,
+            "variable avg {:.2}",
+            s.variable_average
+        );
     }
 
     #[test]

@@ -216,7 +216,11 @@ impl Compiler {
     /// See [`CompilerError`].
     pub fn mul_const(&self, n: i64) -> Result<CompiledOp, CompilerError> {
         let program = mulconst::compile_mul_const(n, &self.mul_cfg)?;
-        Ok(self.wrap(OpKind::MulConst { n, checked: false }, program, self.mul_cfg.source))
+        Ok(self.wrap(
+            OpKind::MulConst { n, checked: false },
+            program,
+            self.mul_cfg.source,
+        ))
     }
 
     /// Compiles `x * n` with overflow trapping (Pascal semantics); the chain
@@ -226,7 +230,10 @@ impl Compiler {
     ///
     /// See [`CompilerError`].
     pub fn mul_const_checked(&self, n: i64) -> Result<CompiledOp, CompilerError> {
-        let cfg = CodegenConfig { check_overflow: true, ..self.mul_cfg.clone() };
+        let cfg = CodegenConfig {
+            check_overflow: true,
+            ..self.mul_cfg.clone()
+        };
         let program = mulconst::compile_mul_const(n, &cfg)?;
         Ok(self.wrap(OpKind::MulConst { n, checked: true }, program, cfg.source))
     }
@@ -304,7 +311,12 @@ impl Compiler {
     }
 
     fn wrap(&self, kind: OpKind, program: Program, source: Reg) -> CompiledOp {
-        CompiledOp { kind, program, source, dest: self.div_cfg.dest }
+        CompiledOp {
+            kind,
+            program,
+            source,
+            dest: self.div_cfg.dest,
+        }
     }
 }
 
@@ -393,6 +405,12 @@ mod tests {
         assert_eq!(op.cycles(), 2);
         assert_eq!(op.len(), 2);
         assert!(!op.is_empty());
-        assert_eq!(op.kind(), OpKind::MulConst { n: 10, checked: false });
+        assert_eq!(
+            op.kind(),
+            OpKind::MulConst {
+                n: 10,
+                checked: false
+            }
+        );
     }
 }

@@ -51,7 +51,7 @@ pub mod strength;
 
 pub use compiler::{CompiledOp, Compiler, CompilerError, OpKind};
 pub use divconst::Signedness;
-pub use runtime::{Runtime, RuntimeError};
+pub use runtime::{Runtime, RuntimeError, DISPATCH_LIMIT};
 
 // The substrate crates, re-exported under stable names.
 pub use addchain as chains;
@@ -62,3 +62,4 @@ pub use mulconst;
 pub use operand_dist;
 pub use pa_isa as isa;
 pub use pa_sim as sim;
+pub use telemetry;

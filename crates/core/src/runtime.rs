@@ -6,6 +6,9 @@ use millicode::{divvar, mulvar};
 use pa_isa::{Program, Reg};
 use pa_sim::{run_fn, ExecConfig, Termination, TrapKind};
 
+/// The divisor cutoff the runtime's §7 small-divisor dispatch is built with.
+pub const DISPATCH_LIMIT: u32 = 20;
+
 /// Errors from [`Runtime`] calls.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
@@ -74,16 +77,11 @@ impl Runtime {
             mul_unsigned: mulvar::switched(false)?,
             udiv: divvar::udiv()?,
             sdiv: divvar::sdiv()?,
-            dispatch: divvar::small_dispatch(20)?,
+            dispatch: divvar::small_dispatch(DISPATCH_LIMIT)?,
         })
     }
 
-    fn call(
-        &self,
-        p: &Program,
-        a: u32,
-        b: u32,
-    ) -> Result<(pa_sim::Machine, u64), RuntimeError> {
+    fn call(&self, p: &Program, a: u32, b: u32) -> Result<(pa_sim::Machine, u64), RuntimeError> {
         let (m, stats) = run_fn(p, &[(Reg::R26, a), (Reg::R25, b)], &ExecConfig::default());
         match stats.termination {
             Termination::Completed => Ok((m, stats.cycles)),
@@ -103,6 +101,15 @@ impl Runtime {
     /// Only simulator faults (never expected).
     pub fn mul_i32(&self, x: i32, y: i32) -> Result<(i32, u64), RuntimeError> {
         let (m, cycles) = self.call(&self.mul_signed, x as u32, y as u32)?;
+        telemetry::emit(|| {
+            let (tier, driver) = mulvar::tier_for(true, x as u32, y as u32);
+            telemetry::Event::MulStrategy {
+                routine: "switched",
+                tier,
+                operand: i64::from(driver),
+                cycles: Some(cycles),
+            }
+        });
         Ok((m.reg_i32(Reg::R28), cycles))
     }
 
@@ -113,6 +120,15 @@ impl Runtime {
     /// Only simulator faults (never expected).
     pub fn mul_u32(&self, x: u32, y: u32) -> Result<(u32, u64), RuntimeError> {
         let (m, cycles) = self.call(&self.mul_unsigned, x, y)?;
+        telemetry::emit(|| {
+            let (tier, driver) = mulvar::tier_for(false, x, y);
+            telemetry::Event::MulStrategy {
+                routine: "switched",
+                tier,
+                operand: i64::from(driver),
+                cycles: Some(cycles),
+            }
+        });
         Ok((m.reg(Reg::R28), cycles))
     }
 
@@ -124,6 +140,12 @@ impl Runtime {
     /// [`RuntimeError::DivideByZero`] for `y = 0`.
     pub fn udiv(&self, x: u32, y: u32) -> Result<(u32, u32, u64), RuntimeError> {
         let (m, cycles) = self.call(&self.udiv, x, y)?;
+        telemetry::emit(|| telemetry::Event::DivDispatch {
+            routine: "udiv",
+            tier: divvar::general_tier(false, y),
+            divisor: i64::from(y),
+            cycles: Some(cycles),
+        });
         Ok((m.reg(Reg::R28), m.reg(Reg::R29), cycles))
     }
 
@@ -134,6 +156,12 @@ impl Runtime {
     /// [`RuntimeError::DivideByZero`] for `y = 0`.
     pub fn sdiv(&self, x: i32, y: i32) -> Result<(i32, i32, u64), RuntimeError> {
         let (m, cycles) = self.call(&self.sdiv, x as u32, y as u32)?;
+        telemetry::emit(|| telemetry::Event::DivDispatch {
+            routine: "sdiv",
+            tier: divvar::general_tier(true, y as u32),
+            divisor: i64::from(y),
+            cycles: Some(cycles),
+        });
         Ok((m.reg_i32(Reg::R28), m.reg_i32(Reg::R29), cycles))
     }
 
@@ -145,6 +173,12 @@ impl Runtime {
     /// [`RuntimeError::DivideByZero`] for `y = 0`.
     pub fn udiv_dispatch(&self, x: u32, y: u32) -> Result<(u32, u64), RuntimeError> {
         let (m, cycles) = self.call(&self.dispatch, x, y)?;
+        telemetry::emit(|| telemetry::Event::DivDispatch {
+            routine: "small_dispatch",
+            tier: divvar::dispatch_tier(DISPATCH_LIMIT, y),
+            divisor: i64::from(y),
+            cycles: Some(cycles),
+        });
         Ok((m.reg(Reg::R28), cycles))
     }
 
@@ -200,6 +234,33 @@ mod tests {
         assert_eq!(rt.udiv(5, 0), Err(RuntimeError::DivideByZero));
         assert_eq!(rt.sdiv(5, 0), Err(RuntimeError::DivideByZero));
         assert_eq!(rt.udiv_dispatch(5, 0), Err(RuntimeError::DivideByZero));
+    }
+
+    #[test]
+    fn runtime_calls_emit_strategy_events() {
+        let rt = Runtime::new().unwrap();
+        let ((), events) = telemetry::collect(|| {
+            rt.mul_i32(-123, 456).unwrap();
+            rt.mul_u32(7, 9).unwrap();
+            rt.udiv(1000, 7).unwrap();
+            rt.sdiv(-1000, 7).unwrap();
+            rt.udiv_dispatch(100, 7).unwrap();
+            let _ = rt.udiv(5, 0); // failed calls record nothing
+        });
+        assert_eq!(events.len(), 5);
+        for e in &events {
+            let cycles = match e {
+                telemetry::Event::MulStrategy { cycles, .. }
+                | telemetry::Event::DivDispatch { cycles, .. } => *cycles,
+                other => panic!("unexpected event {other:?}"),
+            };
+            assert!(cycles.unwrap() > 0);
+        }
+        let hist = telemetry::strategy_histogram(&events);
+        assert_eq!(hist.get("mul/nibble-x2"), Some(&1)); // |−123| drives
+        assert_eq!(hist.get("mul/nibble-x1"), Some(&1)); // 7 drives
+        assert_eq!(hist.get("divvar/general"), Some(&2));
+        assert_eq!(hist.get("divvar/inlined-body"), Some(&1));
     }
 
     #[test]

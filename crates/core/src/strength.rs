@@ -96,7 +96,8 @@ pub fn naive_loop(spec: LoopSpec) -> Result<Program, CompilerError> {
     let limit = i32::try_from(spec.trips).unwrap_or(i32::MAX);
     b.comiclr(Cond::Lt, limit, IVAR, Reg::R0); // trips < i → exit
     b.b(top);
-    b.build().map_err(|e| CompilerError::Mul(mulconst::CodegenError::Isa(e)))
+    b.build()
+        .map_err(|e| CompilerError::Mul(mulconst::CodegenError::Isa(e)))
 }
 
 /// Builds the strength-reduced loop: the multiplication results form an
@@ -123,7 +124,10 @@ pub fn reduced_loop(spec: LoopSpec) -> Result<Program, CompilerError> {
     }
     // The per-trip increment also needs `factor` in a register.
     let step = Reg::R6;
-    let step_cfg = CodegenConfig { dest: step, ..mul_cfg };
+    let step_cfg = CodegenConfig {
+        dest: step,
+        ..mul_cfg
+    };
     let step_code = compile_mul_const(spec.factor, &step_cfg)?;
     for insn in step_code.insns() {
         b.raw(insn.op);
@@ -135,7 +139,8 @@ pub fn reduced_loop(spec: LoopSpec) -> Result<Program, CompilerError> {
     let limit = i32::try_from(spec.trips).unwrap_or(i32::MAX);
     b.comiclr(Cond::Lt, limit, IVAR, Reg::R0);
     b.b(top);
-    b.build().map_err(|e| CompilerError::Mul(mulconst::CodegenError::Isa(e)))
+    b.build()
+        .map_err(|e| CompilerError::Mul(mulconst::CodegenError::Isa(e)))
 }
 
 /// Compiles and runs both versions, checking they agree.
@@ -163,7 +168,10 @@ pub fn reduced_loop(spec: LoopSpec) -> Result<Program, CompilerError> {
 pub fn compare(spec: LoopSpec) -> Result<Comparison, CompilerError> {
     let naive = naive_loop(spec)?;
     let reduced = reduced_loop(spec)?;
-    let cfg = ExecConfig { max_cycles: 100_000_000, ..ExecConfig::default() };
+    let cfg = ExecConfig {
+        max_cycles: 100_000_000,
+        ..ExecConfig::default()
+    };
     let (m1, s1) = run_fn(&naive, &[], &cfg);
     let (m2, s2) = run_fn(&reduced, &[], &cfg);
     assert!(s1.termination.is_completed() && s2.termination.is_completed());
@@ -185,15 +193,27 @@ mod tests {
 
     #[test]
     fn paper_example_i_times_15() {
-        let cmp = compare(LoopSpec { trips: 10, factor: 15 }).unwrap();
+        let cmp = compare(LoopSpec {
+            trips: 10,
+            factor: 15,
+        })
+        .unwrap();
         assert_eq!(cmp.result, 15 * 55);
         assert!(cmp.reduced_cycles < cmp.naive_cycles, "{cmp}");
     }
 
     #[test]
     fn bigger_factors_save_more() {
-        let cheap = compare(LoopSpec { trips: 100, factor: 2 }).unwrap();
-        let costly = compare(LoopSpec { trips: 100, factor: 1979 }).unwrap();
+        let cheap = compare(LoopSpec {
+            trips: 100,
+            factor: 2,
+        })
+        .unwrap();
+        let costly = compare(LoopSpec {
+            trips: 100,
+            factor: 1979,
+        })
+        .unwrap();
         assert!(
             costly.saved_per_trip(100) > cheap.saved_per_trip(100),
             "longer chains must make reduction more valuable"
@@ -205,14 +225,22 @@ mod tests {
         for (trips, factor) in [(1u32, 7i64), (2, -3), (50, 123), (10, 0)] {
             let cmp = compare(LoopSpec { trips, factor }).unwrap();
             let expect: i64 = (1..=i64::from(trips)).map(|i| i * factor).sum();
-            assert_eq!(i64::from(cmp.result), expect as i32 as i64, "{trips}×{factor}");
+            assert_eq!(
+                i64::from(cmp.result),
+                expect as i32 as i64,
+                "{trips}×{factor}"
+            );
         }
     }
 
     #[test]
     fn single_trip_overhead_can_favour_naive() {
         // With one trip the reduced version pays two setup multiplies.
-        let cmp = compare(LoopSpec { trips: 1, factor: 15 }).unwrap();
+        let cmp = compare(LoopSpec {
+            trips: 1,
+            factor: 15,
+        })
+        .unwrap();
         assert!(cmp.reduced_cycles >= cmp.naive_cycles);
     }
 }

@@ -111,7 +111,11 @@ impl fmt::Display for DivStrategy {
             DivStrategy::EvenSplit { k, odd } => {
                 write!(f, "shift by {k} then divide by {odd}")
             }
-            DivStrategy::Magic { magic, chain_len, triple } => write!(
+            DivStrategy::Magic {
+                magic,
+                chain_len,
+                triple,
+            } => write!(
                 f,
                 "derived method: {magic}, chain of {chain_len}{}",
                 if *triple { ", triple precision" } else { "" }
@@ -145,7 +149,10 @@ impl fmt::Display for DivCodegenError {
                 write!(f, "derived method needs about {needed} scratch registers")
             }
             DivCodegenError::RegisterConflict => {
-                write!(f, "source, dest and temp registers must be distinct and non-zero")
+                write!(
+                    f,
+                    "source, dest and temp registers must be distinct and non-zero"
+                )
             }
             DivCodegenError::Isa(e) => write!(f, "instruction construction failed: {e}"),
         }
@@ -190,22 +197,55 @@ pub fn plan(y: u32, signedness: Signedness) -> Result<DivStrategy, DivCodegenErr
     if y == 0 {
         return Err(DivCodegenError::ZeroDivisor);
     }
-    if y == 1 {
-        return Ok(DivStrategy::Identity);
+    let strategy = if y == 1 {
+        DivStrategy::Identity
+    } else if y.is_power_of_two() {
+        DivStrategy::PowerOfTwo {
+            k: y.trailing_zeros(),
+        }
+    } else if y.trailing_zeros() > 0 {
+        let k = y.trailing_zeros();
+        DivStrategy::EvenSplit { k, odd: y >> k }
+    } else {
+        let (magic, chain) = choose_magic(y, signedness);
+        DivStrategy::Magic {
+            triple: !magic_fits_pair(&magic, signedness),
+            chain_len: chain.len(),
+            magic,
+        }
+    };
+    telemetry::emit(|| plan_event(y, signedness, &strategy));
+    Ok(strategy)
+}
+
+/// Builds the [`telemetry::Event::DivPlan`] record for a chosen strategy.
+fn plan_event(y: u32, signedness: Signedness, strategy: &DivStrategy) -> telemetry::Event {
+    let signed = matches!(signedness, Signedness::Signed);
+    let sign_fixup = || if signed { "sign-fixup" } else { "none" };
+    let (name, magic_a, shift_s, fixup, chain_len) = match strategy {
+        DivStrategy::Identity => ("identity", None, None, "none", None),
+        DivStrategy::PowerOfTwo { k } => ("power-of-two", None, Some(*k), sign_fixup(), None),
+        DivStrategy::EvenSplit { k, odd: _ } => ("even-split", None, Some(*k), sign_fixup(), None),
+        DivStrategy::Magic {
+            magic,
+            chain_len,
+            triple,
+        } => (
+            "magic",
+            Some(magic.a()),
+            Some(magic.s()),
+            if *triple { "triple-precision" } else { "pair" },
+            Some(*chain_len),
+        ),
+    };
+    telemetry::Event::DivPlan {
+        y,
+        strategy: name,
+        magic_a,
+        shift_s,
+        fixup,
+        chain_len,
     }
-    if y.is_power_of_two() {
-        return Ok(DivStrategy::PowerOfTwo { k: y.trailing_zeros() });
-    }
-    let k = y.trailing_zeros();
-    if k > 0 {
-        return Ok(DivStrategy::EvenSplit { k, odd: y >> k });
-    }
-    let (magic, chain) = choose_magic(y, signedness);
-    Ok(DivStrategy::Magic {
-        triple: !magic_fits_pair(&magic, signedness),
-        chain_len: chain.len(),
-        magic,
-    })
 }
 
 /// Required dividend coverage: `2^32` unsigned, `2^31` for signed
@@ -334,7 +374,11 @@ fn magic_cost(magic: &Magic, chain: &Chain, signedness: Signedness) -> u64 {
         };
     }
     if magic.r() > 1 {
-        cost += if magic.r() - 1 <= Im11::MAX as u64 { 2 } else { 4 };
+        cost += if magic.r() - 1 <= Im11::MAX as u64 {
+            2
+        } else {
+            4
+        };
     }
     if magic.s() > 32 || triple {
         cost += 1;
@@ -625,7 +669,9 @@ fn emit_magic_body(
     // Register budget: 2 dedicated scratch + `width`-sized slots carved from
     // dest + temps.
     if config.temps.len() < 2 + width {
-        return Err(DivCodegenError::OutOfTemps { needed: 2 + width + 1 });
+        return Err(DivCodegenError::OutOfTemps {
+            needed: 2 + width + 1,
+        });
     }
     let scratch = [config.temps[0], config.temps[1]];
     // Slot 0 places `dest` as its most significant word so the final s = 32
@@ -635,13 +681,19 @@ fn emit_magic_body(
         _ => vec![config.temps[2], config.temps[3], config.dest],
     };
     let tail_start = width + 1;
-    pool.extend(config.temps[tail_start.min(config.temps.len())..].iter().copied());
+    pool.extend(
+        config.temps[tail_start.min(config.temps.len())..]
+            .iter()
+            .copied(),
+    );
     let slots: Vec<Value> = pool
         .chunks_exact(width)
         .map(|c| Value { words: c.to_vec() })
         .collect();
     if slots.len() < 2 {
-        return Err(DivCodegenError::OutOfTemps { needed: 2 + 2 * width });
+        return Err(DivCodegenError::OutOfTemps {
+            needed: 2 + 2 * width,
+        });
     }
 
     let steps = chain.steps();
@@ -676,7 +728,9 @@ fn emit_magic_body(
             b.addi(1, x, v.word(0));
             b.addc(Reg::R0, Reg::R0, v.word(1));
             // Words beyond the pair read as r0 through Value::word.
-            Value { words: vec![v.word(0), v.word(1)] }
+            Value {
+                words: vec![v.word(0), v.word(1)],
+            }
         }
         BaseInit::PlusOneNoCarry | BaseInit::OneMinusX => {
             // |x| + 1 ≤ 2^31 + 1 fits one word; the high words are literally

@@ -33,8 +33,8 @@ mod codegen;
 mod magic;
 
 pub use codegen::{
-    compile_div_const, compile_div_const_i32, plan, DivCodegenConfig, DivCodegenError,
-    DivStrategy, Signedness,
+    compile_div_const, compile_div_const_i32, plan, DivCodegenConfig, DivCodegenError, DivStrategy,
+    Signedness,
 };
 pub use magic::{Magic, MagicError};
 
@@ -62,7 +62,13 @@ mod tests {
 
     fn interesting_u32(y: u32) -> Vec<u32> {
         let mut v = vec![0u32, 1, 2, 3, 9, 100, u32::MAX, u32::MAX - 1, 1 << 31];
-        for k in [1u64, 2, 3, 1000, (u64::from(u32::MAX) / u64::from(y)).max(1)] {
+        for k in [
+            1u64,
+            2,
+            3,
+            1000,
+            (u64::from(u32::MAX) / u64::from(y)).max(1),
+        ] {
             let base = k * u64::from(y);
             for d in -2i64..=2 {
                 if let Ok(x) = u32::try_from(base as i64 + d) {
@@ -101,7 +107,18 @@ mod tests {
 
     #[test]
     fn unsigned_larger_divisors() {
-        for y in [21u32, 100, 127, 255, 1000, 1023, 1025, 4097, 65535, 0x8000_0001] {
+        for y in [
+            21u32,
+            100,
+            127,
+            255,
+            1000,
+            1023,
+            1025,
+            4097,
+            65535,
+            0x8000_0001,
+        ] {
             let p = compile_div_const(y, Signedness::Unsigned, &cfg()).unwrap();
             for x in interesting_u32(y) {
                 assert_eq!(udiv(&p, x), x / y, "{x} / {y}");
@@ -198,7 +215,10 @@ mod tests {
 
     #[test]
     fn strategies_match_divisor_structure() {
-        assert_eq!(plan(1, Signedness::Unsigned).unwrap(), DivStrategy::Identity);
+        assert_eq!(
+            plan(1, Signedness::Unsigned).unwrap(),
+            DivStrategy::Identity
+        );
         assert_eq!(
             plan(8, Signedness::Unsigned).unwrap(),
             DivStrategy::PowerOfTwo { k: 3 }
@@ -247,7 +267,10 @@ mod tests {
 
     #[test]
     fn register_conflicts_rejected() {
-        let bad = DivCodegenConfig { source: Reg::R28, ..cfg() };
+        let bad = DivCodegenConfig {
+            source: Reg::R28,
+            ..cfg()
+        };
         assert!(matches!(
             compile_div_const(3, Signedness::Unsigned, &bad),
             Err(DivCodegenError::RegisterConflict)
@@ -256,7 +279,10 @@ mod tests {
 
     #[test]
     fn too_few_temps_detected() {
-        let narrow = DivCodegenConfig { temps: vec![Reg::R1, Reg::R31], ..cfg() };
+        let narrow = DivCodegenConfig {
+            temps: vec![Reg::R1, Reg::R31],
+            ..cfg()
+        };
         assert!(matches!(
             compile_div_const(3, Signedness::Unsigned, &narrow),
             Err(DivCodegenError::OutOfTemps { .. })
@@ -274,7 +300,20 @@ mod tests {
     fn even_split_composes_signedly() {
         // 24 = 8·3: signed trunc composition.
         let p = compile_div_const(24, Signedness::Signed, &cfg()).unwrap();
-        for x in [-25i32, -24, -23, -1, 0, 1, 23, 24, 25, 100, i32::MIN, i32::MAX] {
+        for x in [
+            -25i32,
+            -24,
+            -23,
+            -1,
+            0,
+            1,
+            23,
+            24,
+            25,
+            100,
+            i32::MIN,
+            i32::MAX,
+        ] {
             assert_eq!(i64::from(sdiv(&p, x)), i64::from(x) / 24, "{x} / 24");
         }
     }

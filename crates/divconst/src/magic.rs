@@ -114,7 +114,10 @@ impl Magic {
         let r = (z % u128::from(y)) as u64;
         let m = Magic { y, s, a, r };
         if m.reach() < need {
-            return Err(MagicError::RangeTooSmall { s, reach: m.reach() });
+            return Err(MagicError::RangeTooSmall {
+                s,
+                reach: m.reach(),
+            });
         }
         Ok(m)
     }

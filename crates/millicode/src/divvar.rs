@@ -39,6 +39,42 @@ use regs::{DIVIDEND, DIVISOR, QUOTIENT, REMAINDER};
 /// The `BREAK` code raised for division by zero.
 pub const DIV_ZERO_BREAK: u16 = 0x2d;
 
+/// Classifies which path of [`udiv`]/[`sdiv`] fires for a divisor (given as
+/// its raw bit pattern): `"zero-trap"`, `"big-divisor"` (magnitude ≥ 2³¹,
+/// the compare-only special case), or `"general"` (the 32-step `DS`/`ADDC`
+/// core).
+#[must_use]
+pub fn general_tier(signed: bool, divisor: u32) -> &'static str {
+    if divisor == 0 {
+        return "zero-trap";
+    }
+    let magnitude = if signed && (divisor as i32) < 0 {
+        (divisor as i32).wrapping_neg() as u32
+    } else {
+        divisor
+    };
+    if magnitude >> 31 != 0 {
+        "big-divisor"
+    } else {
+        "general"
+    }
+}
+
+/// Classifies which path of [`small_dispatch`] (built with `limit`) fires
+/// for a divisor: `"zero-trap"`, `"copy-body"` (÷1 is a register copy),
+/// `"inlined-body"` (the `BLR`-vectored derived-method bodies),
+/// `"big-divisor"`, or `"general"` (the inlined fallback core).
+#[must_use]
+pub fn dispatch_tier(limit: u32, divisor: u32) -> &'static str {
+    match divisor {
+        0 => "zero-trap",
+        1 => "copy-body",
+        y if y < limit => "inlined-body",
+        y if y >> 31 != 0 => "big-divisor",
+        _ => "general",
+    }
+}
+
 /// Emits the 32-step `DS`/`ADDC` core dividing the value in `dividend_reg`
 /// (which must be a scratch copy — the quotient develops in it) by the value
 /// in `divisor_reg` (< 2³¹); the remainder lands in `REMAINDER`.

@@ -46,7 +46,11 @@ mod tests {
 
     fn check_mul_signed(p: &Program, x: i32, y: i32) -> u64 {
         let (m, r) = run2(p, x as u32, y as u32);
-        assert!(r.termination.is_completed(), "{x} * {y}: {:?}", r.termination);
+        assert!(
+            r.termination.is_completed(),
+            "{x} * {y}: {:?}",
+            r.termination
+        );
         assert_eq!(
             m.reg(Reg::R28),
             (x as u32).wrapping_mul(y as u32),
@@ -123,7 +127,10 @@ mod tests {
         }
         let small = check_mul_signed(&p, 3, 1_000_000);
         let large = check_mul_signed(&p, 1_000_000, 3);
-        assert!(small < large, "{small} !< {large}: early exit must help small multipliers");
+        assert!(
+            small < large,
+            "{small} !< {large}: early exit must help small multipliers"
+        );
         // Worst case ≈192 (paper): a full-width multiplier magnitude.
         let worst = check_mul_signed(&p, i32::MIN, 1);
         assert!((185..=210).contains(&worst), "worst {worst}, expected ≈192");
@@ -192,7 +199,10 @@ mod tests {
         for small in 0..=15 {
             worst = worst.max(check_mul_signed(&p, small, 1_000_000));
         }
-        assert!(worst <= 30, "nibble-class multiply took {worst}, paper says ≤23");
+        assert!(
+            worst <= 30,
+            "nibble-class multiply took {worst}, paper says ≤23"
+        );
     }
 
     #[test]
@@ -208,7 +218,11 @@ mod tests {
             costs.windows(2).all(|w| w[0] < w[1]),
             "class costs must increase: {costs:?}"
         );
-        assert!(costs[3] <= 60, "largest class worst {} (paper: 56)", costs[3]);
+        assert!(
+            costs[3] <= 60,
+            "largest class worst {} (paper: 56)",
+            costs[3]
+        );
     }
 
     #[test]
@@ -242,7 +256,11 @@ mod tests {
 
     fn check_udiv(p: &Program, x: u32, y: u32) -> u64 {
         let (m, r) = run2(p, x, y);
-        assert!(r.termination.is_completed(), "{x} / {y}: {:?}", r.termination);
+        assert!(
+            r.termination.is_completed(),
+            "{x} / {y}: {:?}",
+            r.termination
+        );
         assert_eq!(m.reg(Reg::R28), x / y, "{x} / {y} quotient");
         assert_eq!(m.reg(Reg::R29), x % y, "{x} % {y} remainder");
         r.cycles
@@ -288,7 +306,10 @@ mod tests {
     fn udiv_costs_about_80_cycles() {
         let p = divvar::udiv().unwrap();
         let c = check_udiv(&p, 123_456_789, 7);
-        assert!((68..=85).contains(&c), "general divide took {c}, expected ≈80");
+        assert!(
+            (68..=85).contains(&c),
+            "general divide took {c}, expected ≈80"
+        );
     }
 
     #[test]
@@ -382,6 +403,64 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn mul_tiers_classify_operand_pairs() {
+        assert_eq!(mulvar::tier_for(false, 0, 5), ("zero-exit", 0));
+        assert_eq!(mulvar::tier_for(false, 123, 1), ("one-exit", 1));
+        assert_eq!(mulvar::tier_for(false, 300, 7), ("nibble-x1", 7));
+        assert_eq!(
+            mulvar::tier_for(false, 0x1234, u32::MAX),
+            ("nibble-x4", 0x1234)
+        );
+        assert_eq!(
+            mulvar::tier_for(false, u32::MAX, u32::MAX),
+            ("nibble-x8", u32::MAX)
+        );
+        // Signed: magnitudes drive the classification, including |MIN| = 2³¹.
+        assert_eq!(mulvar::tier_for(true, -8i32 as u32, 3), ("nibble-x1", 3));
+        assert_eq!(mulvar::tier_for(true, i32::MIN as u32, 2), ("nibble-x1", 2));
+        assert_eq!(
+            mulvar::tier_for(true, i32::MIN as u32, i32::MIN as u32),
+            ("nibble-x8", 0x8000_0000)
+        );
+    }
+
+    #[test]
+    fn mul_tiers_track_measured_cycles() {
+        // A denser tier must never be cheaper than a sparser one on the
+        // same multiplicand — the tier order IS the cycle order.
+        let p = mulvar::switched(true).unwrap();
+        let pairs: [(i32, &str); 5] = [
+            (0, "zero-exit"),
+            (1, "one-exit"),
+            (9, "nibble-x1"),
+            (200, "nibble-x2"),
+            (40000, "nibble-x4"),
+        ];
+        let mut last = 0u64;
+        for (driver, expect) in pairs {
+            let (tier, _) = mulvar::tier_for(true, driver as u32, 1_000_000);
+            assert_eq!(tier, expect, "driver {driver}");
+            let cycles = check_mul_signed(&p, driver, 1_000_000);
+            assert!(cycles >= last, "tier {tier}: {cycles} < {last}");
+            last = cycles;
+        }
+    }
+
+    #[test]
+    fn div_tiers_classify_divisors() {
+        assert_eq!(divvar::general_tier(false, 0), "zero-trap");
+        assert_eq!(divvar::general_tier(false, 7), "general");
+        assert_eq!(divvar::general_tier(false, 0x8000_0000), "big-divisor");
+        assert_eq!(divvar::general_tier(true, -7i32 as u32), "general");
+        assert_eq!(divvar::general_tier(true, i32::MIN as u32), "big-divisor");
+        assert_eq!(divvar::dispatch_tier(20, 0), "zero-trap");
+        assert_eq!(divvar::dispatch_tier(20, 1), "copy-body");
+        assert_eq!(divvar::dispatch_tier(20, 19), "inlined-body");
+        assert_eq!(divvar::dispatch_tier(20, 20), "general");
+        assert_eq!(divvar::dispatch_tier(20, u32::MAX), "big-divisor");
     }
 
     #[test]
@@ -482,7 +561,11 @@ mod checked_tests {
     use pa_sim::{run_fn, ExecConfig, TrapKind};
 
     fn check(p: &pa_isa::Program, x: i32, y: i32) {
-        let (m, r) = run_fn(p, &[(Reg::R26, x as u32), (Reg::R25, y as u32)], &ExecConfig::default());
+        let (m, r) = run_fn(
+            p,
+            &[(Reg::R26, x as u32), (Reg::R25, y as u32)],
+            &ExecConfig::default(),
+        );
         match x.checked_mul(y) {
             Some(exact) => {
                 assert!(
@@ -553,8 +636,16 @@ mod checked_tests {
     fn checked_costs_are_close_to_unchecked() {
         let checked = mulvar::switched_checked().unwrap();
         let unchecked = mulvar::switched(true).unwrap();
-        let (_, rc) = run_fn(&checked, &[(Reg::R26, 9), (Reg::R25, 100)], &ExecConfig::default());
-        let (_, ru) = run_fn(&unchecked, &[(Reg::R26, 9), (Reg::R25, 100)], &ExecConfig::default());
+        let (_, rc) = run_fn(
+            &checked,
+            &[(Reg::R26, 9), (Reg::R25, 100)],
+            &ExecConfig::default(),
+        );
+        let (_, ru) = run_fn(
+            &unchecked,
+            &[(Reg::R26, 9), (Reg::R25, 100)],
+            &ExecConfig::default(),
+        );
         assert!(
             rc.cycles <= ru.cycles + 8,
             "checked {} vs unchecked {}",

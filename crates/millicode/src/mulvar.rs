@@ -212,6 +212,53 @@ pub fn swap() -> Result<Program, IsaError> {
     b.build()
 }
 
+/// Tier names returned by [`tier_for`], densest loop last.
+const NIBBLE_TIERS: [&str; 8] = [
+    "nibble-x1",
+    "nibble-x2",
+    "nibble-x3",
+    "nibble-x4",
+    "nibble-x5",
+    "nibble-x6",
+    "nibble-x7",
+    "nibble-x8",
+];
+
+/// Classifies which strategy tier of [`switched`] fires for an operand
+/// pair, returning the tier name and the driving operand magnitude.
+///
+/// [`switched`] takes magnitudes (signed flavour only), swaps so the
+/// smaller working value drives the loop, exits early for 0 and 1, and
+/// otherwise runs one 16-way switch iteration per significant nibble of
+/// the driver. The tiers mirror that shape:
+///
+/// * `"zero-exit"` / `"one-exit"` — the §6 quick exits;
+/// * `"nibble-x1"` … `"nibble-x8"` — the number of nibble-loop
+///   iterations (a full-width driver costs eight).
+///
+/// The signed slow path (a negative operand) adds a constant prologue but
+/// does not change the loop shape, so it does not get its own tier.
+#[must_use]
+pub fn tier_for(signed: bool, x: u32, y: u32) -> (&'static str, u32) {
+    let magnitude = |v: u32| {
+        if signed && (v as i32) < 0 {
+            (v as i32).wrapping_neg() as u32
+        } else {
+            v
+        }
+    };
+    let driver = u32::min(magnitude(x), magnitude(y));
+    let tier = match driver {
+        0 => "zero-exit",
+        1 => "one-exit",
+        _ => {
+            let nibbles = (32 - driver.leading_zeros()).div_ceil(4);
+            NIBBLE_TIERS[nibbles as usize - 1]
+        }
+    };
+    (tier, driver)
+}
+
 /// **Figure 4 / Figure 5** — the final algorithm: a `BLR`-vectored 16-way
 /// switch multiplies the multiplicand by each nibble using the
 /// multiply-by-constant sequences, with quick exits for multipliers 0 and 1
@@ -270,9 +317,7 @@ pub fn switched(signed: bool) -> Result<Program, IsaError> {
     // ---- the 16-entry, 2-instruction switch table -----------------------
     // Entries add nibble·mcand to the result: one shift-and-add plus a
     // branch; nibbles needing more work branch to short shared tails.
-    let tails: Vec<pa_isa::Label> = (0..8)
-        .map(|i| b.named_label(&format!("tail{i}")))
-        .collect();
+    let tails: Vec<pa_isa::Label> = (0..8).map(|i| b.named_label(&format!("tail{i}"))).collect();
     // tail indices: 0:+1m 1:+2m 2:+3m 3:+4m 4:+5m 5:+6m 6:+7m(16-… unused) 7:(15: −1m)
     b.bind(table);
     // 0: nothing

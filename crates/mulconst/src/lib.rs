@@ -72,7 +72,10 @@ impl CodegenConfig {
     /// The same register assignment with overflow checking enabled.
     #[must_use]
     pub fn with_overflow_checking() -> CodegenConfig {
-        CodegenConfig { check_overflow: true, ..CodegenConfig::default() }
+        CodegenConfig {
+            check_overflow: true,
+            ..CodegenConfig::default()
+        }
     }
 }
 
@@ -98,13 +101,19 @@ impl fmt::Display for CodegenError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CodegenError::NotOverflowSafe => {
-                write!(f, "chain cannot carry overflow checks (not monotonic add/shift-and-add)")
+                write!(
+                    f,
+                    "chain cannot carry overflow checks (not monotonic add/shift-and-add)"
+                )
             }
             CodegenError::OutOfTemps { needed } => {
                 write!(f, "chain needs {needed} registers but fewer were provided")
             }
             CodegenError::RegisterConflict => {
-                write!(f, "source, dest and temp registers must be distinct and non-zero")
+                write!(
+                    f,
+                    "source, dest and temp registers must be distinct and non-zero"
+                )
             }
             CodegenError::Isa(e) => write!(f, "instruction construction failed: {e}"),
         }
@@ -160,7 +169,10 @@ pub fn compile_mul_const(n: i64, config: &CodegenConfig) -> Result<Program, Code
         Err(CodegenError::OutOfTemps { .. }) => {
             // Retry with the register-lean rule set (chains keeping at most
             // three values live), trading a step or two for pressure.
-            let lean = RuleConfig { allow_splits: false, ..rules };
+            let lean = RuleConfig {
+                allow_splits: false,
+                ..rules
+            };
             compile(&find_chain_with(target, &lean))
         }
         other => other,
@@ -219,7 +231,9 @@ impl Alloc {
             self.holds[slot] = Some(element);
             return Ok(self.pool[slot]);
         }
-        Err(CodegenError::OutOfTemps { needed: self.pool.len() + 1 })
+        Err(CodegenError::OutOfTemps {
+            needed: self.pool.len() + 1,
+        })
     }
 }
 
@@ -275,15 +289,31 @@ fn emit_chain(
         let t = alloc.place(at, is_last)?;
         match *step {
             Step::Add { .. } => {
-                b.raw(Op::Add { a: rj, b: rk.expect("add has k"), t, trap });
+                b.raw(Op::Add {
+                    a: rj,
+                    b: rk.expect("add has k"),
+                    t,
+                    trap,
+                });
             }
             Step::ShAdd { sh, .. } => {
                 let sh = ShAmount::new(sh).map_err(CodegenError::from)?;
-                b.raw(Op::ShAdd { sh, a: rj, b: rk.expect("shadd has k"), t, trap });
+                b.raw(Op::ShAdd {
+                    sh,
+                    a: rj,
+                    b: rk.expect("shadd has k"),
+                    t,
+                    trap,
+                });
             }
             Step::Sub { .. } => {
                 debug_assert!(!trap, "overflow-safe chains have no SUB");
-                b.raw(Op::Sub { a: rj, b: rk.expect("sub has k"), t, trap: false });
+                b.raw(Op::Sub {
+                    a: rj,
+                    b: rk.expect("sub has k"),
+                    t,
+                    trap: false,
+                });
             }
             Step::Shl { amount, .. } => {
                 debug_assert!(!trap, "overflow-safe chains have no SHL");
@@ -389,11 +419,7 @@ mod tests {
             for &x in &xs {
                 let (m, r) = mul_on_sim(&p, x);
                 assert!(r.termination.is_completed());
-                assert_eq!(
-                    m.reg(Reg::R28),
-                    x.wrapping_mul(n as u32),
-                    "{n} * {x}"
-                );
+                assert_eq!(m.reg(Reg::R28), x.wrapping_mul(n as u32), "{n} * {x}");
             }
         }
     }
@@ -416,23 +442,53 @@ mod tests {
         let chain = Chain::new(
             2 + 3 + 5 + 9,
             vec![
-                Step::Add { j: Ref::One, k: Ref::One },                //  2
-                Step::ShAdd { sh: 1, j: Ref::One, k: Ref::One },       //  3
-                Step::ShAdd { sh: 2, j: Ref::One, k: Ref::One },       //  5
-                Step::ShAdd { sh: 3, j: Ref::One, k: Ref::One },       //  9
-                Step::Add { j: Ref::Step(1), k: Ref::Step(2) },        //  5
-                Step::Add { j: Ref::Step(3), k: Ref::Step(4) },        // 14
-                Step::Add { j: Ref::Step(5), k: Ref::Step(6) },        // 19
+                Step::Add {
+                    j: Ref::One,
+                    k: Ref::One,
+                }, //  2
+                Step::ShAdd {
+                    sh: 1,
+                    j: Ref::One,
+                    k: Ref::One,
+                }, //  3
+                Step::ShAdd {
+                    sh: 2,
+                    j: Ref::One,
+                    k: Ref::One,
+                }, //  5
+                Step::ShAdd {
+                    sh: 3,
+                    j: Ref::One,
+                    k: Ref::One,
+                }, //  9
+                Step::Add {
+                    j: Ref::Step(1),
+                    k: Ref::Step(2),
+                }, //  5
+                Step::Add {
+                    j: Ref::Step(3),
+                    k: Ref::Step(4),
+                }, // 14
+                Step::Add {
+                    j: Ref::Step(5),
+                    k: Ref::Step(6),
+                }, // 19
             ],
         )
         .unwrap();
-        let narrow = CodegenConfig { temps: vec![Reg::R1], ..cfg() };
+        let narrow = CodegenConfig {
+            temps: vec![Reg::R1],
+            ..cfg()
+        };
         assert!(matches!(
             compile_chain(&chain, &narrow),
             Err(CodegenError::OutOfTemps { .. })
         ));
         // With enough temps it compiles and computes 19x.
-        let wide = CodegenConfig { temps: vec![Reg::R1, Reg::R31, Reg::R29], ..cfg() };
+        let wide = CodegenConfig {
+            temps: vec![Reg::R1, Reg::R31, Reg::R29],
+            ..cfg()
+        };
         let p = compile_chain(&chain, &wide).unwrap();
         let (m, _) = mul_on_sim(&p, 10);
         assert_eq!(m.reg(Reg::R28), 190);
@@ -445,17 +501,10 @@ mod tests {
         for n in [2i64, 3, 10, 15, 31, 100, 59] {
             let p = compile_mul_const(n, &cfg).unwrap();
             for &x in &xs {
-                let (m, r) = run_fn(
-                    &p,
-                    &[(Reg::R26, x as u32)],
-                    &ExecConfig::default(),
-                );
+                let (m, r) = run_fn(&p, &[(Reg::R26, x as u32)], &ExecConfig::default());
                 match x.checked_mul(n as i32) {
                     Some(exact) => {
-                        assert!(
-                            r.termination.is_completed(),
-                            "{n} * {x} trapped spuriously"
-                        );
+                        assert!(r.termination.is_completed(), "{n} * {x} trapped spuriously");
                         assert_eq!(m.reg_i32(Reg::R28), exact, "{n} * {x}");
                     }
                     None => {
@@ -490,12 +539,18 @@ mod tests {
 
     #[test]
     fn register_conflicts_rejected() {
-        let bad = CodegenConfig { source: Reg::R28, ..cfg() };
+        let bad = CodegenConfig {
+            source: Reg::R28,
+            ..cfg()
+        };
         assert_eq!(
             compile_mul_const(5, &bad).unwrap_err(),
             CodegenError::RegisterConflict
         );
-        let zero = CodegenConfig { dest: Reg::R0, ..cfg() };
+        let zero = CodegenConfig {
+            dest: Reg::R0,
+            ..cfg()
+        };
         assert_eq!(
             compile_mul_const(5, &zero).unwrap_err(),
             CodegenError::RegisterConflict
@@ -508,8 +563,14 @@ mod tests {
         let chain = Chain::new(
             15,
             vec![
-                Step::Shl { j: Ref::One, amount: 4 },
-                Step::Sub { j: Ref::Step(1), k: Ref::One },
+                Step::Shl {
+                    j: Ref::One,
+                    amount: 4,
+                },
+                Step::Sub {
+                    j: Ref::Step(1),
+                    k: Ref::One,
+                },
             ],
         )
         .unwrap();

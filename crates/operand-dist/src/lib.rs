@@ -23,8 +23,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// The operand-magnitude classes of **Figure 5**, keyed by `min(|x|, |y|)`.
-pub const FIGURE5_CLASSES: [(u32, u32); 4] =
-    [(0, 15), (16, 255), (256, 4095), (4096, 46340)];
+pub const FIGURE5_CLASSES: [(u32, u32); 4] = [(0, 15), (16, 255), (256, 4095), (4096, 46340)];
 
 /// The paper's Figure 5 class weights (percent).
 pub const FIGURE5_WEIGHTS: [u32; 4] = [60, 20, 10, 10];
@@ -105,13 +104,17 @@ impl Figure5Mix {
     /// The paper's parameters.
     #[must_use]
     pub fn new() -> Figure5Mix {
-        Figure5Mix { both_positive_percent: BOTH_POSITIVE_PERCENT }
+        Figure5Mix {
+            both_positive_percent: BOTH_POSITIVE_PERCENT,
+        }
     }
 
     /// Overrides the sign mix (for sensitivity experiments).
     #[must_use]
     pub fn with_positive_percent(percent: u32) -> Figure5Mix {
-        Figure5Mix { both_positive_percent: percent.min(100) }
+        Figure5Mix {
+            both_positive_percent: percent.min(100),
+        }
     }
 
     /// Samples one `(multiplier, multiplicand)` pair.
@@ -130,9 +133,15 @@ impl Figure5Mix {
         let small = rng.gen_range(lo..=hi);
         // The larger operand: log-uniform, capped so the product fits 31
         // bits (non-overflowing multiplies are the performance scope).
-        let cap = if small == 0 { i32::MAX as u32 } else { (i32::MAX as u32) / small.max(1) };
+        let cap = if small == 0 {
+            i32::MAX as u32
+        } else {
+            (i32::MAX as u32) / small.max(1)
+        };
         let big_bits = 32 - cap.leading_zeros();
-        let big = LogUniform::new(big_bits.clamp(1, 31)).sample(rng).min(cap.max(1));
+        let big = LogUniform::new(big_bits.clamp(1, 31))
+            .sample(rng)
+            .min(cap.max(1));
         let big = big.max(small);
         let (mut x, mut y) = (small as i32, big as i32);
         // Randomly place the small operand first or second.
@@ -141,7 +150,7 @@ impl Figure5Mix {
         }
         // Sign mix: both positive with the configured probability, else
         // negate one (or rarely both).
-        if rng.gen_range(0..100) >= self.both_positive_percent {
+        if rng.gen_range(0..100u32) >= self.both_positive_percent {
             if rng.gen_bool(0.2) {
                 x = -x;
                 y = -y;
@@ -185,7 +194,10 @@ impl Default for DivMix {
         // ("the average divide takes about 40 [cycles]"): constant divisors
         // (~15 cycles) under half the weight, the rest split between the
         // small-divisor dispatch (~25) and the ~80-cycle general routine.
-        DivMix { constant_percent: 45, small_variable_percent: 40 }
+        DivMix {
+            constant_percent: 45,
+            small_variable_percent: 40,
+        }
     }
 }
 
@@ -220,13 +232,19 @@ impl DivMix {
         (0..n)
             .map(|_| {
                 let x = dividends.sample(&mut rng);
-                if rng.gen_range(0..100) < self.constant_percent {
+                if rng.gen_range(0..100u32) < self.constant_percent {
                     let y = FAVOURITES[rng.gen_range(0..FAVOURITES.len())];
                     DivOp::Constant { x, y }
-                } else if rng.gen_range(0..100) < self.small_variable_percent {
-                    DivOp::Variable { x, y: rng.gen_range(2..20) }
+                } else if rng.gen_range(0..100u32) < self.small_variable_percent {
+                    DivOp::Variable {
+                        x,
+                        y: rng.gen_range(2..20),
+                    }
                 } else {
-                    DivOp::Variable { x, y: dividends.sample(&mut rng).max(2) }
+                    DivOp::Variable {
+                        x,
+                        y: dividends.sample(&mut rng).max(2),
+                    }
                 }
             })
             .collect()
@@ -250,7 +268,11 @@ impl TraceSummary {
     /// Classifies a stream of pairs.
     #[must_use]
     pub fn of(pairs: &[(i32, i32)]) -> TraceSummary {
-        let mut s = TraceSummary { class_counts: [0; 5], both_positive: 0, total: 0 };
+        let mut s = TraceSummary {
+            class_counts: [0; 5],
+            both_positive: 0,
+            total: 0,
+        };
         for &(x, y) in pairs {
             s.total += 1;
             if x >= 0 && y >= 0 {
@@ -289,7 +311,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..10_000 {
             let v = d.sample(&mut rng);
-            assert!(v >= 1 && v < (1 << 16));
+            assert!((1..(1 << 16)).contains(&v));
         }
     }
 
@@ -302,8 +324,8 @@ mod tests {
             let v = d.sample(&mut rng);
             hist[(32 - v.leading_zeros()) as usize] += 1;
         }
-        for bits in 1..=16 {
-            let share = f64::from(hist[bits]) / 160_000.0;
+        for (bits, &count) in hist.iter().enumerate().skip(1) {
+            let share = f64::from(count) / 160_000.0;
             assert!(
                 (share - 1.0 / 16.0).abs() < 0.01,
                 "bit length {bits}: share {share}"
@@ -324,7 +346,10 @@ mod tests {
             );
         }
         assert!((s.positive_percent() - 90.0).abs() < 2.0);
-        assert_eq!(s.class_counts[4], 0, "min operand never leaves Figure 5's range");
+        assert_eq!(
+            s.class_counts[4], 0,
+            "min operand never leaves Figure 5's range"
+        );
     }
 
     #[test]
@@ -398,13 +423,19 @@ impl InstructionMix {
     /// The Gibson mix (\[Gib70]): 0.6 % multiplies, 0.2 % divides.
     #[must_use]
     pub fn gibson() -> InstructionMix {
-        InstructionMix { mul_fraction: 0.006, div_fraction: 0.002 }
+        InstructionMix {
+            mul_fraction: 0.006,
+            div_fraction: 0.002,
+        }
     }
 
     /// The heavy end of the surveyed range (\[Huc82]/\[Neu79]): 2.5 % / 0.5 %.
     #[must_use]
     pub fn heavy() -> InstructionMix {
-        InstructionMix { mul_fraction: 0.025, div_fraction: 0.005 }
+        InstructionMix {
+            mul_fraction: 0.025,
+            div_fraction: 0.005,
+        }
     }
 
     /// Average cycles per instruction for a program under this mix, given
@@ -418,11 +449,7 @@ impl InstructionMix {
 
     /// The whole-program slowdown of implementation B relative to A.
     #[must_use]
-    pub fn slowdown(
-        &self,
-        (mul_a, div_a): (f64, f64),
-        (mul_b, div_b): (f64, f64),
-    ) -> f64 {
+    pub fn slowdown(&self, (mul_a, div_a): (f64, f64), (mul_b, div_b): (f64, f64)) -> f64 {
         self.cpi(mul_b, div_b) / self.cpi(mul_a, div_a)
     }
 }

@@ -73,13 +73,19 @@ impl ProgramBuilder {
 
     /// Creates a fresh unbound, unnamed label.
     pub fn new_label(&mut self) -> Label {
-        self.labels.push(LabelState { pos: None, name: None });
+        self.labels.push(LabelState {
+            pos: None,
+            name: None,
+        });
         Label(self.labels.len() - 1)
     }
 
     /// Creates a fresh unbound label with a display name.
     pub fn named_label(&mut self, name: &str) -> Label {
-        self.labels.push(LabelState { pos: None, name: Some(name.to_string()) });
+        self.labels.push(LabelState {
+            pos: None,
+            name: Some(name.to_string()),
+        });
         Label(self.labels.len() - 1)
     }
 
@@ -91,7 +97,10 @@ impl ProgramBuilder {
         let here = self.insns.len();
         let state = &mut self.labels[label.0];
         if state.pos.is_some() {
-            let name = state.name.clone().unwrap_or_else(|| format!("L{}", label.0));
+            let name = state
+                .name
+                .clone()
+                .unwrap_or_else(|| format!("L{}", label.0));
             self.record(IsaError::DuplicateLabel(name));
             return;
         }
@@ -166,12 +175,22 @@ impl ProgramBuilder {
 
     /// `t = a + b` (sets carry).
     pub fn add(&mut self, a: Reg, b: Reg, t: Reg) -> &mut Self {
-        self.push(Op::Add { a, b, t, trap: false })
+        self.push(Op::Add {
+            a,
+            b,
+            t,
+            trap: false,
+        })
     }
 
     /// `t = a + b`, trapping on signed overflow (`ADDO`).
     pub fn addo(&mut self, a: Reg, b: Reg, t: Reg) -> &mut Self {
-        self.push(Op::Add { a, b, t, trap: true })
+        self.push(Op::Add {
+            a,
+            b,
+            t,
+            trap: true,
+        })
     }
 
     /// `t = a + b + carry` (`ADDC`).
@@ -181,12 +200,22 @@ impl ProgramBuilder {
 
     /// `t = a - b` (sets carry/borrow).
     pub fn sub(&mut self, a: Reg, b: Reg, t: Reg) -> &mut Self {
-        self.push(Op::Sub { a, b, t, trap: false })
+        self.push(Op::Sub {
+            a,
+            b,
+            t,
+            trap: false,
+        })
     }
 
     /// `t = a - b`, trapping on signed overflow (`SUBO`).
     pub fn subo(&mut self, a: Reg, b: Reg, t: Reg) -> &mut Self {
-        self.push(Op::Sub { a, b, t, trap: true })
+        self.push(Op::Sub {
+            a,
+            b,
+            t,
+            trap: true,
+        })
     }
 
     /// `t = a - b - borrow` (`SUBB`).
@@ -196,12 +225,24 @@ impl ProgramBuilder {
 
     /// `t = (a << sh) + b` for `sh` in 1..=3.
     pub fn shadd(&mut self, sh: ShAmount, a: Reg, b: Reg, t: Reg) -> &mut Self {
-        self.push(Op::ShAdd { sh, a, b, t, trap: false })
+        self.push(Op::ShAdd {
+            sh,
+            a,
+            b,
+            t,
+            trap: false,
+        })
     }
 
     /// `t = (a << sh) + b`, trapping on signed overflow.
     pub fn shaddo(&mut self, sh: ShAmount, a: Reg, b: Reg, t: Reg) -> &mut Self {
-        self.push(Op::ShAdd { sh, a, b, t, trap: true })
+        self.push(Op::ShAdd {
+            sh,
+            a,
+            b,
+            t,
+            trap: true,
+        })
     }
 
     /// `t = 2a + b` (`SH1ADD`).
@@ -265,13 +306,23 @@ impl ProgramBuilder {
     /// `t = i + b` for an 11-bit immediate.
     pub fn addi(&mut self, i: i32, b: Reg, t: Reg) -> &mut Self {
         let i = self.im11(i);
-        self.push(Op::Addi { i, b, t, trap: false })
+        self.push(Op::Addi {
+            i,
+            b,
+            t,
+            trap: false,
+        })
     }
 
     /// `t = i + b`, trapping on signed overflow (`ADDIO`).
     pub fn addio(&mut self, i: i32, b: Reg, t: Reg) -> &mut Self {
         let i = self.im11(i);
-        self.push(Op::Addi { i, b, t, trap: true })
+        self.push(Op::Addi {
+            i,
+            b,
+            t,
+            trap: true,
+        })
     }
 
     /// `t = i - b` (`SUBI`).
@@ -370,19 +421,43 @@ impl ProgramBuilder {
 
     /// Compare and branch.
     pub fn comb(&mut self, cond: Cond, a: Reg, b: Reg, label: Label) -> &mut Self {
-        self.push_branch(Op::Comb { cond, a, b, target: 0 }, label)
+        self.push_branch(
+            Op::Comb {
+                cond,
+                a,
+                b,
+                target: 0,
+            },
+            label,
+        )
     }
 
     /// Compare immediate and branch (immediate is the left operand).
     pub fn combi(&mut self, cond: Cond, i: i32, b: Reg, label: Label) -> &mut Self {
         let i = self.im5(i);
-        self.push_branch(Op::Combi { cond, i, b, target: 0 }, label)
+        self.push_branch(
+            Op::Combi {
+                cond,
+                i,
+                b,
+                target: 0,
+            },
+            label,
+        )
     }
 
     /// Add immediate and branch on the updated value.
     pub fn addib(&mut self, i: i32, b: Reg, cond: Cond, label: Label) -> &mut Self {
         let i = self.im5(i);
-        self.push_branch(Op::Addib { i, b, cond, target: 0 }, label)
+        self.push_branch(
+            Op::Addib {
+                i,
+                b,
+                cond,
+                target: 0,
+            },
+            label,
+        )
     }
 
     /// Branch on bit, PA-RISC numbering (0 = MSB).
@@ -391,7 +466,15 @@ impl ProgramBuilder {
             self.record(IsaError::ShiftAmountOutOfRange(u32::from(bit)));
             return self;
         }
-        self.push_branch(Op::Bb { s, bit, sense, target: 0 }, label)
+        self.push_branch(
+            Op::Bb {
+                s,
+                bit,
+                sense,
+                target: 0,
+            },
+            label,
+        )
     }
 
     /// Branch if the low bit (PA-RISC bit 31) of `s` is set — the "test for
@@ -440,7 +523,10 @@ impl ProgramBuilder {
         for &(at, label) in &self.fixups {
             let state = &self.labels[label.0];
             let Some(pos) = state.pos else {
-                let name = state.name.clone().unwrap_or_else(|| format!("L{}", label.0));
+                let name = state
+                    .name
+                    .clone()
+                    .unwrap_or_else(|| format!("L{}", label.0));
                 return Err(IsaError::UndefinedLabel(name));
             };
             self.insns[at].op.set_branch_target(pos);
@@ -458,10 +544,7 @@ impl ProgramBuilder {
             if names.contains_key(&pos) {
                 continue;
             }
-            let mut name = state
-                .name
-                .clone()
-                .unwrap_or_else(|| format!("L{idx}"));
+            let mut name = state.name.clone().unwrap_or_else(|| format!("L{idx}"));
             while used.contains(&name) {
                 name.push('_');
             }

@@ -49,7 +49,10 @@ impl fmt::Display for IsaError {
                 write!(f, "register number {n} is out of range (0..=31)")
             }
             IsaError::ImmediateOutOfRange { value, bits } => {
-                write!(f, "immediate {value} does not fit a signed {bits}-bit field")
+                write!(
+                    f,
+                    "immediate {value} does not fit a signed {bits}-bit field"
+                )
             }
             IsaError::ShiftAmountOutOfRange(n) => {
                 write!(f, "shift amount {n} is not encodable")
@@ -81,12 +84,22 @@ mod tests {
     fn display_is_nonempty_and_lowercase() {
         let samples: Vec<IsaError> = vec![
             IsaError::RegisterOutOfRange(40),
-            IsaError::ImmediateOutOfRange { value: 1 << 20, bits: 11 },
+            IsaError::ImmediateOutOfRange {
+                value: 1 << 20,
+                bits: 11,
+            },
             IsaError::ShiftAmountOutOfRange(99),
             IsaError::UndefinedLabel("loop".into()),
             IsaError::DuplicateLabel("loop".into()),
-            IsaError::TargetOutOfRange { at: 3, target: 17, len: 5 },
-            IsaError::Parse { line: 2, message: "bad mnemonic".into() },
+            IsaError::TargetOutOfRange {
+                at: 3,
+                target: 17,
+                len: 5,
+            },
+            IsaError::Parse {
+                line: 2,
+                message: "bad mnemonic".into(),
+            },
         ];
         for e in samples {
             let text = e.to_string();

@@ -330,49 +330,98 @@ pub enum Op {
     },
 }
 
+/// Number of distinct opcode classes (see [`Op::opcode_index`]).
+///
+/// Sized so fixed-array opcode histograms (`[u64; OPCODE_COUNT]`) can be
+/// indexed without hashing in the simulator's hot loop.
+pub const OPCODE_COUNT: usize = 37;
+
+/// Mnemonics in [`Op::opcode_index`] order: `OPCODE_NAMES[op.opcode_index()]`
+/// is `op.mnemonic()`.
+pub const OPCODE_NAMES: [&str; OPCODE_COUNT] = [
+    "add", "addo", "addc", "sub", "subo", "subb", "sh1add", "sh2add", "sh3add", "sh1addo",
+    "sh2addo", "sh3addo", "ds", "or", "and", "xor", "andcm", "comclr", "comiclr", "addi", "addio",
+    "subi", "ldo", "ldil", "shl", "shr", "sar", "shd", "extru", "b", "comb", "comib", "addib",
+    "bb", "blr", "nop", "break",
+];
+
 impl Op {
+    /// A dense index in `0..OPCODE_COUNT` identifying the opcode class.
+    ///
+    /// Trapping variants and the three shift-and-add distances count as
+    /// distinct classes, matching the mnemonic split (`add` vs `addo`,
+    /// `sh1add` vs `sh3addo`, …).
+    #[must_use]
+    pub fn opcode_index(&self) -> usize {
+        match self {
+            Op::Add { trap: false, .. } => 0,
+            Op::Add { trap: true, .. } => 1,
+            Op::Addc { .. } => 2,
+            Op::Sub { trap: false, .. } => 3,
+            Op::Sub { trap: true, .. } => 4,
+            Op::Subb { .. } => 5,
+            Op::ShAdd {
+                sh: ShAmount::One,
+                trap: false,
+                ..
+            } => 6,
+            Op::ShAdd {
+                sh: ShAmount::Two,
+                trap: false,
+                ..
+            } => 7,
+            Op::ShAdd {
+                sh: ShAmount::Three,
+                trap: false,
+                ..
+            } => 8,
+            Op::ShAdd {
+                sh: ShAmount::One,
+                trap: true,
+                ..
+            } => 9,
+            Op::ShAdd {
+                sh: ShAmount::Two,
+                trap: true,
+                ..
+            } => 10,
+            Op::ShAdd {
+                sh: ShAmount::Three,
+                trap: true,
+                ..
+            } => 11,
+            Op::Ds { .. } => 12,
+            Op::Or { .. } => 13,
+            Op::And { .. } => 14,
+            Op::Xor { .. } => 15,
+            Op::AndCm { .. } => 16,
+            Op::Comclr { .. } => 17,
+            Op::Comiclr { .. } => 18,
+            Op::Addi { trap: false, .. } => 19,
+            Op::Addi { trap: true, .. } => 20,
+            Op::Subi { .. } => 21,
+            Op::Ldo { .. } => 22,
+            Op::Ldil { .. } => 23,
+            Op::Shl { .. } => 24,
+            Op::ShrU { .. } => 25,
+            Op::ShrS { .. } => 26,
+            Op::Shd { .. } => 27,
+            Op::Extru { .. } => 28,
+            Op::B { .. } => 29,
+            Op::Comb { .. } => 30,
+            Op::Combi { .. } => 31,
+            Op::Addib { .. } => 32,
+            Op::Bb { .. } => 33,
+            Op::Blr { .. } => 34,
+            Op::Nop => 35,
+            Op::Break { .. } => 36,
+        }
+    }
+
     /// The assembler mnemonic (without condition completers).
     #[must_use]
     pub fn mnemonic(&self) -> &'static str {
-        match self {
-            Op::Add { trap: false, .. } => "add",
-            Op::Add { trap: true, .. } => "addo",
-            Op::Addc { .. } => "addc",
-            Op::Sub { trap: false, .. } => "sub",
-            Op::Sub { trap: true, .. } => "subo",
-            Op::Subb { .. } => "subb",
-            Op::ShAdd { sh: ShAmount::One, trap: false, .. } => "sh1add",
-            Op::ShAdd { sh: ShAmount::Two, trap: false, .. } => "sh2add",
-            Op::ShAdd { sh: ShAmount::Three, trap: false, .. } => "sh3add",
-            Op::ShAdd { sh: ShAmount::One, trap: true, .. } => "sh1addo",
-            Op::ShAdd { sh: ShAmount::Two, trap: true, .. } => "sh2addo",
-            Op::ShAdd { sh: ShAmount::Three, trap: true, .. } => "sh3addo",
-            Op::Ds { .. } => "ds",
-            Op::Or { .. } => "or",
-            Op::And { .. } => "and",
-            Op::Xor { .. } => "xor",
-            Op::AndCm { .. } => "andcm",
-            Op::Comclr { .. } => "comclr",
-            Op::Comiclr { .. } => "comiclr",
-            Op::Addi { trap: false, .. } => "addi",
-            Op::Addi { trap: true, .. } => "addio",
-            Op::Subi { .. } => "subi",
-            Op::Ldo { .. } => "ldo",
-            Op::Ldil { .. } => "ldil",
-            Op::Shl { .. } => "shl",
-            Op::ShrU { .. } => "shr",
-            Op::ShrS { .. } => "sar",
-            Op::Shd { .. } => "shd",
-            Op::Extru { .. } => "extru",
-            Op::B { .. } => "b",
-            Op::Comb { .. } => "comb",
-            Op::Combi { .. } => "comib",
-            Op::Addib { .. } => "addib",
-            Op::Bb { .. } => "bb",
-            Op::Blr { .. } => "blr",
-            Op::Nop => "nop",
-            Op::Break { .. } => "break",
-        }
+        OPCODE_NAMES[self.opcode_index()]
     }
 
     /// The register written by this operation, if any.
@@ -586,11 +635,34 @@ mod tests {
 
     fn sample_ops() -> Vec<Op> {
         vec![
-            Op::Add { a: Reg::R1, b: Reg::R2, t: Reg::R3, trap: false },
-            Op::Add { a: Reg::R1, b: Reg::R2, t: Reg::R3, trap: true },
-            Op::Addc { a: Reg::R1, b: Reg::R2, t: Reg::R3 },
-            Op::Sub { a: Reg::R1, b: Reg::R2, t: Reg::R3, trap: false },
-            Op::Subb { a: Reg::R1, b: Reg::R2, t: Reg::R3 },
+            Op::Add {
+                a: Reg::R1,
+                b: Reg::R2,
+                t: Reg::R3,
+                trap: false,
+            },
+            Op::Add {
+                a: Reg::R1,
+                b: Reg::R2,
+                t: Reg::R3,
+                trap: true,
+            },
+            Op::Addc {
+                a: Reg::R1,
+                b: Reg::R2,
+                t: Reg::R3,
+            },
+            Op::Sub {
+                a: Reg::R1,
+                b: Reg::R2,
+                t: Reg::R3,
+                trap: false,
+            },
+            Op::Subb {
+                a: Reg::R1,
+                b: Reg::R2,
+                t: Reg::R3,
+            },
             Op::ShAdd {
                 sh: ShAmount::Two,
                 a: Reg::R4,
@@ -598,38 +670,95 @@ mod tests {
                 t: Reg::R6,
                 trap: true,
             },
-            Op::Ds { a: Reg::R9, b: Reg::R10, t: Reg::R9 },
-            Op::Comclr { cond: Cond::Ult, a: Reg::R1, b: Reg::R2, t: Reg::R0 },
+            Op::Ds {
+                a: Reg::R9,
+                b: Reg::R10,
+                t: Reg::R9,
+            },
+            Op::Comclr {
+                cond: Cond::Ult,
+                a: Reg::R1,
+                b: Reg::R2,
+                t: Reg::R0,
+            },
             Op::Comiclr {
                 cond: Cond::Eq,
                 i: Im11::new(5).unwrap(),
                 b: Reg::R2,
                 t: Reg::R0,
             },
-            Op::Addi { i: Im11::new(-1).unwrap(), b: Reg::R7, t: Reg::R7, trap: false },
-            Op::Ldo { b: Reg::R0, d: Im14::new(42).unwrap(), t: Reg::R3 },
-            Op::Ldil { i: Im21::new(77).unwrap(), t: Reg::R3 },
-            Op::Shl { s: Reg::R1, sa: ShiftPos::new(4).unwrap(), t: Reg::R2 },
+            Op::Addi {
+                i: Im11::new(-1).unwrap(),
+                b: Reg::R7,
+                t: Reg::R7,
+                trap: false,
+            },
+            Op::Ldo {
+                b: Reg::R0,
+                d: Im14::new(42).unwrap(),
+                t: Reg::R3,
+            },
+            Op::Ldil {
+                i: Im21::new(77).unwrap(),
+                t: Reg::R3,
+            },
+            Op::Shl {
+                s: Reg::R1,
+                sa: ShiftPos::new(4).unwrap(),
+                t: Reg::R2,
+            },
             Op::Shd {
                 hi: Reg::R1,
                 lo: Reg::R2,
                 sa: ShiftPos::new(30).unwrap(),
                 t: Reg::R3,
             },
-            Op::Extru { s: Reg::R1, pos: 31, len: 4, t: Reg::R2 },
+            Op::Extru {
+                s: Reg::R1,
+                pos: 31,
+                len: 4,
+                t: Reg::R2,
+            },
             Op::B { target: 7 },
-            Op::Comb { cond: Cond::Lt, a: Reg::R1, b: Reg::R2, target: 3 },
+            Op::Comb {
+                cond: Cond::Lt,
+                a: Reg::R1,
+                b: Reg::R2,
+                target: 3,
+            },
             Op::Addib {
                 i: Im5::new(-1).unwrap(),
                 b: Reg::R5,
                 cond: Cond::Ne,
                 target: 0,
             },
-            Op::Bb { s: Reg::R1, bit: 31, sense: BitSense::Set, target: 2 },
-            Op::Blr { x: Reg::R8, base: 12 },
+            Op::Bb {
+                s: Reg::R1,
+                bit: 31,
+                sense: BitSense::Set,
+                target: 2,
+            },
+            Op::Blr {
+                x: Reg::R8,
+                base: 12,
+            },
             Op::Nop,
             Op::Break { code: 1 },
         ]
+    }
+
+    #[test]
+    fn opcode_indices_are_dense_and_match_names() {
+        for op in sample_ops() {
+            let idx = op.opcode_index();
+            assert!(idx < OPCODE_COUNT, "{op:?}");
+            assert_eq!(OPCODE_NAMES[idx], op.mnemonic(), "{op:?}");
+        }
+        // The name table itself has no duplicates.
+        let mut names = OPCODE_NAMES.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), OPCODE_COUNT);
     }
 
     #[test]
@@ -646,7 +775,13 @@ mod tests {
             "sh1add"
         );
         assert_eq!(
-            Op::Add { a: Reg::R1, b: Reg::R1, t: Reg::R1, trap: true }.mnemonic(),
+            Op::Add {
+                a: Reg::R1,
+                b: Reg::R1,
+                t: Reg::R1,
+                trap: true
+            }
+            .mnemonic(),
             "addo"
         );
     }
@@ -678,7 +813,12 @@ mod tests {
 
     #[test]
     fn duplicate_uses_are_deduped() {
-        let op = Op::Add { a: Reg::R2, b: Reg::R2, t: Reg::R2, trap: false };
+        let op = Op::Add {
+            a: Reg::R2,
+            b: Reg::R2,
+            t: Reg::R2,
+            trap: false,
+        };
         assert_eq!(op.uses(), vec![Reg::R2]);
     }
 
@@ -692,8 +832,19 @@ mod tests {
     #[test]
     fn trap_classification() {
         assert!(Op::Break { code: 0 }.can_trap());
-        assert!(Op::Add { a: Reg::R1, b: Reg::R1, t: Reg::R1, trap: true }.can_trap());
-        assert!(!Op::Addc { a: Reg::R1, b: Reg::R1, t: Reg::R1 }.can_trap());
+        assert!(Op::Add {
+            a: Reg::R1,
+            b: Reg::R1,
+            t: Reg::R1,
+            trap: true
+        }
+        .can_trap());
+        assert!(!Op::Addc {
+            a: Reg::R1,
+            b: Reg::R1,
+            t: Reg::R1
+        }
+        .can_trap());
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub use builder::ProgramBuilder;
 pub use cond::Cond;
 pub use error::IsaError;
 pub use imm::{Im11, Im14, Im21, Im5, ShAmount, ShiftPos};
-pub use insn::{BitSense, Insn, Op};
+pub use insn::{BitSense, Insn, Op, OPCODE_COUNT, OPCODE_NAMES};
 pub use program::{Label, Program};
 pub use reg::Reg;
 

@@ -20,7 +20,10 @@ use crate::{
 };
 
 fn perr(line: usize, message: impl Into<String>) -> IsaError {
-    IsaError::Parse { line, message: message.into() }
+    IsaError::Parse {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Parses an assembler listing into a [`Program`].
@@ -185,7 +188,12 @@ fn parse_line(
     } else {
         rest.split(',').map(str::trim).collect()
     };
-    let mut ops = Operands { parts, line: lineno, mnemonic, next: 0 };
+    let mut ops = Operands {
+        parts,
+        line: lineno,
+        mnemonic,
+        next: 0,
+    };
 
     let cond = |c: Option<&str>| -> Result<Cond, IsaError> {
         let c = c.ok_or_else(|| perr(lineno, format!("`{mnemonic}` needs a condition")))?;
@@ -195,7 +203,10 @@ fn parse_line(
     let no_completer = |c: Option<&str>| -> Result<(), IsaError> {
         match c {
             None => Ok(()),
-            Some(c) => Err(perr(lineno, format!("`{mnemonic}` takes no `,{c}` completer"))),
+            Some(c) => Err(perr(
+                lineno,
+                format!("`{mnemonic}` takes no `,{c}` completer"),
+            )),
         }
     };
 
@@ -215,11 +226,31 @@ fn parse_line(
             no_completer(completer)?;
             let (a, b, t) = (ops.reg()?, ops.reg()?, ops.reg()?);
             match mnemonic {
-                "add" => Op::Add { a, b, t, trap: false },
-                "addo" => Op::Add { a, b, t, trap: true },
+                "add" => Op::Add {
+                    a,
+                    b,
+                    t,
+                    trap: false,
+                },
+                "addo" => Op::Add {
+                    a,
+                    b,
+                    t,
+                    trap: true,
+                },
                 "addc" => Op::Addc { a, b, t },
-                "sub" => Op::Sub { a, b, t, trap: false },
-                "subo" => Op::Sub { a, b, t, trap: true },
+                "sub" => Op::Sub {
+                    a,
+                    b,
+                    t,
+                    trap: false,
+                },
+                "subo" => Op::Sub {
+                    a,
+                    b,
+                    t,
+                    trap: true,
+                },
                 "subb" => Op::Subb { a, b, t },
                 "ds" => Op::Ds { a, b, t },
                 "or" => Op::Or { a, b, t },
@@ -232,7 +263,13 @@ fn parse_line(
                         "sh2add" => ShAmount::Two,
                         _ => ShAmount::Three,
                     };
-                    Op::ShAdd { sh: amount, a, b, t, trap: sh.ends_with('o') }
+                    Op::ShAdd {
+                        sh: amount,
+                        a,
+                        b,
+                        t,
+                        trap: sh.ends_with('o'),
+                    }
                 }
             }
         }
@@ -252,8 +289,18 @@ fn parse_line(
             let i = im11(ops.int()?)?;
             let (b, t) = (ops.reg()?, ops.reg()?);
             match mnemonic {
-                "addi" => Op::Addi { i, b, t, trap: false },
-                "addio" => Op::Addi { i, b, t, trap: true },
+                "addi" => Op::Addi {
+                    i,
+                    b,
+                    t,
+                    trap: false,
+                },
+                "addio" => Op::Addi {
+                    i,
+                    b,
+                    t,
+                    trap: true,
+                },
                 _ => Op::Subi { i, b, t },
             }
         }
@@ -301,7 +348,12 @@ fn parse_line(
             no_completer(completer)?;
             let (hi, lo) = (ops.reg()?, ops.reg()?);
             let sa = shpos(ops.int()?)?;
-            Op::Shd { hi, lo, sa, t: ops.reg()? }
+            Op::Shd {
+                hi,
+                lo,
+                sa,
+                t: ops.reg()?,
+            }
         }
         "extru" => {
             no_completer(completer)?;
@@ -312,35 +364,60 @@ fn parse_line(
             if !(0..=31).contains(&pos) || !(1..=32).contains(&lenf) || lenf > pos + 1 {
                 return Err(perr(lineno, format!("bad extru field ({pos},{lenf})")));
             }
-            Op::Extru { s, pos: pos as u8, len: lenf as u8, t }
+            Op::Extru {
+                s,
+                pos: pos as u8,
+                len: lenf as u8,
+                t,
+            }
         }
         "b" => {
             no_completer(completer)?;
-            Op::B { target: ops.target(labels, len)? }
+            Op::B {
+                target: ops.target(labels, len)?,
+            }
         }
         "comb" => {
             let cond = cond(completer)?;
             let (a, b) = (ops.reg()?, ops.reg()?);
-            Op::Comb { cond, a, b, target: ops.target(labels, len)? }
+            Op::Comb {
+                cond,
+                a,
+                b,
+                target: ops.target(labels, len)?,
+            }
         }
         "comib" => {
             let cond = cond(completer)?;
             let i = im5(ops.int()?)?;
             let b = ops.reg()?;
-            Op::Combi { cond, i, b, target: ops.target(labels, len)? }
+            Op::Combi {
+                cond,
+                i,
+                b,
+                target: ops.target(labels, len)?,
+            }
         }
         "addib" => {
             let cond = cond(completer)?;
             let i = im5(ops.int()?)?;
             let b = ops.reg()?;
-            Op::Addib { i, b, cond, target: ops.target(labels, len)? }
+            Op::Addib {
+                i,
+                b,
+                cond,
+                target: ops.target(labels, len)?,
+            }
         }
         "bb" => {
             let sense = match completer {
                 Some("set") => BitSense::Set,
                 Some("clear") => BitSense::Clear,
                 other => {
-                    return Err(perr(lineno, format!("bb needs `,set`/`,clear`, got {other:?}")))
+                    return Err(perr(
+                        lineno,
+                        format!("bb needs `,set`/`,clear`, got {other:?}"),
+                    ))
                 }
             };
             let s = ops.reg()?;
@@ -348,12 +425,20 @@ fn parse_line(
             if !(0..=31).contains(&bit) {
                 return Err(perr(lineno, format!("bad bit position {bit}")));
             }
-            Op::Bb { s, bit: bit as u8, sense, target: ops.target(labels, len)? }
+            Op::Bb {
+                s,
+                bit: bit as u8,
+                sense,
+                target: ops.target(labels, len)?,
+            }
         }
         "blr" => {
             no_completer(completer)?;
             let x = ops.reg()?;
-            Op::Blr { x, base: ops.target(labels, len)? }
+            Op::Blr {
+                x,
+                base: ops.target(labels, len)?,
+            }
         }
         "nop" => {
             no_completer(completer)?;
@@ -362,8 +447,8 @@ fn parse_line(
         "break" => {
             no_completer(completer)?;
             let code = ops.int()?;
-            let code = u16::try_from(code)
-                .map_err(|_| perr(lineno, format!("bad break code {code}")))?;
+            let code =
+                u16::try_from(code).map_err(|_| perr(lineno, format!("bad break code {code}")))?;
             Op::Break { code }
         }
         other => return Err(perr(lineno, format!("unknown mnemonic `{other}`"))),
@@ -432,7 +517,12 @@ mod tests {
         let p = parse_program("addi 0x3f,r1,r2\n").unwrap();
         assert_eq!(
             p.get(0).unwrap().op,
-            Op::Addi { i: Im11::new(63).unwrap(), b: Reg::R1, t: Reg::R2, trap: false }
+            Op::Addi {
+                i: Im11::new(63).unwrap(),
+                b: Reg::R1,
+                t: Reg::R2,
+                trap: false
+            }
         );
     }
 

@@ -214,7 +214,12 @@ mod tests {
     use crate::{Cond, Reg};
 
     fn add(t: Reg) -> Insn {
-        Insn::new(Op::Add { a: Reg::R1, b: Reg::R2, t, trap: false })
+        Insn::new(Op::Add {
+            a: Reg::R1,
+            b: Reg::R2,
+            t,
+            trap: false,
+        })
     }
 
     #[test]
@@ -235,9 +240,12 @@ mod tests {
     fn display_uses_label_names() {
         let mut names = BTreeMap::new();
         names.insert(0usize, "loop".to_string());
-        let insns = vec![
-            Insn::new(Op::Comb { cond: Cond::Lt, a: Reg::R1, b: Reg::R2, target: 0 }),
-        ];
+        let insns = vec![Insn::new(Op::Comb {
+            cond: Cond::Lt,
+            a: Reg::R1,
+            b: Reg::R2,
+            target: 0,
+        })];
         let p = Program::with_names(insns, names).unwrap();
         let listing = p.to_string();
         assert!(listing.contains("loop:"), "{listing}");
@@ -263,11 +271,7 @@ mod tests {
         let mut names = BTreeMap::new();
         names.insert(0usize, "start".to_string());
         let a = Program::with_names(vec![add(Reg::R3)], names.clone()).unwrap();
-        let b = Program::with_names(
-            vec![Insn::new(Op::B { target: 0 })],
-            names,
-        )
-        .unwrap();
+        let b = Program::with_names(vec![Insn::new(Op::B { target: 0 })], names).unwrap();
         let joined = a.concat(&b, "_x");
         assert_eq!(joined.len(), 2);
         assert_eq!(joined.get(1).unwrap().op.branch_target(), Some(1));

@@ -135,7 +135,10 @@ mod tests {
     fn construction_bounds() {
         assert!(Reg::new(0).is_ok());
         assert!(Reg::new(31).is_ok());
-        assert!(matches!(Reg::new(32), Err(IsaError::RegisterOutOfRange(32))));
+        assert!(matches!(
+            Reg::new(32),
+            Err(IsaError::RegisterOutOfRange(32))
+        ));
         assert!(Reg::new(255).is_err());
     }
 

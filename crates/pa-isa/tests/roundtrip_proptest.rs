@@ -2,9 +2,7 @@
 //! `Display → parse_program` round trip bit-for-bit.
 
 use pa_isa::parse::parse_program;
-use pa_isa::{
-    BitSense, Cond, Im11, Im14, Im21, Im5, Insn, Op, Program, Reg, ShAmount, ShiftPos,
-};
+use pa_isa::{BitSense, Cond, Im11, Im14, Im21, Im5, Insn, Op, Program, Reg, ShAmount, ShiftPos};
 use proptest::prelude::*;
 
 fn reg() -> impl Strategy<Value = Reg> {
@@ -43,11 +41,9 @@ fn im21() -> impl Strategy<Value = Im21> {
 fn op(len: usize) -> impl Strategy<Value = Op> {
     let target = 0..=len;
     prop_oneof![
-        (reg(), reg(), reg(), any::<bool>())
-            .prop_map(|(a, b, t, trap)| Op::Add { a, b, t, trap }),
+        (reg(), reg(), reg(), any::<bool>()).prop_map(|(a, b, t, trap)| Op::Add { a, b, t, trap }),
         (reg(), reg(), reg()).prop_map(|(a, b, t)| Op::Addc { a, b, t }),
-        (reg(), reg(), reg(), any::<bool>())
-            .prop_map(|(a, b, t, trap)| Op::Sub { a, b, t, trap }),
+        (reg(), reg(), reg(), any::<bool>()).prop_map(|(a, b, t, trap)| Op::Sub { a, b, t, trap }),
         (reg(), reg(), reg()).prop_map(|(a, b, t)| Op::Subb { a, b, t }),
         (shamount(), reg(), reg(), reg(), any::<bool>())
             .prop_map(|(sh, a, b, t, trap)| Op::ShAdd { sh, a, b, t, trap }),
@@ -56,32 +52,55 @@ fn op(len: usize) -> impl Strategy<Value = Op> {
         (reg(), reg(), reg()).prop_map(|(a, b, t)| Op::And { a, b, t }),
         (reg(), reg(), reg()).prop_map(|(a, b, t)| Op::Xor { a, b, t }),
         (reg(), reg(), reg()).prop_map(|(a, b, t)| Op::AndCm { a, b, t }),
-        (cond(), reg(), reg(), reg())
-            .prop_map(|(cond, a, b, t)| Op::Comclr { cond, a, b, t }),
-        (cond(), im11(), reg(), reg())
-            .prop_map(|(cond, i, b, t)| Op::Comiclr { cond, i, b, t }),
-        (im11(), reg(), reg(), any::<bool>())
-            .prop_map(|(i, b, t, trap)| Op::Addi { i, b, t, trap }),
+        (cond(), reg(), reg(), reg()).prop_map(|(cond, a, b, t)| Op::Comclr { cond, a, b, t }),
+        (cond(), im11(), reg(), reg()).prop_map(|(cond, i, b, t)| Op::Comiclr { cond, i, b, t }),
+        (im11(), reg(), reg(), any::<bool>()).prop_map(|(i, b, t, trap)| Op::Addi {
+            i,
+            b,
+            t,
+            trap
+        }),
         (im11(), reg(), reg()).prop_map(|(i, b, t)| Op::Subi { i, b, t }),
         (reg(), im14(), reg()).prop_map(|(b, d, t)| Op::Ldo { b, d, t }),
         (im21(), reg()).prop_map(|(i, t)| Op::Ldil { i, t }),
         (reg(), shiftpos(), reg()).prop_map(|(s, sa, t)| Op::Shl { s, sa, t }),
         (reg(), shiftpos(), reg()).prop_map(|(s, sa, t)| Op::ShrU { s, sa, t }),
         (reg(), shiftpos(), reg()).prop_map(|(s, sa, t)| Op::ShrS { s, sa, t }),
-        (reg(), reg(), shiftpos(), reg())
-            .prop_map(|(hi, lo, sa, t)| Op::Shd { hi, lo, sa, t }),
+        (reg(), reg(), shiftpos(), reg()).prop_map(|(hi, lo, sa, t)| Op::Shd { hi, lo, sa, t }),
         (reg(), 0u8..32, reg()).prop_flat_map(|(s, pos, t)| {
             (1u8..=pos + 1).prop_map(move |len| Op::Extru { s, pos, len, t })
         }),
         target.clone().prop_map(|target| Op::B { target }),
-        (cond(), reg(), reg(), target.clone())
-            .prop_map(|(cond, a, b, target)| Op::Comb { cond, a, b, target }),
-        (cond(), im5(), reg(), target.clone())
-            .prop_map(|(cond, i, b, target)| Op::Combi { cond, i, b, target }),
-        (im5(), reg(), cond(), target.clone())
-            .prop_map(|(i, b, cond, target)| Op::Addib { i, b, cond, target }),
-        (reg(), 0u8..32, prop_oneof![Just(BitSense::Set), Just(BitSense::Clear)], target.clone())
-            .prop_map(|(s, bit, sense, target)| Op::Bb { s, bit, sense, target }),
+        (cond(), reg(), reg(), target.clone()).prop_map(|(cond, a, b, target)| Op::Comb {
+            cond,
+            a,
+            b,
+            target
+        }),
+        (cond(), im5(), reg(), target.clone()).prop_map(|(cond, i, b, target)| Op::Combi {
+            cond,
+            i,
+            b,
+            target
+        }),
+        (im5(), reg(), cond(), target.clone()).prop_map(|(i, b, cond, target)| Op::Addib {
+            i,
+            b,
+            cond,
+            target
+        }),
+        (
+            reg(),
+            0u8..32,
+            prop_oneof![Just(BitSense::Set), Just(BitSense::Clear)],
+            target.clone()
+        )
+            .prop_map(|(s, bit, sense, target)| Op::Bb {
+                s,
+                bit,
+                sense,
+                target
+            }),
         (reg(), target).prop_map(|(x, base)| Op::Blr { x, base }),
         Just(Op::Nop),
         any::<u16>().prop_map(|code| Op::Break { code }),

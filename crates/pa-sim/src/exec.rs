@@ -5,6 +5,7 @@ use core::fmt;
 use pa_isa::{BitSense, Op, Program, Reg};
 
 use crate::overflow::{cheap_circuit_overflow, precise_overflow, OverflowModel};
+use crate::stats::{SimStats, StatsRecorder};
 use crate::Machine;
 
 /// Execution configuration.
@@ -20,6 +21,11 @@ pub struct ExecConfig {
     /// Record the executed instruction stream (`RunResult::trace`); entries
     /// are capped at `max_cycles`, so bound it for long runs.
     pub trace: bool,
+    /// Collect per-opcode histograms and per-label cycle attribution
+    /// (`RunResult::stats`). Off by default: the zero-instrumentation path
+    /// costs one never-taken branch per slot and cycle counts are identical
+    /// either way.
+    pub stats: bool,
 }
 
 impl Default for ExecConfig {
@@ -29,6 +35,7 @@ impl Default for ExecConfig {
             max_cycles: 1_000_000,
             profile: false,
             trace: false,
+            stats: false,
         }
     }
 }
@@ -37,7 +44,10 @@ impl ExecConfig {
     /// A configuration using the precise full-width overflow detector.
     #[must_use]
     pub fn precise() -> ExecConfig {
-        ExecConfig { overflow: OverflowModel::Precise, ..ExecConfig::default() }
+        ExecConfig {
+            overflow: OverflowModel::Precise,
+            ..ExecConfig::default()
+        }
     }
 
     /// Returns the configuration with profiling enabled.
@@ -53,6 +63,13 @@ impl ExecConfig {
         self.trace = true;
         self
     }
+
+    /// Returns the configuration with statistics collection enabled.
+    #[must_use]
+    pub fn with_stats(mut self) -> ExecConfig {
+        self.stats = true;
+        self
+    }
 }
 
 /// One entry of an execution trace.
@@ -65,7 +82,12 @@ pub struct TraceEntry {
 }
 
 /// Renders a trace against its program as an assembler-style listing, one
-/// executed instruction per line (nullified slots are marked).
+/// fetched slot per line: the running cycle count, the instruction index,
+/// the instruction, and a `[nullified]` mark for annulled slots.
+///
+/// Each distinct instruction is rendered once and the listing buffer is
+/// pre-sized, so formatting long loop traces does not re-stringify the loop
+/// body every iteration.
 ///
 /// # Example
 ///
@@ -86,14 +108,29 @@ pub struct TraceEntry {
 #[must_use]
 pub fn format_trace(program: &Program, trace: &[TraceEntry]) -> String {
     use core::fmt::Write as _;
-    let mut out = String::new();
+    // Loop traces revisit the same few pcs thousands of times; render each
+    // instruction once up front instead of per trace entry.
+    let mut rendered: Vec<Option<String>> = vec![None; program.len()];
+    let mut width = 0usize;
     for entry in trace {
-        let insn = program
+        if let Some(slot) = rendered.get_mut(entry.pc) {
+            let text =
+                slot.get_or_insert_with(|| program.get(entry.pc).expect("pc < len").to_string());
+            width = width.max(text.len());
+        }
+    }
+    const OUT_OF_RANGE: &str = "<out of range>";
+    // cycle (6) + gap (2) + pc (5) + ": " + insn + mark (13) + newline.
+    let per_line = 6 + 2 + 5 + 2 + width.max(OUT_OF_RANGE.len()) + 13 + 1;
+    let mut out = String::with_capacity(trace.len() * per_line);
+    for (i, entry) in trace.iter().enumerate() {
+        let insn = rendered
             .get(entry.pc)
-            .map(|i| i.to_string())
-            .unwrap_or_else(|| "<out of range>".into());
+            .and_then(|slot| slot.as_deref())
+            .unwrap_or(OUT_OF_RANGE);
         let mark = if entry.nullified { "  [nullified]" } else { "" };
-        let _ = writeln!(out, "{:>5}: {insn}{mark}", entry.pc);
+        let cycle = i as u64 + 1;
+        let _ = writeln!(out, "{cycle:>6}  {:>5}: {insn}{mark}", entry.pc);
     }
     out
 }
@@ -211,6 +248,9 @@ pub struct RunResult {
     /// The fetched instruction stream (empty unless [`ExecConfig::trace`]
     /// was set); render with [`format_trace`].
     pub trace: Vec<TraceEntry>,
+    /// Per-opcode histograms and per-label cycle attribution (`None` unless
+    /// [`ExecConfig::stats`] was set).
+    pub stats: Option<Box<SimStats>>,
 }
 
 /// Executes `program` on `machine` from instruction 0 until it exits, traps,
@@ -239,25 +279,42 @@ pub fn run(program: &Program, machine: &mut Machine, config: &ExecConfig) -> Run
         nullified: 0,
         taken_branches: 0,
         termination: Termination::Completed,
-        profile: if config.profile { vec![0; len] } else { Vec::new() },
+        profile: if config.profile {
+            vec![0; len]
+        } else {
+            Vec::new()
+        },
         trace: Vec::new(),
+        stats: None,
+    };
+    let mut recorder = if config.stats {
+        Some(StatsRecorder::new(program))
+    } else {
+        None
     };
     let mut pc = 0usize;
     let mut nullify_next = false;
 
-    while pc < len {
+    'fetch: while pc < len {
         if result.cycles >= config.max_cycles {
             result.termination = Termination::CycleLimit;
-            return result;
+            break 'fetch;
         }
         result.cycles += 1;
 
         if config.trace {
-            result.trace.push(TraceEntry { pc, nullified: nullify_next });
+            result.trace.push(TraceEntry {
+                pc,
+                nullified: nullify_next,
+            });
         }
         if nullify_next {
             nullify_next = false;
             result.nullified += 1;
+            if let Some(rec) = &mut recorder {
+                let insn = program.get(pc).expect("pc < len");
+                rec.record(insn.op.opcode_index(), pc, true);
+            }
             pc += 1;
             continue;
         }
@@ -266,6 +323,9 @@ pub fn run(program: &Program, machine: &mut Machine, config: &ExecConfig) -> Run
         result.executed += 1;
         if config.profile {
             result.profile[pc] += 1;
+        }
+        if let Some(rec) = &mut recorder {
+            rec.record(insn.op.opcode_index(), pc, false);
         }
 
         match step(&insn.op, machine, len, config.overflow) {
@@ -279,15 +339,22 @@ pub fn run(program: &Program, machine: &mut Machine, config: &ExecConfig) -> Run
                 pc = target;
             }
             StepOutcome::Trap(kind) => {
+                if let Some(rec) = &mut recorder {
+                    rec.record_trap();
+                }
                 result.termination = Termination::Trapped(Trap { kind, at: pc });
-                return result;
+                break 'fetch;
             }
             StepOutcome::Fault(target) => {
+                if let Some(rec) = &mut recorder {
+                    rec.record_fault();
+                }
                 result.termination = Termination::Faulted(Fault { at: pc, target });
-                return result;
+                break 'fetch;
             }
         }
     }
+    result.stats = recorder.map(|rec| Box::new(rec.finish()));
     result
 }
 
@@ -483,7 +550,12 @@ fn step(op: &Op, m: &mut Machine, len: usize, ovf: OverflowModel) -> StepOutcome
             m.set_reg(t, (pair >> sa.bits()) as u32);
             Next
         }
-        Op::Extru { s, pos, len: flen, t } => {
+        Op::Extru {
+            s,
+            pos,
+            len: flen,
+            t,
+        } => {
             let shifted = m.reg(s) >> (31 - u32::from(pos));
             let value = if flen == 32 {
                 shifted
@@ -517,7 +589,12 @@ fn step(op: &Op, m: &mut Machine, len: usize, ovf: OverflowModel) -> StepOutcome
                 Next
             }
         }
-        Op::Bb { s, bit, sense, target } => {
+        Op::Bb {
+            s,
+            bit,
+            sense,
+            target,
+        } => {
             let value = (m.reg(s) >> (31 - u32::from(bit))) & 1;
             let taken = match sense {
                 BitSense::Set => value == 1,
@@ -821,7 +898,10 @@ mod tests {
         b.b(top);
         let p = b.build().unwrap();
         let mut m = Machine::new();
-        let cfg = ExecConfig { max_cycles: 100, ..ExecConfig::default() };
+        let cfg = ExecConfig {
+            max_cycles: 100,
+            ..ExecConfig::default()
+        };
         let r = run(&p, &mut m, &cfg);
         assert_eq!(r.termination, Termination::CycleLimit);
         assert_eq!(r.cycles, 100);
@@ -837,6 +917,122 @@ mod tests {
         let mut m = Machine::new();
         let r = run(&p, &mut m, &ExecConfig::default().with_profile());
         assert_eq!(r.profile, vec![1, 3]);
+    }
+
+    fn stats_workload() -> Program {
+        // A branchy, nullifying loop exercising several opcode classes.
+        let mut b = ProgramBuilder::new();
+        b.ldi(6, Reg::R1);
+        b.ldi(0, Reg::R2);
+        let top = b.here("loop");
+        b.add(Reg::R1, Reg::R2, Reg::R2);
+        b.comclr(Cond::Odd, Reg::R1, Reg::R0, Reg::R0);
+        b.sh1add(Reg::R2, Reg::R0, Reg::R2); // nullified on odd counts
+        b.addib(-1, Reg::R1, Cond::Ne, top);
+        let done = b.named_label("done");
+        b.bind(done);
+        b.ldi(1, Reg::R3);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn stats_per_opcode_counts_sum_to_executed() {
+        let p = stats_workload();
+        let (_, r) = run_fn(&p, &[], &ExecConfig::default().with_stats());
+        let stats = r.stats.as_deref().expect("stats enabled");
+        assert_eq!(stats.executed_total(), r.executed);
+        assert_eq!(stats.nullified_total(), r.nullified);
+        assert_eq!(
+            stats.per_opcode().values().sum::<u64>(),
+            r.executed,
+            "named histogram must cover every executed instruction"
+        );
+        assert!(r.nullified > 0, "workload must exercise nullification");
+        assert_eq!(
+            stats.nullified_per_opcode().get("sh1add"),
+            Some(&r.nullified)
+        );
+    }
+
+    #[test]
+    fn stats_cycles_are_executed_plus_nullified() {
+        let p = stats_workload();
+        let (_, r) = run_fn(&p, &[], &ExecConfig::default().with_stats());
+        assert_eq!(r.cycles, r.executed + r.nullified);
+        let stats = r.stats.as_deref().unwrap();
+        assert_eq!(r.cycles, stats.executed_total() + stats.nullified_total());
+        // Region attribution partitions the same total.
+        let region_cycles: u64 = stats.regions.iter().map(|reg| reg.cycles).sum();
+        assert_eq!(region_cycles, r.cycles);
+    }
+
+    #[test]
+    fn stats_regions_attribute_to_labels() {
+        let p = stats_workload();
+        let (_, r) = run_fn(&p, &[], &ExecConfig::default().with_stats());
+        let stats = r.stats.as_deref().unwrap();
+        let labels: Vec<&str> = stats.regions.iter().map(|reg| reg.label.as_str()).collect();
+        assert_eq!(labels, vec!["<entry>", "loop", "done"]);
+        let entry = &stats.regions[0];
+        assert_eq!((entry.cycles, entry.executed, entry.nullified), (2, 2, 0));
+        let done = &stats.regions[2];
+        assert_eq!(done.executed, 1);
+        let body = &stats.regions[1];
+        assert_eq!(body.cycles, r.cycles - 3);
+    }
+
+    #[test]
+    fn disabled_stats_runs_are_identical() {
+        let p = stats_workload();
+        let (m_plain, r_plain) = run_fn(&p, &[], &ExecConfig::default());
+        let (m_stats, r_stats) = run_fn(&p, &[], &ExecConfig::default().with_stats());
+        assert_eq!(m_plain, m_stats, "instrumentation must not perturb state");
+        assert_eq!(r_plain.cycles, r_stats.cycles);
+        assert_eq!(r_plain.executed, r_stats.executed);
+        assert_eq!(r_plain.nullified, r_stats.nullified);
+        assert_eq!(r_plain.taken_branches, r_stats.taken_branches);
+        assert_eq!(r_plain.termination, r_stats.termination);
+        assert!(r_plain.stats.is_none());
+        assert!(r_stats.stats.is_some());
+    }
+
+    #[test]
+    fn stats_count_traps() {
+        let mut b = ProgramBuilder::new();
+        b.brk(9);
+        let p = b.build().unwrap();
+        let (_, r) = run_fn(&p, &[], &ExecConfig::default().with_stats());
+        let stats = r.stats.as_deref().unwrap();
+        assert_eq!(stats.traps, 1);
+        assert_eq!(stats.per_opcode().get("break"), Some(&1));
+    }
+
+    #[test]
+    fn stats_merge_sums_histograms_and_regions() {
+        let p = stats_workload();
+        let (_, r1) = run_fn(&p, &[], &ExecConfig::default().with_stats());
+        let (_, r2) = run_fn(&p, &[], &ExecConfig::default().with_stats());
+        let mut merged = r1.stats.as_deref().unwrap().clone();
+        merged.merge(r2.stats.as_deref().unwrap());
+        assert_eq!(merged.executed_total(), 2 * r1.executed);
+        let total: u64 = merged.regions.iter().map(|reg| reg.cycles).sum();
+        assert_eq!(total, 2 * r1.cycles);
+    }
+
+    #[test]
+    fn format_trace_annotates_running_cycles() {
+        let p = stats_workload();
+        let (_, r) = run_fn(&p, &[], &ExecConfig::default().with_trace());
+        let text = format_trace(&p, &r.trace);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len() as u64, r.cycles);
+        assert!(lines[0].trim_start().starts_with("1 "), "{:?}", lines[0]);
+        let last = lines.last().unwrap().trim_start();
+        assert!(
+            last.starts_with(&r.cycles.to_string()),
+            "last line must carry the final cycle count: {last:?}"
+        );
+        assert!(text.contains("[nullified]"));
     }
 
     #[test]
@@ -883,15 +1079,15 @@ mod tests {
         b.comclr(Cond::Eq, Reg::R0, Reg::R0, Reg::R0); // placeholder: always skip
         b.bind(done);
         let p = b.build().unwrap();
-        let (m, _) = run_fn(
-            &p,
-            &[(dividend, 16), (divisor, 3)],
-            &ExecConfig::default(),
-        );
+        let (m, _) = run_fn(&p, &[(dividend, 16), (divisor, 3)], &ExecConfig::default());
         assert_eq!(m.reg(dividend), 5, "quotient");
         // remainder may need correction; if V set, rem + divisor is the true one
         let rem_v = m.reg(rem);
-        let fixed = if m.v_bit() { rem_v.wrapping_add(3) } else { rem_v };
+        let fixed = if m.v_bit() {
+            rem_v.wrapping_add(3)
+        } else {
+            rem_v
+        };
         assert_eq!(fixed, 1, "remainder");
     }
 }
@@ -1021,7 +1217,12 @@ impl<'p> Stepper<'p> {
             return StepStatus::Nullified { pc };
         }
         let insn = self.program.get(pc).expect("pc < len");
-        match step(&insn.op, &mut self.machine, self.program.len(), self.overflow) {
+        match step(
+            &insn.op,
+            &mut self.machine,
+            self.program.len(),
+            self.overflow,
+        ) {
             StepOutcome::Next => self.pc += 1,
             StepOutcome::NullifyNext => {
                 self.nullify_next = true;
@@ -1039,7 +1240,10 @@ impl<'p> Stepper<'p> {
                 return StepStatus::Done(t);
             }
         }
-        StepStatus::Executed { pc, next_pc: self.pc }
+        StepStatus::Executed {
+            pc,
+            next_pc: self.pc,
+        }
     }
 
     /// Runs until completion (or `max_cycles`), returning the termination.
@@ -1101,7 +1305,10 @@ mod stepper_tests {
         let first = s.step();
         assert!(matches!(
             first,
-            StepStatus::Done(Termination::Trapped(Trap { kind: TrapKind::Break(3), at: 0 }))
+            StepStatus::Done(Termination::Trapped(Trap {
+                kind: TrapKind::Break(3),
+                at: 0
+            }))
         ));
         // Idempotent after completion.
         assert_eq!(s.step(), first);

@@ -47,6 +47,7 @@
 mod exec;
 mod machine;
 mod overflow;
+mod stats;
 
 pub use exec::{
     format_trace, run, run_fn, ExecConfig, Fault, RunResult, StepStatus, Stepper, Termination,
@@ -54,3 +55,4 @@ pub use exec::{
 };
 pub use machine::Machine;
 pub use overflow::{cheap_circuit_overflow, precise_overflow, OverflowModel};
+pub use stats::{RegionCycles, SimStats};

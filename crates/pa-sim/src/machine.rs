@@ -33,7 +33,11 @@ impl Machine {
     /// A machine with all registers and PSW bits zeroed.
     #[must_use]
     pub fn new() -> Machine {
-        Machine { regs: [0; pa_isa::NUM_REGS], carry: false, v: false }
+        Machine {
+            regs: [0; pa_isa::NUM_REGS],
+            carry: false,
+            v: false,
+        }
     }
 
     /// A machine with the given `(register, value)` pairs preloaded.
@@ -117,12 +121,7 @@ impl Default for Machine {
 
 impl fmt::Display for Machine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "psw: c={} v={}",
-            u8::from(self.carry),
-            u8::from(self.v)
-        )?;
+        writeln!(f, "psw: c={} v={}", u8::from(self.carry), u8::from(self.v))?;
         for (i, chunk) in self.regs.chunks(4).enumerate() {
             let base = i * 4;
             for (j, v) in chunk.iter().enumerate() {

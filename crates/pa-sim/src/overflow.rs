@@ -82,7 +82,18 @@ mod tests {
 
     #[test]
     fn precise_matches_checked_ops() {
-        let samples = [0, 1, -1, 2, 100, -100, i32::MAX, i32::MIN, 0x3FFF_FFFF, -0x4000_0000];
+        let samples = [
+            0,
+            1,
+            -1,
+            2,
+            100,
+            -100,
+            i32::MAX,
+            i32::MIN,
+            0x3FFF_FFFF,
+            -0x4000_0000,
+        ];
         for &a in &samples {
             for &b in &samples {
                 assert_eq!(
@@ -104,7 +115,16 @@ mod tests {
 
     #[test]
     fn cheap_equals_precise_for_plain_add() {
-        let samples = [0, 1, -1, i32::MAX, i32::MIN, 12345, -98765, i32::MAX / 2 + 1];
+        let samples = [
+            0,
+            1,
+            -1,
+            i32::MAX,
+            i32::MIN,
+            12345,
+            -98765,
+            i32::MAX / 2 + 1,
+        ];
         for &a in &samples {
             for &b in &samples {
                 assert_eq!(

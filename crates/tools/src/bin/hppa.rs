@@ -1,0 +1,80 @@
+//! `hppa` — the top-level workbench command.
+//!
+//! ```sh
+//! hppa report                    # write BENCH_pr1.json in the current dir
+//! hppa report -o out/bench.json  # write elsewhere
+//! hppa report --stdout           # print the document instead
+//! ```
+//!
+//! `report` replays the paper-table workloads (Figure 5 multiply classes,
+//! the general divide, the §7 dispatch, constant multiply/divide) with
+//! cycle-attribution stats and telemetry enabled, and writes one JSON array
+//! of `{workload, cycles, executed, nullified, per_opcode,
+//! strategy_histogram}` records.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use tools::report;
+
+const USAGE: &str = "usage: hppa report [-o PATH] [--stdout]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("report") => run_report(&args[1..]),
+        Some("--help" | "-h") | None => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("hppa: unknown subcommand `{other}`\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_report(args: &[String]) -> ExitCode {
+    let mut out_path = String::from("BENCH_pr1.json");
+    let mut to_stdout = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-o" | "--output" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("hppa report: {arg} needs a path\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--stdout" => to_stdout = true,
+            other => {
+                eprintln!("hppa report: unknown option `{other}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let workloads = report::paper_workloads();
+    let doc = report::report_json(&workloads).to_pretty_string();
+    if to_stdout {
+        print!("{doc}");
+        return ExitCode::SUCCESS;
+    }
+    match std::fs::File::create(&out_path).and_then(|mut f| f.write_all(doc.as_bytes())) {
+        Ok(()) => {
+            for w in &workloads {
+                eprintln!(
+                    "{:<28} {:>8} cycles ({} executed + {} nullified)",
+                    w.workload, w.cycles, w.executed, w.nullified
+                );
+            }
+            eprintln!("wrote {out_path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("hppa report: cannot write {out_path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -24,9 +24,7 @@ use hppa_muldiv::divconst::Magic;
 use hppa_muldiv::Compiler;
 
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: hppa-codegen <mul|mul-checked|udiv|sdiv|urem|chain|magic> <constant>"
-    );
+    eprintln!("usage: hppa-codegen <mul|mul-checked|udiv|sdiv|urem|chain|magic> <constant>");
     ExitCode::from(1)
 }
 
@@ -69,21 +67,34 @@ fn main() -> ExitCode {
             println!(
                 "; l({n}) = {} step(s){}{}",
                 chain.len(),
-                if chain.is_overflow_safe() { ", overflow-safe" } else { "" },
-                if chain.needs_temp() { ", needs a temporary" } else { "" },
+                if chain.is_overflow_safe() {
+                    ", overflow-safe"
+                } else {
+                    ""
+                },
+                if chain.needs_temp() {
+                    ", needs a temporary"
+                } else {
+                    ""
+                },
             );
             print!("{chain}");
             return ExitCode::SUCCESS;
         }
-        "magic" => match u32::try_from(n).map_err(|_| ()).and_then(|y| {
-            Magic::minimal(y).map_err(|e| eprintln!("hppa-codegen: {e}"))
-        }) {
+        "magic" => match u32::try_from(n)
+            .map_err(|_| ())
+            .and_then(|y| Magic::minimal(y).map_err(|e| eprintln!("hppa-codegen: {e}")))
+        {
             Ok(m) => {
                 println!("{m}");
                 println!(
                     "b = {:#x}, fits two words: {}",
                     m.b(),
-                    if m.fits_pair() { "yes" } else { "no (third word needed)" }
+                    if m.fits_pair() {
+                        "yes"
+                    } else {
+                        "no (third word needed)"
+                    }
                 );
                 return ExitCode::SUCCESS;
             }

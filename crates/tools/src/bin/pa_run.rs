@@ -6,6 +6,8 @@
 //!                  a negative decimal
 //!   -t             print the execution trace
 //!   -p             print the per-instruction profile
+//!   -s             print run statistics (per-opcode histogram and
+//!                  per-label cycle attribution)
 //!   -m CYCLES      cycle budget (default 1000000)
 //!   --precise      use the precise overflow detector instead of the cheap
 //!                  circuit
@@ -31,14 +33,13 @@ struct Options {
     regs: Vec<(Reg, u32)>,
     trace: bool,
     profile: bool,
+    stats: bool,
     max_cycles: u64,
     precise: bool,
 }
 
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: pa-run [-r REG=VALUE]... [-t] [-p] [-m CYCLES] [--precise] <file.s>"
-    );
+    eprintln!("usage: pa-run [-r REG=VALUE]... [-t] [-p] [-s] [-m CYCLES] [--precise] <file.s>");
     ExitCode::from(1)
 }
 
@@ -59,6 +60,7 @@ fn parse_args() -> Option<Options> {
         regs: Vec::new(),
         trace: false,
         profile: false,
+        stats: false,
         max_cycles: 1_000_000,
         precise: false,
     };
@@ -71,6 +73,7 @@ fn parse_args() -> Option<Options> {
             }
             "-t" => opts.trace = true,
             "-p" => opts.profile = true,
+            "-s" => opts.stats = true,
             "-m" => opts.max_cycles = args.next()?.parse().ok()?,
             "--precise" => opts.precise = true,
             file if !file.starts_with('-') && opts.file.is_empty() => {
@@ -111,6 +114,7 @@ fn main() -> ExitCode {
         max_cycles: opts.max_cycles,
         profile: opts.profile,
         trace: opts.trace,
+        stats: opts.stats,
     };
     let result = run(&program, &mut machine, &config);
 
@@ -124,13 +128,29 @@ fn main() -> ExitCode {
             }
         }
     }
+    if let Some(stats) = result.stats.as_deref() {
+        println!("per-opcode (executed):");
+        for (name, count) in stats.per_opcode() {
+            println!("  {name:<8} {count:>8}");
+        }
+        let nullified = stats.nullified_per_opcode();
+        if !nullified.is_empty() {
+            println!("per-opcode (nullified):");
+            for (name, count) in nullified {
+                println!("  {name:<8} {count:>8}");
+            }
+        }
+        println!("per-label cycles:");
+        for region in &stats.regions {
+            println!(
+                "  {:<20} {:>8} cycles ({} executed, {} nullified)",
+                region.label, region.cycles, region.executed, region.nullified
+            );
+        }
+    }
     println!(
         "{} in {} cycles ({} executed, {} nullified, {} branches taken)",
-        result.termination,
-        result.cycles,
-        result.executed,
-        result.nullified,
-        result.taken_branches
+        result.termination, result.cycles, result.executed, result.nullified, result.taken_branches
     );
     for r in Reg::all() {
         let v = machine.reg(r);

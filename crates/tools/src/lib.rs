@@ -1,0 +1,10 @@
+//! Library backing for the command-line tools.
+//!
+//! The binaries in `src/bin/` stay thin; anything worth testing lives here.
+//! Currently that is [`report`], the `hppa report` builder that replays the
+//! paper-table workloads with full telemetry and writes `BENCH_*.json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;

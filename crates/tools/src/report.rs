@@ -1,0 +1,292 @@
+//! The `hppa report` builder: replay the paper-table workloads with the
+//! simulator's [`SimStats`] and the telemetry collector both armed, and fold
+//! each workload into one JSON record:
+//!
+//! ```json
+//! {"workload": "…", "cycles": N, "executed": N, "nullified": N,
+//!  "per_opcode": {"add": N, …}, "strategy_histogram": {"mul/nibble-x1": N, …}}
+//! ```
+//!
+//! The five workloads mirror the paper's measurement tables: the Figure 5
+//! switched multiply per operand class, the ≈80-cycle general divide, the
+//! §7 small-divisor dispatch, the §5 constant-multiply chains, and the §7
+//! derived-method constant divides. Every operand stream is deterministic
+//! (fixed strides, no RNG), so reports are reproducible byte for byte.
+
+use std::collections::BTreeMap;
+
+use divconst::{compile_div_const, DivCodegenConfig, Signedness};
+use millicode::{divvar, mulvar};
+use mulconst::{compile_mul_const, CodegenConfig};
+use pa_isa::{Program, Reg};
+use pa_sim::{run_fn, ExecConfig, SimStats};
+use telemetry::json::Json;
+use telemetry::Event;
+
+/// One replayed workload with its aggregate counters.
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    /// Stable workload name (the `workload` field of `BENCH_*.json`).
+    pub workload: &'static str,
+    /// Total fetched slots across all runs (`executed + nullified`).
+    pub cycles: u64,
+    /// Executed (non-nullified) instructions.
+    pub executed: u64,
+    /// Fetched-but-nullified slots.
+    pub nullified: u64,
+    /// Executed-instruction counts per mnemonic (zero entries omitted).
+    pub per_opcode: BTreeMap<&'static str, u64>,
+    /// `family/detail` counts folded from the telemetry event stream.
+    pub strategy_histogram: BTreeMap<String, u64>,
+}
+
+impl WorkloadReport {
+    /// The JSON object form, matching the `BENCH_*.json` schema.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let per_opcode = Json::object(
+            self.per_opcode
+                .iter()
+                .map(|(op, n)| ((*op).to_string(), Json::uint(*n)))
+                .collect(),
+        );
+        Json::object(vec![
+            ("workload".to_string(), Json::str(self.workload)),
+            ("cycles".to_string(), Json::uint(self.cycles)),
+            ("executed".to_string(), Json::uint(self.executed)),
+            ("nullified".to_string(), Json::uint(self.nullified)),
+            ("per_opcode".to_string(), per_opcode),
+            (
+                "strategy_histogram".to_string(),
+                Json::from_counts(&self.strategy_histogram),
+            ),
+        ])
+    }
+}
+
+/// Every paper-table workload, in report order.
+#[must_use]
+pub fn paper_workloads() -> Vec<WorkloadReport> {
+    vec![
+        figure5_switched_multiply(),
+        general_divide(),
+        small_divisor_dispatch(),
+        constant_multiply_chains(),
+        constant_divide(),
+    ]
+}
+
+/// The full report document: a JSON array of workload records.
+#[must_use]
+pub fn report_json(workloads: &[WorkloadReport]) -> Json {
+    Json::Array(workloads.iter().map(WorkloadReport::to_json).collect())
+}
+
+/// Accumulates merged [`SimStats`] over many stats-enabled runs.
+struct Runner {
+    config: ExecConfig,
+    stats: SimStats,
+}
+
+impl Runner {
+    fn new() -> Runner {
+        Runner {
+            config: ExecConfig::default().with_stats(),
+            stats: SimStats::default(),
+        }
+    }
+
+    /// Runs `p` to completion, merging its stats; returns the run's cycles.
+    fn run(&mut self, p: &Program, inputs: &[(Reg, u32)]) -> u64 {
+        let (_, result) = run_fn(p, inputs, &self.config);
+        assert!(
+            result.termination.is_completed(),
+            "workload run must complete: {:?}",
+            result.termination
+        );
+        let stats = result.stats.as_deref().expect("stats were enabled");
+        self.stats.merge(stats);
+        result.cycles
+    }
+
+    fn finish(self, workload: &'static str, events: &[Event]) -> WorkloadReport {
+        let executed = self.stats.executed_total();
+        let nullified = self.stats.nullified_total();
+        WorkloadReport {
+            workload,
+            cycles: executed + nullified,
+            executed,
+            nullified,
+            per_opcode: self.stats.per_opcode(),
+            strategy_histogram: telemetry::strategy_histogram(events),
+        }
+    }
+}
+
+/// Figure 5 — the switched multiply over the paper's four operand classes,
+/// sampling each `min(|x|,|y|)` band on a fixed stride.
+fn figure5_switched_multiply() -> WorkloadReport {
+    let (runner, events) = telemetry::collect(|| {
+        let p = mulvar::switched(true).expect("switched builds");
+        let mut runner = Runner::new();
+        // (lo, hi) bands of Figure 5, plus the 0/1 quick-exit drivers.
+        let classes: [(u32, u32); 4] = [(0, 15), (16, 255), (256, 4095), (4096, 46340)];
+        let multiplicand = 60_000u32;
+        for (lo, hi) in classes {
+            let step = ((hi - lo) / 8).max(1);
+            let mut driver = lo;
+            while driver <= hi {
+                let cycles = runner.run(&p, &[(Reg::R26, driver), (Reg::R25, multiplicand)]);
+                telemetry::emit(|| {
+                    let (tier, operand) = mulvar::tier_for(true, driver, multiplicand);
+                    Event::MulStrategy {
+                        routine: "switched",
+                        tier,
+                        operand: i64::from(operand),
+                        cycles: Some(cycles),
+                    }
+                });
+                match driver.checked_add(step) {
+                    Some(next) if next <= hi => driver = next,
+                    _ => break,
+                }
+            }
+        }
+        runner
+    });
+    runner.finish("figure5_switched_multiply", &events)
+}
+
+/// §4 — the general `DS`/`ADDC` divide (the paper's "average 80 cycles"),
+/// over a divisor sweep that also hits the big-divisor special case.
+fn general_divide() -> WorkloadReport {
+    let (runner, events) = telemetry::collect(|| {
+        let p = divvar::udiv().expect("udiv builds");
+        let mut runner = Runner::new();
+        let dividends = [1u32, 1000, 1_000_000_007, u32::MAX];
+        let divisors = [1u32, 7, 97, 65_537, 0x8000_0000];
+        for &x in &dividends {
+            for &y in &divisors {
+                let cycles = runner.run(&p, &[(Reg::R26, x), (Reg::R25, y)]);
+                telemetry::emit(|| Event::DivDispatch {
+                    routine: "udiv",
+                    tier: divvar::general_tier(false, y),
+                    divisor: i64::from(y),
+                    cycles: Some(cycles),
+                });
+            }
+        }
+        runner
+    });
+    runner.finish("general_divide", &events)
+}
+
+/// §7 — the small-divisor `BLR` dispatch: constructing the routine emits the
+/// planner's `DivPlan` events (one per inlined body), and every run below
+/// the cutoff lands in an inlined derived-method body.
+fn small_divisor_dispatch() -> WorkloadReport {
+    const LIMIT: u32 = 20;
+    let (runner, events) = telemetry::collect(|| {
+        let p = divvar::small_dispatch(LIMIT).expect("dispatch builds");
+        let mut runner = Runner::new();
+        let dividends = [1u32, 19, 12_345, 1_000_000_007, u32::MAX];
+        for y in 1..=LIMIT {
+            for &x in &dividends {
+                let cycles = runner.run(&p, &[(Reg::R26, x), (Reg::R25, y)]);
+                telemetry::emit(|| Event::DivDispatch {
+                    routine: "small_dispatch",
+                    tier: divvar::dispatch_tier(LIMIT, y),
+                    divisor: i64::from(y),
+                    cycles: Some(cycles),
+                });
+            }
+        }
+        runner
+    });
+    runner.finish("small_divisor_dispatch", &events)
+}
+
+/// §5 — constant multiplies over the Figure 1 range: the chain searcher
+/// emits one `ChainSearch` per target, and each compiled body runs once.
+fn constant_multiply_chains() -> WorkloadReport {
+    let (runner, events) = telemetry::collect(|| {
+        let cfg = CodegenConfig::default();
+        let mut runner = Runner::new();
+        for n in 2..=100i64 {
+            let p = compile_mul_const(n, &cfg).expect("constant multiply compiles");
+            runner.run(&p, &[(Reg::R26, 321)]);
+        }
+        runner
+    });
+    runner.finish("constant_multiply_chains", &events)
+}
+
+/// §7 — derived-method constant divides for every divisor the paper's
+/// dispatch table covers: planning emits one `DivPlan` per divisor.
+fn constant_divide() -> WorkloadReport {
+    let (runner, events) = telemetry::collect(|| {
+        let cfg = DivCodegenConfig::default();
+        let mut runner = Runner::new();
+        for y in 2..=20u32 {
+            let p =
+                compile_div_const(y, Signedness::Unsigned, &cfg).expect("constant divide compiles");
+            for &x in &[0u32, 1_000_000_007, u32::MAX] {
+                runner.run(&p, &[(Reg::R26, x)]);
+            }
+        }
+        runner
+    });
+    runner.finish("constant_divide", &events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_hold_the_cycle_identity() {
+        for w in paper_workloads() {
+            assert_eq!(w.cycles, w.executed + w.nullified, "{}", w.workload);
+            let opcode_sum: u64 = w.per_opcode.values().sum();
+            assert_eq!(opcode_sum, w.executed, "{}", w.workload);
+            assert!(!w.strategy_histogram.is_empty(), "{}", w.workload);
+        }
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let a = report_json(&paper_workloads()).to_compact_string();
+        let b = report_json(&paper_workloads()).to_compact_string();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn strategy_histograms_record_expected_families() {
+        let workloads = paper_workloads();
+        let find = |name: &str| {
+            workloads
+                .iter()
+                .find(|w| w.workload == name)
+                .unwrap_or_else(|| panic!("missing workload {name}"))
+        };
+        let mul = find("figure5_switched_multiply");
+        assert!(mul.strategy_histogram.keys().any(|k| k.starts_with("mul/")));
+        assert_eq!(mul.strategy_histogram.get("mul/zero-exit"), Some(&1));
+        let dispatch = find("small_divisor_dispatch");
+        // Construction plans one constant body per divisor in 2..20 …
+        assert!(dispatch
+            .strategy_histogram
+            .keys()
+            .any(|k| k.starts_with("div/")));
+        // … and every sub-cutoff run dispatches into an inlined body.
+        assert_eq!(
+            dispatch.strategy_histogram.get("divvar/inlined-body"),
+            Some(&(18 * 5))
+        );
+        let chains = find("constant_multiply_chains");
+        assert!(chains
+            .strategy_histogram
+            .keys()
+            .any(|k| k.starts_with("chain/")));
+    }
+}

@@ -38,17 +38,17 @@ fn pa_run_executes_a_listing() {
 
 #[test]
 fn pa_run_traces_and_profiles() {
-    let path = write_temp(
-        "loop",
-        "    ldo 3(r0),r5\ntop:\n    addib,<> -1,r5,top\n",
-    );
+    let path = write_temp("loop", "    ldo 3(r0),r5\ntop:\n    addib,<> -1,r5,top\n");
     let out = pa_run()
         .args(["-t", "-p", path.to_str().unwrap()])
         .output()
         .unwrap();
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("3x"), "profile missing:\n{stdout}");
-    assert!(stdout.matches("addib").count() >= 3, "trace missing:\n{stdout}");
+    assert!(
+        stdout.matches("addib").count() >= 3,
+        "trace missing:\n{stdout}"
+    );
     std::fs::remove_file(path).ok();
 }
 
@@ -112,6 +112,16 @@ fn codegen_chain_and_magic_modes() {
 #[test]
 fn codegen_usage_errors() {
     assert!(!codegen().output().unwrap().status.success());
-    assert!(!codegen().args(["mul", "abc"]).output().unwrap().status.success());
-    assert!(!codegen().args(["nonsense", "3"]).output().unwrap().status.success());
+    assert!(!codegen()
+        .args(["mul", "abc"])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    assert!(!codegen()
+        .args(["nonsense", "3"])
+        .output()
+        .unwrap()
+        .status
+        .success());
 }

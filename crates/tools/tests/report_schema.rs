@@ -1,0 +1,110 @@
+//! Golden-schema test for `hppa report`: the written `BENCH_pr1.json` must
+//! parse and carry exactly the documented shape. Numbers are workload
+//! dependent, so the test pins names, key sets, and invariants — not exact
+//! counts.
+
+use std::process::Command;
+
+use telemetry::json::{parse, Json};
+
+const EXPECTED_WORKLOADS: [&str; 5] = [
+    "figure5_switched_multiply",
+    "general_divide",
+    "small_divisor_dispatch",
+    "constant_multiply_chains",
+    "constant_divide",
+];
+
+const RECORD_KEYS: [&str; 6] = [
+    "workload",
+    "cycles",
+    "executed",
+    "nullified",
+    "per_opcode",
+    "strategy_histogram",
+];
+
+fn written_report() -> Json {
+    let path = std::env::temp_dir().join(format!("hppa_report_schema_{}.json", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_hppa"))
+        .args(["report", "-o", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    parse(&text).expect("BENCH_pr1.json must be valid JSON")
+}
+
+#[test]
+fn bench_json_matches_the_documented_schema() {
+    let doc = written_report();
+    let records = doc.as_array().expect("top level is an array");
+    let names: Vec<&str> = records
+        .iter()
+        .map(|r| {
+            r.get("workload")
+                .and_then(Json::as_str)
+                .expect("workload name")
+        })
+        .collect();
+    assert_eq!(names, EXPECTED_WORKLOADS);
+
+    for record in records {
+        let name = record.get("workload").and_then(Json::as_str).unwrap();
+        assert_eq!(record.keys(), RECORD_KEYS, "{name}: unexpected key set");
+
+        let field = |key: &str| {
+            record
+                .get(key)
+                .and_then(Json::as_u64)
+                .unwrap_or_else(|| panic!("{name}: {key} must be a u64"))
+        };
+        let (cycles, executed, nullified) =
+            (field("cycles"), field("executed"), field("nullified"));
+        assert_eq!(cycles, executed + nullified, "{name}: cycle identity");
+        assert!(executed > 0, "{name}: ran nothing");
+
+        let per_opcode = record.get("per_opcode").unwrap();
+        let opcode_sum: u64 = per_opcode
+            .keys()
+            .iter()
+            .map(|op| per_opcode.get(op).and_then(Json::as_u64).unwrap())
+            .sum();
+        assert_eq!(opcode_sum, executed, "{name}: per-opcode sum");
+
+        let hist = record.get("strategy_histogram").unwrap();
+        assert!(!hist.keys().is_empty(), "{name}: empty strategy histogram");
+        for key in hist.keys() {
+            assert!(
+                key.contains('/'),
+                "{name}: strategy key `{key}` must be family/detail"
+            );
+            assert!(hist.get(key).and_then(Json::as_u64).unwrap() > 0);
+        }
+    }
+}
+
+#[test]
+fn report_stdout_mode_prints_the_same_document() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hppa"))
+        .args(["report", "--stdout"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let printed = parse(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    assert_eq!(
+        printed.to_compact_string(),
+        written_report().to_compact_string(),
+        "stdout and file modes must agree"
+    );
+}
+
+#[test]
+fn unknown_subcommands_fail() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hppa"))
+        .arg("frobnicate")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rt = Runtime::new()?;
 
     println!("== subscript scaling: x * sizeof(S) ==");
-    println!("{:<6} {:>8} {:>10}   {}", "size", "cycles", "millicode", "layout");
+    println!("{:<6} {:>8} {:>10}   layout", "size", "cycles", "millicode");
     for (size, layout) in STRUCT_SIZES {
         let op = compiler.mul_const(i64::from(size))?;
         // The same product through the general switched multiply:
@@ -52,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!();
     println!("== pointer difference: bytes / sizeof(S) ==");
-    println!("{:<6} {:>8} {:>10}   {}", "size", "cycles", "millicode", "layout");
+    println!("{:<6} {:>8} {:>10}   layout", "size", "cycles", "millicode");
     for (size, layout) in STRUCT_SIZES {
         let op = compiler.sdiv_const(size as i32)?;
         let bytes = 1234 * size as i32;

@@ -36,7 +36,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!("== data dependence of the final algorithm ==");
     let switched = mulvar::switched(true)?;
-    for (x, y) in [(1i32, 99999), (9, 99999), (300, 99999), (3000, 99999), (46000, 46000)] {
+    for (x, y) in [
+        (1i32, 99999),
+        (9, 99999),
+        (300, 99999),
+        (3000, 99999),
+        (46000, 46000),
+    ] {
         let (m, stats) = run_fn(
             &switched,
             &[(Reg::R26, x as u32), (Reg::R25, y as u32)],

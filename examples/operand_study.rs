@@ -15,8 +15,14 @@ fn main() {
     let pairs = mix.pairs(2024, 100_000);
     let summary = TraceSummary::of(&pairs);
 
-    println!("== operand classes over {} sampled multiplies ==", summary.total);
-    println!("{:<14} {:>10} {:>10}", "min(|x|,|y|)", "measured", "Figure 5");
+    println!(
+        "== operand classes over {} sampled multiplies ==",
+        summary.total
+    );
+    println!(
+        "{:<14} {:>10} {:>10}",
+        "min(|x|,|y|)", "measured", "Figure 5"
+    );
     for (i, &(lo, hi)) in FIGURE5_CLASSES.iter().enumerate() {
         println!(
             "{:<14} {:>9.1}% {:>9}%",

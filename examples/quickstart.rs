@@ -14,12 +14,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // §5: multiplication by a constant is an addition chain. The paper's
     // own example: ×10 in two shift-and-adds.
     let times10 = compiler.mul_const(10)?;
-    println!("x * 10  ({} cycles):\n{}", times10.cycles(), times10.program());
+    println!(
+        "x * 10  ({} cycles):\n{}",
+        times10.cycles(),
+        times10.program()
+    );
     assert_eq!(times10.run_i32(7)?, 70);
 
     // A larger constant still fits "four or fewer" (§8).
     let times1000 = compiler.mul_const(1000)?;
-    println!("x * 1000  ({} cycles):\n{}", times1000.cycles(), times1000.program());
+    println!(
+        "x * 1000  ({} cycles):\n{}",
+        times1000.cycles(),
+        times1000.program()
+    );
 
     // Overflow-checking flavour (Pascal): monotonic chain, trapping adds.
     let checked = compiler.mul_const_checked(31)?;

@@ -12,15 +12,24 @@ use hppa_muldiv::Compiler;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== for (i = 0; i < 10; i++) j += i * 15  (the paper's loop) ==");
-    let cmp = compare(LoopSpec { trips: 10, factor: 15 })?;
+    let cmp = compare(LoopSpec {
+        trips: 10,
+        factor: 15,
+    })?;
     println!("  {cmp}");
     println!("  saved per trip: {:.1} cycles", cmp.saved_per_trip(10));
 
     println!();
     println!("== the payoff grows with the chain length of the factor ==");
-    println!("{:>8} {:>12} {:>12} {:>10}", "factor", "naive", "reduced", "saved/trip");
+    println!(
+        "{:>8} {:>12} {:>12} {:>10}",
+        "factor", "naive", "reduced", "saved/trip"
+    );
     for factor in [2i64, 15, 60, 641, 1979, 46341] {
-        let cmp = compare(LoopSpec { trips: 1000, factor })?;
+        let cmp = compare(LoopSpec {
+            trips: 1000,
+            factor,
+        })?;
         println!(
             "{:>8} {:>12} {:>12} {:>10.1}",
             factor,
@@ -31,7 +40,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!();
-    println!("== \"the percent of time a program spends doing divisions may actually increase\" ==");
+    println!(
+        "== \"the percent of time a program spends doing divisions may actually increase\" =="
+    );
     // A loop body with one multiply (reducible) and one divide (not):
     // before: mul(i*15) + div(x/7); after: add + div(x/7).
     let compiler = Compiler::new();

@@ -1,0 +1,66 @@
+//! Telemetry tour: collect structured events from the codegen pipeline,
+//! attribute a millicode run's cycles to its labelled regions, and print
+//! the strategy histogram a `BENCH_*.json` report is built from.
+//!
+//! ```sh
+//! cargo run --example telemetry_report
+//! ```
+
+use hppa_muldiv::{millicode::mulvar, telemetry, Compiler, Runtime};
+use pa_sim::{run_fn, ExecConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Every decision the pipeline makes inside a `collect` scope becomes
+    //    a structured event: chain searches from the constant-multiply
+    //    compiler, divide plans from the magic-number planner, strategy
+    //    tiers (with measured cycles) from the millicode runtime.
+    let (result, events) = telemetry::collect(|| {
+        let compiler = Compiler::new();
+        compiler.mul_const(45)?;
+        compiler.udiv_const(7)?;
+        let rt = Runtime::new()?;
+        rt.mul_i32(-123, 456)?;
+        rt.udiv(1_000_000, 7)?;
+        rt.udiv_dispatch(1_000_000, 7)?;
+        Ok::<(), Box<dyn std::error::Error>>(())
+    });
+    result?;
+
+    println!("events ({}):", events.len());
+    let mut sink = telemetry::JsonlSink::new(Vec::new());
+    sink.write_all(&events)?;
+    print!("{}", String::from_utf8(sink.into_inner())?);
+
+    println!("\nstrategy histogram:");
+    for (key, count) in telemetry::strategy_histogram(&events) {
+        println!("  {key:<24} {count}");
+    }
+
+    // 2. The simulator side: run the switched multiply with stats enabled
+    //    and see where its cycles go, label by label.
+    let p = mulvar::switched(true)?;
+    let config = ExecConfig::default().with_stats();
+    let (_, run) = run_fn(
+        &p,
+        &[(pa_isa::Reg::R26, 46340), (pa_isa::Reg::R25, 60_000)],
+        &config,
+    );
+    let stats = run.stats.as_deref().expect("stats enabled");
+    println!("\nswitched(46340, 60000): {} cycles", run.cycles);
+    println!(
+        "{:<20} {:>6} {:>8} {:>9}",
+        "region", "cycles", "executed", "nullified"
+    );
+    for r in &stats.regions {
+        println!(
+            "{:<20} {:>6} {:>8} {:>9}",
+            r.label, r.cycles, r.executed, r.nullified
+        );
+    }
+    println!("\nper-opcode (executed):");
+    for (op, n) in stats.per_opcode() {
+        println!("  {op:<8} {n}");
+    }
+    assert_eq!(stats.executed_total() + stats.nullified_total(), run.cycles);
+    Ok(())
+}

@@ -1,0 +1,120 @@
+//! # criterion (offline shim)
+//!
+//! A drop-in stand-in for the subset of `criterion` 0.5 this workspace's
+//! benches use (`criterion_group!`/`criterion_main!`, `benchmark_group`,
+//! `bench_function`, `sample_size`, `black_box`). It runs each closure a
+//! bounded number of times and prints a rough mean — enough to keep
+//! `cargo bench` runnable and the bench targets compiling offline; it does
+//! **no** statistical analysis.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 100,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name.as_ref(), 100, f);
+        self
+    }
+}
+
+/// A named group of benchmarks (see [`Criterion::benchmark_group`]).
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name.as_ref(), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let mut bencher = Bencher {
+        iters: samples.clamp(10, 100) as u64,
+        elapsed_ns: 0,
+        timed: 0,
+    };
+    f(&mut bencher);
+    match bencher.elapsed_ns.checked_div(bencher.timed) {
+        Some(mean) => println!("  {name}: ~{mean} ns/iter ({} iters)", bencher.timed),
+        None => println!("  {name}: no measurement"),
+    }
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u64,
+    timed: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over a bounded number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        let ns = start.elapsed().as_nanos() as u64;
+        self.elapsed_ns += ns;
+        self.timed += self.iters;
+    }
+}
+
+/// Declares a group runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

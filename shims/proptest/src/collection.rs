@@ -1,0 +1,25 @@
+//! `prop::collection` — container strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        (0..self.len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// A `Vec` of exactly `len` elements drawn from `element` (matching
+/// upstream's `From<usize> for SizeRange`: a single exact size).
+#[must_use]
+pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}

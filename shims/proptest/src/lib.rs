@@ -1,0 +1,130 @@
+//! # proptest (offline shim)
+//!
+//! A drop-in stand-in for the subset of `proptest` 1.x this workspace
+//! uses, so property tests run without network access. Differences from
+//! upstream, deliberately accepted:
+//!
+//! * cases are drawn from a deterministic per-test seed (derived from the
+//!   test's module path and name), so failures reproduce exactly but the
+//!   case sets differ from upstream's;
+//! * there is **no shrinking** — a failing case panics with its inputs via
+//!   the assertion message instead of a minimised counterexample;
+//! * `proptest-regressions` files are ignored.
+//!
+//! Supported surface: [`prelude`] (`Strategy`, `Just`, `any`,
+//! `ProptestConfig`, `prop::sample::select`, `prop::collection::vec`) and
+//! the `proptest!`, `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`,
+//! `prop_assume!`, `prop_oneof!` macros.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// The `prop::` namespace (`prop::sample::select`, `prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// The deterministic case runner behind [`proptest!`].
+pub mod test_runner_support {
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", ..)` — plain `assert!`
+/// here (no shrinking to benefit from returning an error).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `prop_assert_eq!(a, b)` — plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `prop_assert_ne!(a, b)` — plain `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// `prop_assume!(cond)` — silently skips the current case when false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// `prop_oneof![s1, s2, ...]` — picks one of the strategies uniformly.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// The `proptest! { ... }` test-definition macro.
+///
+/// Supports the forms used in this workspace: an optional
+/// `#![proptest_config(expr)]` header followed by `#[test] fn name(arg in
+/// strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr)
+      $(
+        $(#[$attr:meta])*
+        fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for _ in 0..config.cases {
+                    // One closure per case so `prop_assume!` can skip via
+                    // `return` without ending the whole test.
+                    let case = |rng: &mut $crate::test_runner::TestRng| {
+                        $(let $arg = $crate::strategy::Strategy::sample(&($strategy), rng);)+
+                        $body
+                    };
+                    case(&mut rng);
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,25 @@
+//! `prop::sample` — choosing from explicit value lists.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.items.len() as u64) as usize;
+        self.items[idx].clone()
+    }
+}
+
+/// Picks uniformly from a non-empty `Vec`.
+#[must_use]
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "select from an empty list");
+    Select { items }
+}

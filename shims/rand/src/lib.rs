@@ -1,0 +1,175 @@
+//! # rand (offline shim)
+//!
+//! A drop-in stand-in for the subset of `rand` 0.8 this workspace uses,
+//! so the build needs no network access. It provides:
+//!
+//! * [`rngs::StdRng`] with [`SeedableRng::seed_from_u64`] — a splitmix64
+//!   generator (deterministic, seedable, statistically fine for workload
+//!   synthesis; **not** the real `StdRng` stream and not cryptographic);
+//! * [`Rng::gen`], [`Rng::gen_range`] (half-open and inclusive integer
+//!   ranges), [`Rng::gen_bool`];
+//! * [`distributions::Distribution`] for user-defined distributions.
+//!
+//! Sequences differ from upstream `rand`; everything in this repository
+//! that depends on reproducibility seeds its own generator, so only
+//! in-repo determinism matters.
+
+#![forbid(unsafe_code)]
+
+/// Integer-range sampling support for [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types that [`Rng::gen`] can produce.
+pub trait Fill: Sized {
+    /// Draws one uniformly distributed value.
+    fn fill_from<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// The user-facing random-number interface.
+pub trait Rng {
+    /// The raw 64-bit generator output.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly distributed value of `T`.
+    fn gen<T: Fill>(&mut self) -> T {
+        T::fill_from(self)
+    }
+
+    /// A value uniformly distributed over `range` (`a..b` or `a..=b`).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        // 53 uniform mantissa bits, exactly the upstream technique.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+/// Seeding support.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Named generators.
+pub mod rngs {
+    /// The workspace's standard generator: splitmix64.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> StdRng {
+            StdRng { state }
+        }
+    }
+
+    impl crate::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Distribution traits ([`Distribution`](distributions::Distribution)).
+pub mod distributions {
+    /// A distribution producing values of `T` from any generator.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+}
+
+macro_rules! impl_fill_int {
+    ($($t:ty),*) => {$(
+        impl Fill for $t {
+            fn fill_from<R: Rng + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_fill_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Fill for bool {
+    fn fill_from<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                sample_i128(rng, self.start as i128, self.end as i128 - 1) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "gen_range: empty range");
+                sample_i128(rng, lo, hi) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform in `[lo, hi]` (inclusive); spans up to 2^64 fit.
+fn sample_i128<R: Rng + ?Sized>(rng: &mut R, lo: i128, hi: i128) -> i128 {
+    let span = (hi - lo + 1) as u128;
+    debug_assert!(span <= 1 << 64);
+    if span == 0 {
+        // Full 64-bit span (e.g. 0u64..=u64::MAX after the +1 wrapped 2^64
+        // into 0 is impossible with i128 math; keep the guard anyway).
+        return lo + rng.next_u64() as i128;
+    }
+    lo + (u128::from(rng.next_u64()) % span) as i128
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&w));
+            let x: u64 = rng.gen_range(0u64..=u64::MAX);
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

@@ -18,10 +18,7 @@ fn figure1_rows_1_to_4() {
         max_shift: 14,
         threads: 2,
     });
-    assert_eq!(
-        f.row(1),
-        vec![2, 3, 4, 5, 8, 9, 16, 32, 64, 128, 256, 512]
-    );
+    assert_eq!(f.row(1), vec![2, 3, 4, 5, 8, 9, 16, 32, 64, 128, 256, 512]);
     assert_eq!(
         &f.row(2)[..12],
         &[6, 7, 10, 11, 12, 13, 15, 17, 18, 19, 20, 21]
@@ -30,10 +27,7 @@ fn figure1_rows_1_to_4() {
         &f.row(3)[..11],
         &[14, 22, 23, 26, 28, 29, 30, 35, 38, 39, 42]
     );
-    assert_eq!(
-        &f.row(4)[..9],
-        &[58, 78, 86, 92, 106, 110, 114, 115, 116]
-    );
+    assert_eq!(&f.row(4)[..9], &[58, 78, 86, 92, 106, 110, 114, 115, 116]);
 }
 
 /// Figure 1, row 5's least value (the full row is bench-harness work).
@@ -59,9 +53,7 @@ fn register_use_exceptions() {
         node_budget: 50_000_000,
     };
     let need_temp: Vec<u64> = (1..100u64)
-        .filter(|&n| {
-            tf[n as usize].unwrap() > chains::optimal_len(n, &limits).unwrap()
-        })
+        .filter(|&n| tf[n as usize].unwrap() > chains::optimal_len(n, &limits).unwrap())
         .collect();
     assert_eq!(need_temp, vec![59, 87, 94]);
 }
@@ -92,7 +84,11 @@ fn figure6_magic_numbers() {
     ];
     for ((y, s, r, a, reach), m) in expect.into_iter().zip(Magic::figure6()) {
         assert_eq!(m.y(), y);
-        assert_eq!((m.s(), m.r(), m.a(), m.reach()), (s, r, a, reach), "y = {y}");
+        assert_eq!(
+            (m.s(), m.r(), m.a(), m.reach()),
+            (s, r, a, reach),
+            "y = {y}"
+        );
     }
 }
 
