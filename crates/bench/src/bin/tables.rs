@@ -9,7 +9,7 @@
 //! ```
 
 use addchain::{find_chain, Frontier, FrontierConfig, SearchLimits};
-use bench::{cycle_band, cycles2, section};
+use bench::{cycle_band, cycles2, section, PreparedBench};
 use divconst::{DivCodegenConfig, Magic, Signedness};
 use hppa_muldiv::{analysis, Compiler};
 use millicode::{divvar, mulvar};
@@ -137,9 +137,10 @@ fn dispatch_ablation() {
     println!("{:>6} {:>8} {:>10}", "limit", "static", "avg cycles");
     for limit in [2u32, 4, 8, 16, 20, 32] {
         let p = divvar::small_dispatch(limit).unwrap();
+        let mut bench = PreparedBench::new(&p);
         let total: u64 = divisors
             .iter()
-            .map(|&y| cycles2(&p, 1_000_000_007, y))
+            .map(|&y| bench.cycles(1_000_000_007, y))
             .sum();
         println!(
             "{:>6} {:>8} {:>10.1}",
@@ -357,13 +358,14 @@ fn fig2() {
 fn early_exit() {
     section("E6 / §6", "early exit: worst case and log-uniform average");
     let p = mulvar::early_exit().unwrap();
-    let worst = cycles2(&p, i32::MIN as u32, 1);
+    let mut bench = PreparedBench::new(&p);
+    let worst = bench.cycles(i32::MIN as u32, 1);
     let dist = LogUniform::new(31);
     let mut rng = StdRng::seed_from_u64(6);
     let mut total = 0u64;
     const N: u64 = 4000;
     for _ in 0..N {
-        total += cycles2(&p, dist.sample(&mut rng), 12345);
+        total += bench.cycles(dist.sample(&mut rng), 12345);
     }
     println!(
         "measured: worst {worst}, log-uniform average {:.0}",
@@ -376,13 +378,14 @@ fn early_exit() {
 fn fig3() {
     section("E7 / Figure 3", "four bits per iteration");
     let p = mulvar::nibble().unwrap();
-    let worst = cycles2(&p, i32::MAX as u32, 1);
+    let mut bench = PreparedBench::new(&p);
+    let worst = bench.cycles(i32::MAX as u32, 1);
     let dist = LogUniform::new(31);
     let mut rng = StdRng::seed_from_u64(7);
     let mut total = 0u64;
     const N: u64 = 4000;
     for _ in 0..N {
-        total += cycles2(&p, dist.sample(&mut rng), 12345);
+        total += bench.cycles(dist.sample(&mut rng), 12345);
     }
     println!(
         "measured: worst {worst}, log-uniform average {:.0}",
@@ -398,13 +401,14 @@ fn swap() {
         "operand swap bounds the loop at four iterations",
     );
     let p = mulvar::swap().unwrap();
+    let mut bench = PreparedBench::new(&p);
     // Non-overflowing products: min operand ≤ 16 bits.
-    let worst = cycles2(&p, 46340, 46340);
+    let worst = bench.cycles(46340, 46340);
     let mix = Figure5Mix::new();
     let mut total = 0u64;
     let pairs = mix.pairs(8, 4000);
     for &(x, y) in &pairs {
-        total += cycles2(&p, x as u32, y as u32);
+        total += bench.cycles(x as u32, y as u32);
     }
     println!(
         "measured: worst {worst}, Figure-5-mix average {:.0}",
@@ -445,11 +449,12 @@ fn fig5() {
         let _ = FIGURE5_WEIGHTS;
     }
     // The weighted average over the paper's mix.
+    let mut bench = PreparedBench::new(&p);
     let mix = Figure5Mix::new();
     let pairs = mix.pairs(9, 6000);
     let total: u64 = pairs
         .iter()
-        .map(|&(x, y)| cycles2(&p, x as u32, y as u32))
+        .map(|&(x, y)| bench.cycles(x as u32, y as u32))
         .sum();
     println!(
         "weighted average: {:.1} cycles (paper: \"less than 20\")",
@@ -509,11 +514,12 @@ fn div_perf() {
     println!("  range {lo}..{hi} (paper: 1 to 27; y=1 is a single copy)");
 
     let dispatch = divvar::small_dispatch(20).unwrap();
+    let mut bench = PreparedBench::new(&dispatch);
     let mut dlo = u64::MAX;
     let mut dhi = 0;
     for y in 1..20u32 {
         for x in [1u32, 1_000_000_007, u32::MAX] {
-            let cyc = cycles2(&dispatch, x, y);
+            let cyc = bench.cycles(x, y);
             dlo = dlo.min(cyc);
             dhi = dhi.max(cyc);
         }
@@ -626,11 +632,12 @@ fn isa_ablation() {
         baselines::booth::cost()
     );
     let p = mulvar::switched(true).unwrap();
+    let mut bench = PreparedBench::new(&p);
     let mix = Figure5Mix::new();
     let pairs = mix.pairs(15, 4000);
     let avg: f64 = pairs
         .iter()
-        .map(|&(x, y)| cycles2(&p, x as u32, y as u32) as f64)
+        .map(|&(x, y)| bench.cycles(x as u32, y as u32) as f64)
         .sum::<f64>()
         / pairs.len() as f64;
     println!("  Precision software switched:  {avg:.1} cycles average, no extra hardware");

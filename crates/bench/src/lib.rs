@@ -5,7 +5,7 @@
 #![forbid(unsafe_code)]
 
 use pa_isa::{Program, Reg};
-use pa_sim::{run_fn, ExecConfig, RunResult, SimStats};
+use pa_sim::{run_fn, ExecConfig, Machine, PreparedProgram, RunResult, SimStats};
 
 /// Runs a two-operand millicode routine and returns its cycle count,
 /// asserting completion.
@@ -64,10 +64,53 @@ pub fn print_stats(stats: &SimStats) {
     }
 }
 
+/// A two-operand routine pre-decoded once and replayed on one reused
+/// machine — the hot path for table loops that run the same program over
+/// thousands of operand pairs.
+#[derive(Debug)]
+pub struct PreparedBench {
+    prepared: PreparedProgram,
+    machine: Machine,
+}
+
+impl PreparedBench {
+    /// Pre-decodes `p` under the default execution config (the same config
+    /// [`cycles2`] runs with, so cycle counts are identical).
+    #[must_use]
+    pub fn new(p: &Program) -> PreparedBench {
+        PreparedBench {
+            prepared: PreparedProgram::new(p, ExecConfig::default()),
+            machine: Machine::new(),
+        }
+    }
+
+    /// Runs with `R26 = a`, `R25 = b`, returning `(R28, cycles)` and
+    /// asserting completion.
+    pub fn run(&mut self, a: u32, b: u32) -> (u32, u64) {
+        self.machine.reset();
+        self.machine.set_reg(Reg::R26, a);
+        self.machine.set_reg(Reg::R25, b);
+        let r = self.prepared.run(&mut self.machine);
+        assert!(
+            r.termination.is_completed(),
+            "{a}, {b}: {:?}",
+            r.termination
+        );
+        (self.machine.reg(Reg::R28), r.cycles)
+    }
+
+    /// The cycle count alone.
+    pub fn cycles(&mut self, a: u32, b: u32) -> u64 {
+        self.run(a, b).1
+    }
+}
+
 /// Best/average/worst cycles of `p` over multiplier values in
-/// `lo..=hi` (multiplicand fixed), sampling `samples` points.
+/// `lo..=hi` (multiplicand fixed), sampling `samples` points. The program
+/// is pre-decoded once and replayed on one machine.
 #[must_use]
 pub fn cycle_band(p: &Program, lo: u32, hi: u32, multiplicand: u32, samples: u32) -> Band {
+    let mut bench = PreparedBench::new(p);
     let mut best = u64::MAX;
     let mut worst = 0u64;
     let mut total = 0u64;
@@ -75,7 +118,7 @@ pub fn cycle_band(p: &Program, lo: u32, hi: u32, multiplicand: u32, samples: u32
     let step = ((hi - lo) / samples).max(1);
     let mut x = lo;
     loop {
-        let c = cycles2(p, x, multiplicand);
+        let c = bench.cycles(x, multiplicand);
         best = best.min(c);
         worst = worst.max(c);
         total += c;
@@ -119,4 +162,23 @@ pub fn section(id: &str, title: &str) {
     println!("================================================================");
     println!("{id}: {title}");
     println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use millicode::mulvar;
+
+    #[test]
+    fn prepared_bench_matches_cycles2() {
+        let p = mulvar::switched(true).unwrap();
+        let mut bench = PreparedBench::new(&p);
+        for (a, b) in [(0u32, 0u32), (1, 60_000), (46340, 46340), (12345, 678)] {
+            let (value, cycles) = bench.run(a, b);
+            let (machine, stats) = run2(&p, a, b);
+            assert_eq!(value, machine.reg(Reg::R28), "{a} * {b}");
+            assert_eq!(cycles, stats.cycles, "{a} * {b}");
+            assert_eq!(cycles, cycles2(&p, a, b), "{a} * {b}");
+        }
+    }
 }

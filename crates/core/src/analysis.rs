@@ -55,6 +55,7 @@ pub struct DivideSummary {
 pub fn multiply_summary(seed: u64, n: usize) -> MultiplySummary {
     let compiler = Compiler::new();
     let runtime = Runtime::new().expect("routines build");
+    let mut session = runtime.session();
     let mix = Figure5Mix::new();
     let mut rng = StdRng::seed_from_u64(seed);
 
@@ -77,8 +78,8 @@ pub fn multiply_summary(seed: u64, n: usize) -> MultiplySummary {
             const_cycles += op.cycles_for(v as u32);
             const_count += 1;
         } else {
-            let (_, cycles) = runtime.mul_i32(x, y).expect("mul millicode");
-            var_cycles += cycles;
+            let out = session.mul(x, y).expect("mul millicode");
+            var_cycles += out.cycles;
             var_count += 1;
         }
     }
@@ -103,6 +104,7 @@ pub fn multiply_summary(seed: u64, n: usize) -> MultiplySummary {
 pub fn divide_summary(seed: u64, n: usize) -> DivideSummary {
     let compiler = Compiler::new();
     let runtime = Runtime::new().expect("routines build");
+    let mut session = runtime.session();
     let ops = DivMix::default().ops(seed, n);
 
     let mut const_cycles = 0u64;
@@ -118,8 +120,8 @@ pub fn divide_summary(seed: u64, n: usize) -> DivideSummary {
                 const_count += 1;
             }
             DivOp::Variable { x, y } => {
-                let (_, cycles) = runtime.udiv_dispatch(x, y).expect("div millicode");
-                var_cycles += cycles;
+                let out = session.div_dispatch(x, y).expect("div millicode");
+                var_cycles += out.cycles;
                 var_count += 1;
             }
         }

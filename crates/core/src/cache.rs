@@ -1,0 +1,135 @@
+//! The strategy-keyed compilation cache.
+//!
+//! Chain search and magic-number derivation dominate the cost of
+//! [`Compiler`](crate::Compiler) calls; workloads replay the same few
+//! constants thousands of times. The cache memoises whole
+//! [`CompiledOp`](crate::CompiledOp)s keyed by `(OpKind, overflow model)` —
+//! the operation kind already carries the constant and the trap flavor, and
+//! the overflow model is baked into the prepared program, so two compilers
+//! that would generate different executables never share an entry.
+
+use pa_sim::OverflowModel;
+
+use crate::compiler::{CompiledOp, OpKind};
+
+/// The full identity of a compiled program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct CacheKey {
+    pub kind: OpKind,
+    pub overflow: OverflowModel,
+}
+
+/// A bounded most-recently-used cache. Entries are kept in recency order
+/// (most recent at the back); capacity is small enough that the linear key
+/// scan is cheaper than hashing would be.
+#[derive(Debug, Clone)]
+pub(crate) struct CompileCache {
+    capacity: usize,
+    entries: Vec<(CacheKey, CompiledOp)>,
+}
+
+impl CompileCache {
+    /// The default entry bound — comfortably above any paper workload's
+    /// distinct-constant count.
+    pub const DEFAULT_CAPACITY: usize = 128;
+
+    pub fn new(capacity: usize) -> CompileCache {
+        CompileCache {
+            capacity,
+            entries: Vec::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn lookup(&mut self, key: &CacheKey) -> Option<CompiledOp> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        let entry = self.entries.remove(idx);
+        let op = entry.1.clone();
+        self.entries.push(entry);
+        Some(op)
+    }
+
+    /// Inserts `op` under `key`, evicting the least-recently-used entry when
+    /// over capacity. A capacity of zero disables caching entirely.
+    pub fn insert(&mut self, key: CacheKey, op: CompiledOp) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.entries.retain(|(k, _)| k != &key);
+        self.entries.push((key, op));
+        while self.entries.len() > self.capacity {
+            self.entries.remove(0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Compiler;
+
+    fn key(n: i64) -> CacheKey {
+        CacheKey {
+            kind: OpKind::MulConst { n, checked: false },
+            overflow: OverflowModel::default(),
+        }
+    }
+
+    fn op(n: i64) -> CompiledOp {
+        Compiler::new().mul_const(n).unwrap()
+    }
+
+    #[test]
+    fn lookup_returns_inserted_entries() {
+        let mut cache = CompileCache::new(4);
+        assert!(cache.lookup(&key(10)).is_none());
+        cache.insert(key(10), op(10));
+        assert_eq!(cache.len(), 1);
+        let hit = cache.lookup(&key(10)).expect("hit");
+        assert_eq!(
+            hit.kind(),
+            OpKind::MulConst {
+                n: 10,
+                checked: false
+            }
+        );
+    }
+
+    #[test]
+    fn eviction_is_least_recently_used() {
+        let mut cache = CompileCache::new(2);
+        cache.insert(key(2), op(2));
+        cache.insert(key(3), op(3));
+        cache.lookup(&key(2)); // refresh 2 → 3 is now LRU
+        cache.insert(key(5), op(5));
+        assert!(cache.lookup(&key(3)).is_none(), "LRU entry evicted");
+        assert!(cache.lookup(&key(2)).is_some());
+        assert!(cache.lookup(&key(5)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = CompileCache::new(0);
+        cache.insert(key(10), op(10));
+        assert_eq!(cache.len(), 0);
+        assert!(cache.lookup(&key(10)).is_none());
+    }
+
+    #[test]
+    fn overflow_model_separates_entries() {
+        let mut cache = CompileCache::new(4);
+        cache.insert(key(10), op(10));
+        let precise = CacheKey {
+            kind: OpKind::MulConst {
+                n: 10,
+                checked: false,
+            },
+            overflow: OverflowModel::Precise,
+        };
+        assert!(cache.lookup(&precise).is_none());
+    }
+}

@@ -1,11 +1,16 @@
 //! The compile-time facade: constants into straight-line code.
 
 use core::fmt;
+use std::cell::RefCell;
 
 use divconst::{DivCodegenConfig, DivCodegenError, Signedness};
 use mulconst::{CodegenConfig, CodegenError};
 use pa_isa::{Program, Reg};
-use pa_sim::{run_fn, ExecConfig, TrapKind};
+use pa_sim::{ExecConfig, Machine, OverflowModel, PreparedProgram, Termination, TrapKind};
+
+use crate::cache::{CacheKey, CompileCache};
+use crate::session::BatchOutcome;
+use crate::{Error, Result};
 
 /// What a [`CompiledOp`] computes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -53,7 +58,9 @@ impl fmt::Display for OpKind {
     }
 }
 
-/// Errors from the [`Compiler`].
+/// Legacy error type of the pre-0.2 [`Compiler`] API. New code should match
+/// on [`crate::Error`], which every façade method now returns; this enum
+/// remains for callers migrating off the old signatures.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum CompilerError {
@@ -95,12 +102,12 @@ impl From<DivCodegenError> for CompilerError {
     }
 }
 
-/// A compiled constant operation: the program, its registers, and execution
-/// helpers backed by the simulator.
+/// A compiled constant operation: the pre-decoded program, its registers,
+/// and execution helpers backed by the simulator's prepared fast path.
 #[derive(Debug, Clone)]
 pub struct CompiledOp {
     kind: OpKind,
-    program: Program,
+    prepared: PreparedProgram,
     source: Reg,
     dest: Reg,
 }
@@ -115,7 +122,13 @@ impl CompiledOp {
     /// The generated instructions.
     #[must_use]
     pub fn program(&self) -> &Program {
-        &self.program
+        self.prepared.program()
+    }
+
+    /// The pre-decoded executable form.
+    #[must_use]
+    pub fn prepared(&self) -> &PreparedProgram {
+        &self.prepared
     }
 
     /// Static instruction count. For the straight-line multiply/divide
@@ -123,13 +136,13 @@ impl CompiledOp {
     /// slightly below it.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.program.len()
+        self.prepared.len()
     }
 
     /// Whether the program is empty (never true for real operations).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.program.is_empty()
+        self.prepared.is_empty()
     }
 
     /// Cycles consumed for a representative input (for straight-line code,
@@ -142,43 +155,191 @@ impl CompiledOp {
     /// Cycles consumed for a specific input value.
     #[must_use]
     pub fn cycles_for(&self, x: u32) -> u64 {
-        let (_, stats) = run_fn(&self.program, &[(self.source, x)], &ExecConfig::default());
-        stats.cycles
+        let mut m = Machine::with_regs(&[(self.source, x)]);
+        self.prepared.run(&mut m).cycles
+    }
+
+    fn run_on(&self, machine: &mut Machine, x: u32) -> Result<(u32, u64)> {
+        machine.reset();
+        machine.set_reg(self.source, x);
+        let r = self.prepared.run(machine);
+        match r.termination {
+            Termination::Completed => Ok((machine.reg(self.dest), r.cycles)),
+            Termination::Trapped(t) => Err(Error::Trapped(t.kind)),
+            _ => Err(Error::DidNotComplete),
+        }
     }
 
     /// Runs on an unsigned input.
     ///
     /// # Errors
     ///
-    /// [`CompilerError::Trapped`] when the code traps (checked overflow).
-    pub fn run_u32(&self, x: u32) -> Result<u32, CompilerError> {
-        let (m, stats) = run_fn(&self.program, &[(self.source, x)], &ExecConfig::default());
-        match stats.termination {
-            pa_sim::Termination::Completed => Ok(m.reg(self.dest)),
-            pa_sim::Termination::Trapped(t) => Err(CompilerError::Trapped(t.kind)),
-            _ => Err(CompilerError::DidNotComplete),
-        }
+    /// [`Error::Trapped`] when the code traps (checked overflow).
+    pub fn run_u32(&self, x: u32) -> Result<u32> {
+        let mut m = Machine::new();
+        self.run_on(&mut m, x).map(|(v, _)| v)
     }
 
     /// Runs on a signed input.
     ///
     /// # Errors
     ///
-    /// [`CompilerError::Trapped`] when the code traps (checked overflow).
-    pub fn run_i32(&self, x: i32) -> Result<i32, CompilerError> {
+    /// [`Error::Trapped`] when the code traps (checked overflow).
+    pub fn run_i32(&self, x: i32) -> Result<i32> {
         self.run_u32(x as u32).map(|v| v as i32)
+    }
+
+    /// Runs the whole batch through one reused machine, returning every
+    /// result plus the total simulated cycles. The machine is reset between
+    /// inputs, so results are identical to per-call [`run_u32`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first input that traps or does not complete.
+    ///
+    /// [`run_u32`]: CompiledOp::run_u32
+    pub fn run_batch_u32(&self, inputs: &[u32]) -> Result<BatchOutcome<u32>> {
+        let mut machine = Machine::new();
+        let mut values = Vec::with_capacity(inputs.len());
+        let mut cycles = 0u64;
+        for &x in inputs {
+            let (v, c) = self.run_on(&mut machine, x)?;
+            values.push(v);
+            cycles += c;
+        }
+        Ok(BatchOutcome {
+            values,
+            rems: None,
+            cycles,
+        })
+    }
+
+    /// Signed spelling of [`CompiledOp::run_batch_u32`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first input that traps or does not complete.
+    pub fn run_batch_i32(&self, inputs: &[i32]) -> Result<BatchOutcome<i32>> {
+        let mut machine = Machine::new();
+        let mut values = Vec::with_capacity(inputs.len());
+        let mut cycles = 0u64;
+        for &x in inputs {
+            let (v, c) = self.run_on(&mut machine, x as u32)?;
+            values.push(v as i32);
+            cycles += c;
+        }
+        Ok(BatchOutcome {
+            values,
+            rems: None,
+            cycles,
+        })
     }
 }
 
 impl fmt::Display for CompiledOp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "; {}", self.kind)?;
-        write!(f, "{}", self.program)
+        write!(f, "{}", self.program())
+    }
+}
+
+/// Configures a [`Compiler`] — the scattered knobs in one place.
+///
+/// # Example
+///
+/// ```
+/// use hppa_muldiv::{Compiler, sim::OverflowModel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let c = Compiler::builder()
+///     .overflow(OverflowModel::Precise)
+///     .cache_capacity(64)
+///     .build();
+/// assert_eq!(c.mul_const(10)?.cycles(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompilerBuilder {
+    overflow: OverflowModel,
+    trapping_mul: bool,
+    max_cycles: u64,
+    stats: bool,
+    cache_capacity: usize,
+}
+
+impl CompilerBuilder {
+    fn new() -> CompilerBuilder {
+        CompilerBuilder {
+            overflow: OverflowModel::default(),
+            trapping_mul: false,
+            max_cycles: ExecConfig::default().max_cycles,
+            stats: false,
+            cache_capacity: CompileCache::DEFAULT_CAPACITY,
+        }
+    }
+
+    /// Overflow detector baked into the compiled programs' execution.
+    #[must_use]
+    pub fn overflow(mut self, model: OverflowModel) -> CompilerBuilder {
+        self.overflow = model;
+        self
+    }
+
+    /// Makes [`Compiler::mul_const`] emit trapping (Pascal-flavor) chains by
+    /// default, as if every call were [`Compiler::mul_const_checked`].
+    #[must_use]
+    pub fn trapping_mul(mut self, trapping: bool) -> CompilerBuilder {
+        self.trapping_mul = trapping;
+        self
+    }
+
+    /// Watchdog budget for executing compiled programs.
+    #[must_use]
+    pub fn max_cycles(mut self, max_cycles: u64) -> CompilerBuilder {
+        self.max_cycles = max_cycles;
+        self
+    }
+
+    /// Collect simulator statistics when compiled programs run (delegates
+    /// execution to the instrumented interpreter).
+    #[must_use]
+    pub fn stats(mut self, stats: bool) -> CompilerBuilder {
+        self.stats = stats;
+        self
+    }
+
+    /// Bound on cached compiled programs; zero disables the cache.
+    #[must_use]
+    pub fn cache_capacity(mut self, capacity: usize) -> CompilerBuilder {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Builds the compiler.
+    #[must_use]
+    pub fn build(self) -> Compiler {
+        let exec = ExecConfig {
+            overflow: self.overflow,
+            max_cycles: self.max_cycles,
+            profile: false,
+            trace: false,
+            stats: self.stats,
+        };
+        Compiler {
+            mul_cfg: CodegenConfig::default(),
+            div_cfg: DivCodegenConfig::default(),
+            exec,
+            trapping_mul: self.trapping_mul,
+            cache: RefCell::new(CompileCache::new(self.cache_capacity)),
+        }
     }
 }
 
 /// Compiles constant multiplications and divisions the way the Precision
-/// compilers' code generator does.
+/// compilers' code generator does. Compiled programs are memoised in a
+/// bounded, strategy-keyed cache: compiling the same constant twice does
+/// the chain search / magic derivation once.
 ///
 /// # Example
 ///
@@ -197,30 +358,36 @@ impl fmt::Display for CompiledOp {
 pub struct Compiler {
     mul_cfg: CodegenConfig,
     div_cfg: DivCodegenConfig,
+    exec: ExecConfig,
+    trapping_mul: bool,
+    cache: RefCell<CompileCache>,
 }
 
 impl Compiler {
-    /// A compiler with the PA-RISC argument-register conventions.
+    /// A compiler with the PA-RISC argument-register conventions and
+    /// default knobs.
     #[must_use]
     pub fn new() -> Compiler {
-        Compiler {
-            mul_cfg: CodegenConfig::default(),
-            div_cfg: DivCodegenConfig::default(),
-        }
+        Compiler::builder().build()
     }
 
-    /// Compiles `x * n`, wrapping on overflow (C semantics).
+    /// Starts configuring a compiler.
+    #[must_use]
+    pub fn builder() -> CompilerBuilder {
+        CompilerBuilder::new()
+    }
+
+    /// Compiles `x * n`; wrapping (C semantics) unless the builder asked
+    /// for trapping multiplies.
     ///
     /// # Errors
     ///
-    /// See [`CompilerError`].
-    pub fn mul_const(&self, n: i64) -> Result<CompiledOp, CompilerError> {
-        let program = mulconst::compile_mul_const(n, &self.mul_cfg)?;
-        Ok(self.wrap(
-            OpKind::MulConst { n, checked: false },
-            program,
-            self.mul_cfg.source,
-        ))
+    /// See [`Error`].
+    pub fn mul_const(&self, n: i64) -> Result<CompiledOp> {
+        self.compile(OpKind::MulConst {
+            n,
+            checked: self.trapping_mul,
+        })
     }
 
     /// Compiles `x * n` with overflow trapping (Pascal semantics); the chain
@@ -228,34 +395,27 @@ impl Compiler {
     ///
     /// # Errors
     ///
-    /// See [`CompilerError`].
-    pub fn mul_const_checked(&self, n: i64) -> Result<CompiledOp, CompilerError> {
-        let cfg = CodegenConfig {
-            check_overflow: true,
-            ..self.mul_cfg.clone()
-        };
-        let program = mulconst::compile_mul_const(n, &cfg)?;
-        Ok(self.wrap(OpKind::MulConst { n, checked: true }, program, cfg.source))
+    /// See [`Error`].
+    pub fn mul_const_checked(&self, n: i64) -> Result<CompiledOp> {
+        self.compile(OpKind::MulConst { n, checked: true })
     }
 
     /// Compiles unsigned `x / y`.
     ///
     /// # Errors
     ///
-    /// See [`CompilerError`]; `y = 0` reports a divide codegen error.
-    pub fn udiv_const(&self, y: u32) -> Result<CompiledOp, CompilerError> {
-        let program = divconst::compile_div_const(y, Signedness::Unsigned, &self.div_cfg)?;
-        Ok(self.wrap(OpKind::UdivConst { y }, program, self.div_cfg.source))
+    /// See [`Error`]; `y = 0` reports [`Error::DivideByZero`].
+    pub fn udiv_const(&self, y: u32) -> Result<CompiledOp> {
+        self.compile(OpKind::UdivConst { y })
     }
 
     /// Compiles signed `trunc(x / y)` (y may be negative).
     ///
     /// # Errors
     ///
-    /// See [`CompilerError`].
-    pub fn sdiv_const(&self, y: i32) -> Result<CompiledOp, CompilerError> {
-        let program = divconst::compile_div_const_i32(y, &self.div_cfg)?;
-        Ok(self.wrap(OpKind::SdivConst { y }, program, self.div_cfg.source))
+    /// See [`Error`].
+    pub fn sdiv_const(&self, y: i32) -> Result<CompiledOp> {
+        self.compile(OpKind::SdivConst { y })
     }
 
     /// Compiles unsigned `x % y` — an extension composed from the paper's
@@ -264,25 +424,9 @@ impl Compiler {
     ///
     /// # Errors
     ///
-    /// See [`CompilerError`].
-    pub fn urem_const(&self, y: u32) -> Result<CompiledOp, CompilerError> {
-        let div = divconst::compile_div_const(y, Signedness::Unsigned, &self.div_cfg)?;
-        // Multiply the quotient (in dest) by y into a temp, then subtract.
-        let quotient = self.div_cfg.dest;
-        let product = self.div_cfg.temps[0];
-        let mul_cfg = CodegenConfig {
-            source: quotient,
-            dest: product,
-            temps: self.div_cfg.temps[1..6].to_vec(),
-            check_overflow: false,
-        };
-        let mul = mulconst::compile_mul_const(i64::from(y), &mul_cfg)?;
-        let mut combined = div.concat(&mul, "_mulback");
-        let mut b = pa_isa::ProgramBuilder::new();
-        b.sub(self.div_cfg.source, product, quotient);
-        let sub = b.build().expect("single sub builds");
-        combined = combined.concat(&sub, "_rem");
-        Ok(self.wrap(OpKind::UremConst { y }, combined, self.div_cfg.source))
+    /// See [`Error`].
+    pub fn urem_const(&self, y: u32) -> Result<CompiledOp> {
+        self.compile(OpKind::UremConst { y })
     }
 
     /// Compiles signed `x % y` (C semantics: the remainder takes the
@@ -290,9 +434,75 @@ impl Compiler {
     ///
     /// # Errors
     ///
-    /// See [`CompilerError`].
-    pub fn srem_const(&self, y: i32) -> Result<CompiledOp, CompilerError> {
-        let div = divconst::compile_div_const_i32(y, &self.div_cfg)?;
+    /// See [`Error`].
+    pub fn srem_const(&self, y: i32) -> Result<CompiledOp> {
+        self.compile(OpKind::SremConst { y })
+    }
+
+    /// Cached programs currently resident.
+    #[must_use]
+    pub fn cached_ops(&self) -> usize {
+        self.cache.borrow().len()
+    }
+
+    fn compile(&self, kind: OpKind) -> Result<CompiledOp> {
+        let key = CacheKey {
+            kind,
+            overflow: self.exec.overflow,
+        };
+        let cached = self.cache.borrow_mut().lookup(&key);
+        if let Some(op) = cached {
+            telemetry::emit(|| telemetry::Event::CacheLookup {
+                op: kind.to_string(),
+                hit: true,
+                entries: self.cache.borrow().len(),
+            });
+            return Ok(op);
+        }
+        let op = self.compile_cold(kind)?;
+        self.cache.borrow_mut().insert(key, op.clone());
+        telemetry::emit(|| telemetry::Event::CacheLookup {
+            op: kind.to_string(),
+            hit: false,
+            entries: self.cache.borrow().len(),
+        });
+        Ok(op)
+    }
+
+    fn compile_cold(&self, kind: OpKind) -> Result<CompiledOp> {
+        match kind {
+            OpKind::MulConst { n, checked } => {
+                let cfg = CodegenConfig {
+                    check_overflow: checked,
+                    ..self.mul_cfg.clone()
+                };
+                let program = mulconst::compile_mul_const(n, &cfg)?;
+                Ok(self.wrap(kind, program, cfg.source))
+            }
+            OpKind::UdivConst { y } => {
+                let program = divconst::compile_div_const(y, Signedness::Unsigned, &self.div_cfg)?;
+                Ok(self.wrap(kind, program, self.div_cfg.source))
+            }
+            OpKind::SdivConst { y } => {
+                let program = divconst::compile_div_const_i32(y, &self.div_cfg)?;
+                Ok(self.wrap(kind, program, self.div_cfg.source))
+            }
+            OpKind::UremConst { y } => {
+                let div = divconst::compile_div_const(y, Signedness::Unsigned, &self.div_cfg)?;
+                let combined = self.compose_rem(div, i64::from(y))?;
+                Ok(self.wrap(kind, combined, self.div_cfg.source))
+            }
+            OpKind::SremConst { y } => {
+                let div = divconst::compile_div_const_i32(y, &self.div_cfg)?;
+                let combined = self.compose_rem(div, i64::from(y))?;
+                Ok(self.wrap(kind, combined, self.div_cfg.source))
+            }
+        }
+    }
+
+    /// Appends the multiply-back and subtract that turn a quotient program
+    /// into a remainder program.
+    fn compose_rem(&self, div: Program, y: i64) -> Result<Program> {
         let quotient = self.div_cfg.dest;
         let product = self.div_cfg.temps[0];
         let mul_cfg = CodegenConfig {
@@ -301,19 +511,24 @@ impl Compiler {
             temps: self.div_cfg.temps[1..6].to_vec(),
             check_overflow: false,
         };
-        let mul = mulconst::compile_mul_const(i64::from(y), &mul_cfg)?;
+        let mul = mulconst::compile_mul_const(y, &mul_cfg)?;
         let mut combined = div.concat(&mul, "_mulback");
         let mut b = pa_isa::ProgramBuilder::new();
         b.sub(self.div_cfg.source, product, quotient);
         let sub = b.build().expect("single sub builds");
         combined = combined.concat(&sub, "_rem");
-        Ok(self.wrap(OpKind::SremConst { y }, combined, self.div_cfg.source))
+        Ok(combined)
     }
 
     fn wrap(&self, kind: OpKind, program: Program, source: Reg) -> CompiledOp {
+        let prepared = PreparedProgram::new(&program, self.exec.clone());
+        telemetry::emit(|| telemetry::Event::Prepare {
+            label: kind.to_string(),
+            len: prepared.len(),
+        });
         CompiledOp {
             kind,
-            program,
+            prepared,
             source,
             dest: self.div_cfg.dest,
         }
@@ -346,7 +561,7 @@ mod tests {
         assert_eq!(op.run_i32(10).unwrap(), 30);
         assert_eq!(
             op.run_i32(i32::MAX / 2),
-            Err(CompilerError::Trapped(TrapKind::Overflow))
+            Err(Error::Trapped(TrapKind::Overflow))
         );
     }
 
@@ -412,5 +627,71 @@ mod tests {
                 checked: false
             }
         );
+    }
+
+    #[test]
+    fn repeated_compiles_hit_the_cache() {
+        let c = Compiler::new();
+        let (ops, events) = telemetry::collect(|| {
+            let first = c.mul_const(10).unwrap();
+            let second = c.mul_const(10).unwrap();
+            (first, second)
+        });
+        assert_eq!(ops.0.program().insns(), ops.1.program().insns());
+        let hist = telemetry::strategy_histogram(&events);
+        assert_eq!(hist.get("cache/miss"), Some(&1));
+        assert_eq!(hist.get("cache/hit"), Some(&1));
+        assert_eq!(hist.get("prepare/program"), Some(&1), "compiled once");
+        assert_eq!(c.cached_ops(), 1);
+    }
+
+    #[test]
+    fn checked_and_unchecked_do_not_share_cache_entries() {
+        let c = Compiler::new();
+        let plain = c.mul_const(3).unwrap();
+        let checked = c.mul_const_checked(3).unwrap();
+        assert_ne!(plain.kind(), checked.kind());
+        assert_eq!(c.cached_ops(), 2);
+    }
+
+    #[test]
+    fn builder_trapping_mul_makes_mul_const_checked() {
+        let c = Compiler::builder().trapping_mul(true).build();
+        let op = c.mul_const(3).unwrap();
+        assert_eq!(
+            op.kind(),
+            OpKind::MulConst {
+                n: 3,
+                checked: true
+            }
+        );
+        assert!(matches!(
+            op.run_i32(i32::MAX / 2),
+            Err(Error::Trapped(TrapKind::Overflow))
+        ));
+    }
+
+    #[test]
+    fn builder_zero_capacity_disables_cache() {
+        let c = Compiler::builder().cache_capacity(0).build();
+        c.mul_const(10).unwrap();
+        c.mul_const(10).unwrap();
+        assert_eq!(c.cached_ops(), 0);
+    }
+
+    #[test]
+    fn batch_matches_singular_runs() {
+        let c = Compiler::new();
+        let op = c.udiv_const(7).unwrap();
+        let inputs = [0u32, 1, 6, 7, 1000, u32::MAX];
+        let batch = op.run_batch_u32(&inputs).unwrap();
+        let mut cycles = 0;
+        for (i, &x) in inputs.iter().enumerate() {
+            assert_eq!(batch.values[i], op.run_u32(x).unwrap());
+            cycles += op.cycles_for(x);
+        }
+        assert_eq!(batch.cycles, cycles);
+        assert_eq!(batch.ops(), inputs.len());
+        assert!(batch.rems.is_none());
     }
 }

@@ -7,14 +7,18 @@
 //!
 //! * [`Compiler`] — what the compiler back end does: turn `x * c`, `x / c`
 //!   and `x % c` into straight-line shift-and-add / derived-method code
-//!   (§5, §7), with optional overflow trapping;
+//!   (§5, §7), with optional overflow trapping. Compiled programs are
+//!   pre-decoded for the simulator's fast path and memoised in a bounded,
+//!   strategy-keyed cache: compiling the same constant twice searches once;
 //! * [`Runtime`] — what the millicode library does: multiply and divide
 //!   values unknown until run time (§6's switched algorithm, §4's
 //!   `DS`/`ADDC` divide), reporting exact cycle counts from the bundled
-//!   simulator;
+//!   simulator. Open a [`Session`] to replay operand batches through one
+//!   reusable machine;
 //! * [`analysis`] — the distribution-weighted summaries of §8 ("the average
 //!   multiply requires about six cycles and the average divide takes about
 //!   40");
+//! * one [`Error`] type (and [`Result`] alias) across the whole façade;
 //! * re-exports of every substrate crate (`isa`, `sim`, `chains`, …) for
 //!   users who want the pieces.
 //!
@@ -28,15 +32,46 @@
 //! let times10 = compiler.mul_const(10)?;
 //! assert_eq!(times10.cycles(), 2); // the paper's §5 example
 //! assert_eq!(times10.run_i32(7)?, 70);
+//! // Batches reuse one machine; compiling 10 again is a cache hit.
+//! let batch = compiler.mul_const(10)?.run_batch_u32(&[1, 2, 3])?;
+//! assert_eq!(batch.values, vec![10, 20, 30]);
 //!
 //! let div3 = compiler.udiv_const(3)?;
 //! assert_eq!(div3.cycles(), 17); // Figure 7
 //! assert_eq!(div3.run_u32(100)?, 33);
 //!
 //! let rt = Runtime::new()?;
-//! let (product, cycles) = rt.mul_i32(-123, 456)?;
-//! assert_eq!(product, -56088);
-//! assert!(cycles < 40);
+//! let out = rt.mul(-123, 456)?;
+//! assert_eq!(out.value, -56088);
+//! assert!(out.cycles < 40);
+//! let division = rt.div_unsigned(1000, 7)?;
+//! assert_eq!((division.value, division.rem), (142, Some(6)));
+//!
+//! // Hot loops: a session owns one reusable machine.
+//! let mut session = rt.session();
+//! let products = session.mul_batch(&[(3, 4), (-5, 6)])?;
+//! assert_eq!(products.values, vec![12, -30]);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Configuration
+//!
+//! The scattered knobs live on builders:
+//!
+//! ```
+//! use hppa_muldiv::{Compiler, Runtime, sim::OverflowModel};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let compiler = Compiler::builder()
+//!     .overflow(OverflowModel::Precise)
+//!     .trapping_mul(true)     // mul_const compiles Pascal-flavor chains
+//!     .cache_capacity(64)
+//!     .build();
+//! assert!(compiler.mul_const(5)?.run_i32(i32::MAX).is_err()); // traps
+//!
+//! let rt = Runtime::builder().dispatch_limit(12).build()?;
+//! assert_eq!(rt.div_dispatch(100, 7)?.value, 14);
 //! # Ok(())
 //! # }
 //! ```
@@ -45,13 +80,18 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+mod cache;
 mod compiler;
+mod error;
 mod runtime;
+mod session;
 pub mod strength;
 
-pub use compiler::{CompiledOp, Compiler, CompilerError, OpKind};
+pub use compiler::{CompiledOp, Compiler, CompilerBuilder, CompilerError, OpKind};
 pub use divconst::Signedness;
-pub use runtime::{Runtime, RuntimeError, DISPATCH_LIMIT};
+pub use error::{Error, Result};
+pub use runtime::{Runtime, RuntimeBuilder, RuntimeError, DISPATCH_LIMIT};
+pub use session::{BatchOutcome, RunOutcome, Session};
 
 // The substrate crates, re-exported under stable names.
 pub use addchain as chains;

@@ -3,13 +3,19 @@
 use core::fmt;
 
 use millicode::{divvar, mulvar};
-use pa_isa::{Program, Reg};
-use pa_sim::{run_fn, ExecConfig, Termination, TrapKind};
+use pa_isa::Program;
+use pa_sim::{ExecConfig, OverflowModel, PreparedProgram, TrapKind};
 
-/// The divisor cutoff the runtime's §7 small-divisor dispatch is built with.
+use crate::session::{BatchOutcome, RunOutcome, Session};
+use crate::{Error, Result};
+
+/// The divisor cutoff the runtime's §7 small-divisor dispatch is built with
+/// by default (override with [`RuntimeBuilder::dispatch_limit`]).
 pub const DISPATCH_LIMIT: u32 = 20;
 
-/// Errors from [`Runtime`] calls.
+/// Legacy error type of the pre-0.2 [`Runtime`] API, still returned by the
+/// deprecated tuple-style methods. New code should match on
+/// [`crate::Error`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum RuntimeError {
@@ -36,12 +42,117 @@ impl fmt::Display for RuntimeError {
 
 impl std::error::Error for RuntimeError {}
 
+fn legacy(e: Error) -> RuntimeError {
+    match e {
+        Error::DivideByZero => RuntimeError::DivideByZero,
+        Error::Trapped(kind) => RuntimeError::Trapped(kind),
+        _ => RuntimeError::DidNotComplete,
+    }
+}
+
+/// Configures a [`Runtime`].
+///
+/// # Example
+///
+/// ```
+/// use hppa_muldiv::Runtime;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let rt = Runtime::builder().dispatch_limit(12).build()?;
+/// assert_eq!(rt.div_dispatch(100, 7)?.value, 14);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RuntimeBuilder {
+    overflow: OverflowModel,
+    max_cycles: u64,
+    stats: bool,
+    dispatch_limit: u32,
+}
+
+impl RuntimeBuilder {
+    fn new() -> RuntimeBuilder {
+        RuntimeBuilder {
+            overflow: OverflowModel::default(),
+            max_cycles: ExecConfig::default().max_cycles,
+            stats: false,
+            dispatch_limit: DISPATCH_LIMIT,
+        }
+    }
+
+    /// Overflow detector used when routines execute.
+    #[must_use]
+    pub fn overflow(mut self, model: OverflowModel) -> RuntimeBuilder {
+        self.overflow = model;
+        self
+    }
+
+    /// Watchdog budget per call.
+    #[must_use]
+    pub fn max_cycles(mut self, max_cycles: u64) -> RuntimeBuilder {
+        self.max_cycles = max_cycles;
+        self
+    }
+
+    /// Collect simulator statistics on every call (delegates execution to
+    /// the instrumented interpreter).
+    #[must_use]
+    pub fn stats(mut self, stats: bool) -> RuntimeBuilder {
+        self.stats = stats;
+        self
+    }
+
+    /// Divisor cutoff for the §7 small-divisor dispatch table.
+    #[must_use]
+    pub fn dispatch_limit(mut self, limit: u32) -> RuntimeBuilder {
+        self.dispatch_limit = limit;
+        self
+    }
+
+    /// Builds all routines and pre-decodes them for the fast path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `pa_isa` construction errors (a bug if it ever fires).
+    pub fn build(self) -> Result<Runtime> {
+        let config = ExecConfig {
+            overflow: self.overflow,
+            max_cycles: self.max_cycles,
+            profile: false,
+            trace: false,
+            stats: self.stats,
+        };
+        let prepare = |p: Program, label: &str| {
+            let prepared = PreparedProgram::new(&p, config.clone());
+            telemetry::emit(|| telemetry::Event::Prepare {
+                label: label.to_string(),
+                len: prepared.len(),
+            });
+            prepared
+        };
+        Ok(Runtime {
+            mul_signed: prepare(mulvar::switched(true)?, "mul_signed"),
+            mul_unsigned: prepare(mulvar::switched(false)?, "mul_unsigned"),
+            udiv: prepare(divvar::udiv()?, "udiv"),
+            sdiv: prepare(divvar::sdiv()?, "sdiv"),
+            dispatch: prepare(
+                divvar::small_dispatch(self.dispatch_limit)?,
+                "udiv_dispatch",
+            ),
+            dispatch_limit: self.dispatch_limit,
+        })
+    }
+}
+
 /// The millicode library: multiply and divide run-time values on the
 /// simulated machine, returning exact cycle counts.
 ///
-/// Construction builds the four routines once ([`mulvar::switched`],
-/// [`divvar::udiv`], [`divvar::sdiv`], [`divvar::small_dispatch`]); calls
-/// are then cheap simulator runs.
+/// Construction builds the routines once ([`mulvar::switched`],
+/// [`divvar::udiv`], [`divvar::sdiv`], [`divvar::small_dispatch`]) and
+/// pre-decodes each into a [`PreparedProgram`]; calls are then cheap
+/// simulator runs. For call-heavy workloads, open a [`Session`]
+/// ([`Runtime::session`]) to also reuse one machine across calls.
 ///
 /// # Example
 ///
@@ -50,147 +161,218 @@ impl std::error::Error for RuntimeError {}
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let rt = Runtime::new()?;
-/// let (q, r, cycles) = rt.udiv(1000, 7)?;
-/// assert_eq!((q, r), (142, 6));
-/// assert!((68..=85).contains(&cycles)); // the paper's ≈80-cycle routine
+/// let out = rt.div_unsigned(1000, 7)?;
+/// assert_eq!((out.value, out.rem), (142, Some(6)));
+/// assert!((68..=85).contains(&out.cycles)); // the paper's ≈80-cycle routine
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Debug, Clone)]
 pub struct Runtime {
-    mul_signed: Program,
-    mul_unsigned: Program,
-    udiv: Program,
-    sdiv: Program,
-    dispatch: Program,
+    mul_signed: PreparedProgram,
+    mul_unsigned: PreparedProgram,
+    udiv: PreparedProgram,
+    sdiv: PreparedProgram,
+    dispatch: PreparedProgram,
+    dispatch_limit: u32,
 }
 
 impl Runtime {
-    /// Builds all routines.
+    /// Builds all routines with default knobs.
     ///
     /// # Errors
     ///
     /// Propagates `pa_isa` construction errors (a bug if it ever fires).
-    pub fn new() -> Result<Runtime, pa_isa::IsaError> {
-        Ok(Runtime {
-            mul_signed: mulvar::switched(true)?,
-            mul_unsigned: mulvar::switched(false)?,
-            udiv: divvar::udiv()?,
-            sdiv: divvar::sdiv()?,
-            dispatch: divvar::small_dispatch(DISPATCH_LIMIT)?,
-        })
+    pub fn new() -> Result<Runtime> {
+        Runtime::builder().build()
     }
 
-    fn call(&self, p: &Program, a: u32, b: u32) -> Result<(pa_sim::Machine, u64), RuntimeError> {
-        let (m, stats) = run_fn(p, &[(Reg::R26, a), (Reg::R25, b)], &ExecConfig::default());
-        match stats.termination {
-            Termination::Completed => Ok((m, stats.cycles)),
-            Termination::Trapped(t) if t.kind == TrapKind::Break(divvar::DIV_ZERO_BREAK) => {
-                Err(RuntimeError::DivideByZero)
-            }
-            Termination::Trapped(t) => Err(RuntimeError::Trapped(t.kind)),
-            _ => Err(RuntimeError::DidNotComplete),
-        }
+    /// Starts configuring a runtime.
+    #[must_use]
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder::new()
     }
 
-    /// Signed multiply via the §6 switched algorithm: `(product, cycles)`.
-    /// Wrapping semantics, like C on the real machine.
+    /// Opens a call session owning one reusable machine.
+    #[must_use]
+    pub fn session(&self) -> Session<'_> {
+        Session::new(self)
+    }
+
+    /// The dispatch-table divisor cutoff this runtime was built with.
+    #[must_use]
+    pub fn dispatch_limit(&self) -> u32 {
+        self.dispatch_limit
+    }
+
+    pub(crate) fn prepared_mul_signed(&self) -> &PreparedProgram {
+        &self.mul_signed
+    }
+
+    pub(crate) fn prepared_mul_unsigned(&self) -> &PreparedProgram {
+        &self.mul_unsigned
+    }
+
+    pub(crate) fn prepared_udiv(&self) -> &PreparedProgram {
+        &self.udiv
+    }
+
+    pub(crate) fn prepared_sdiv(&self) -> &PreparedProgram {
+        &self.sdiv
+    }
+
+    pub(crate) fn prepared_dispatch(&self) -> &PreparedProgram {
+        &self.dispatch
+    }
+
+    /// Signed multiply via the §6 switched algorithm (wrapping, like C on
+    /// the real machine).
     ///
     /// # Errors
     ///
     /// Only simulator faults (never expected).
-    pub fn mul_i32(&self, x: i32, y: i32) -> Result<(i32, u64), RuntimeError> {
-        let (m, cycles) = self.call(&self.mul_signed, x as u32, y as u32)?;
-        telemetry::emit(|| {
-            let (tier, driver) = mulvar::tier_for(true, x as u32, y as u32);
-            telemetry::Event::MulStrategy {
-                routine: "switched",
-                tier,
-                operand: i64::from(driver),
-                cycles: Some(cycles),
-            }
-        });
-        Ok((m.reg_i32(Reg::R28), cycles))
+    pub fn mul(&self, x: i32, y: i32) -> Result<RunOutcome<i32>> {
+        self.session().mul(x, y)
     }
 
-    /// Unsigned multiply (wrapping): `(product, cycles)`.
+    /// Unsigned multiply (wrapping).
     ///
     /// # Errors
     ///
     /// Only simulator faults (never expected).
-    pub fn mul_u32(&self, x: u32, y: u32) -> Result<(u32, u64), RuntimeError> {
-        let (m, cycles) = self.call(&self.mul_unsigned, x, y)?;
-        telemetry::emit(|| {
-            let (tier, driver) = mulvar::tier_for(false, x, y);
-            telemetry::Event::MulStrategy {
-                routine: "switched",
-                tier,
-                operand: i64::from(driver),
-                cycles: Some(cycles),
-            }
-        });
-        Ok((m.reg(Reg::R28), cycles))
+    pub fn mul_unsigned(&self, x: u32, y: u32) -> Result<RunOutcome<u32>> {
+        self.session().mul_unsigned(x, y)
     }
 
-    /// Unsigned divide via the general `DS`/`ADDC` routine:
-    /// `(quotient, remainder, cycles)`.
+    /// Signed divide, truncating toward zero; `rem` carries the remainder.
     ///
     /// # Errors
     ///
-    /// [`RuntimeError::DivideByZero`] for `y = 0`.
-    pub fn udiv(&self, x: u32, y: u32) -> Result<(u32, u32, u64), RuntimeError> {
-        let (m, cycles) = self.call(&self.udiv, x, y)?;
-        telemetry::emit(|| telemetry::Event::DivDispatch {
-            routine: "udiv",
-            tier: divvar::general_tier(false, y),
-            divisor: i64::from(y),
-            cycles: Some(cycles),
-        });
-        Ok((m.reg(Reg::R28), m.reg(Reg::R29), cycles))
+    /// [`Error::DivideByZero`] for `y = 0`.
+    pub fn div(&self, x: i32, y: i32) -> Result<RunOutcome<i32>> {
+        self.session().div(x, y)
     }
 
-    /// Signed divide, truncating toward zero: `(quotient, remainder, cycles)`.
+    /// Unsigned divide via the general `DS`/`ADDC` routine; `rem` carries
+    /// the remainder.
     ///
     /// # Errors
     ///
-    /// [`RuntimeError::DivideByZero`] for `y = 0`.
-    pub fn sdiv(&self, x: i32, y: i32) -> Result<(i32, i32, u64), RuntimeError> {
-        let (m, cycles) = self.call(&self.sdiv, x as u32, y as u32)?;
-        telemetry::emit(|| telemetry::Event::DivDispatch {
-            routine: "sdiv",
-            tier: divvar::general_tier(true, y as u32),
-            divisor: i64::from(y),
-            cycles: Some(cycles),
-        });
-        Ok((m.reg_i32(Reg::R28), m.reg_i32(Reg::R29), cycles))
+    /// [`Error::DivideByZero`] for `y = 0`.
+    pub fn div_unsigned(&self, x: u32, y: u32) -> Result<RunOutcome<u32>> {
+        self.session().div_unsigned(x, y)
     }
 
     /// Unsigned divide through the §7 small-divisor dispatch (quotient
-    /// only): divisors below 20 hit the inlined derived-method bodies.
+    /// only).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::DivideByZero`] for `y = 0`.
+    pub fn div_dispatch(&self, x: u32, y: u32) -> Result<RunOutcome<u32>> {
+        self.session().div_dispatch(x, y)
+    }
+
+    /// Multiplies every pair through one reused machine.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first pair that faults.
+    pub fn mul_batch(&self, pairs: &[(i32, i32)]) -> Result<BatchOutcome<i32>> {
+        self.session().mul_batch(pairs)
+    }
+
+    /// Divides every pair through the small-divisor dispatch with one
+    /// reused machine.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first zero divisor.
+    pub fn div_dispatch_batch(&self, pairs: &[(u32, u32)]) -> Result<BatchOutcome<u32>> {
+        self.session().div_dispatch_batch(pairs)
+    }
+
+    /// Signed multiply: `(product, cycles)`.
+    ///
+    /// # Errors
+    ///
+    /// Only simulator faults (never expected).
+    #[deprecated(since = "0.2.0", note = "use `mul`, which returns a `RunOutcome`")]
+    pub fn mul_i32(&self, x: i32, y: i32) -> core::result::Result<(i32, u64), RuntimeError> {
+        let out = self.mul(x, y).map_err(legacy)?;
+        Ok((out.value, out.cycles))
+    }
+
+    /// Unsigned multiply: `(product, cycles)`.
+    ///
+    /// # Errors
+    ///
+    /// Only simulator faults (never expected).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `mul_unsigned`, which returns a `RunOutcome`"
+    )]
+    pub fn mul_u32(&self, x: u32, y: u32) -> core::result::Result<(u32, u64), RuntimeError> {
+        let out = self.mul_unsigned(x, y).map_err(legacy)?;
+        Ok((out.value, out.cycles))
+    }
+
+    /// Unsigned divide: `(quotient, remainder, cycles)`.
     ///
     /// # Errors
     ///
     /// [`RuntimeError::DivideByZero`] for `y = 0`.
-    pub fn udiv_dispatch(&self, x: u32, y: u32) -> Result<(u32, u64), RuntimeError> {
-        let (m, cycles) = self.call(&self.dispatch, x, y)?;
-        telemetry::emit(|| telemetry::Event::DivDispatch {
-            routine: "small_dispatch",
-            tier: divvar::dispatch_tier(DISPATCH_LIMIT, y),
-            divisor: i64::from(y),
-            cycles: Some(cycles),
-        });
-        Ok((m.reg(Reg::R28), cycles))
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `div_unsigned`, which returns a `RunOutcome`"
+    )]
+    pub fn udiv(&self, x: u32, y: u32) -> core::result::Result<(u32, u32, u64), RuntimeError> {
+        let out = self.div_unsigned(x, y).map_err(legacy)?;
+        Ok((
+            out.value,
+            out.rem.expect("udiv yields a remainder"),
+            out.cycles,
+        ))
+    }
+
+    /// Signed divide: `(quotient, remainder, cycles)`.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::DivideByZero`] for `y = 0`.
+    #[deprecated(since = "0.2.0", note = "use `div`, which returns a `RunOutcome`")]
+    pub fn sdiv(&self, x: i32, y: i32) -> core::result::Result<(i32, i32, u64), RuntimeError> {
+        let out = self.div(x, y).map_err(legacy)?;
+        Ok((
+            out.value,
+            out.rem.expect("sdiv yields a remainder"),
+            out.cycles,
+        ))
+    }
+
+    /// Dispatch-table unsigned divide: `(quotient, cycles)`.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::DivideByZero`] for `y = 0`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `div_dispatch`, which returns a `RunOutcome`"
+    )]
+    pub fn udiv_dispatch(&self, x: u32, y: u32) -> core::result::Result<(u32, u64), RuntimeError> {
+        let out = self.div_dispatch(x, y).map_err(legacy)?;
+        Ok((out.value, out.cycles))
     }
 
     /// The underlying routines, for inspection or disassembly.
     #[must_use]
     pub fn programs(&self) -> [(&'static str, &Program); 5] {
         [
-            ("mul_signed", &self.mul_signed),
-            ("mul_unsigned", &self.mul_unsigned),
-            ("udiv", &self.udiv),
-            ("sdiv", &self.sdiv),
-            ("udiv_dispatch", &self.dispatch),
+            ("mul_signed", self.mul_signed.program()),
+            ("mul_unsigned", self.mul_unsigned.program()),
+            ("udiv", self.udiv.program()),
+            ("sdiv", self.sdiv.program()),
+            ("udiv_dispatch", self.dispatch.program()),
         ]
     }
 }
@@ -202,35 +384,61 @@ mod tests {
     #[test]
     fn multiply_and_count() {
         let rt = Runtime::new().unwrap();
-        let (p, c) = rt.mul_i32(-123, 456).unwrap();
-        assert_eq!(p, -56088);
-        assert!(c < 45, "{c} cycles");
-        let (p, _) = rt.mul_u32(0xFFFF_FFFF, 2).unwrap();
-        assert_eq!(p, 0xFFFF_FFFEu32);
+        let out = rt.mul(-123, 456).unwrap();
+        assert_eq!(out.value, -56088);
+        assert!(out.rem.is_none());
+        assert!(out.cycles < 45, "{} cycles", out.cycles);
+        let out = rt.mul_unsigned(0xFFFF_FFFF, 2).unwrap();
+        assert_eq!(out.value, 0xFFFF_FFFEu32);
     }
 
     #[test]
     fn divide_and_count() {
         let rt = Runtime::new().unwrap();
-        let (q, r, c) = rt.udiv(1000, 7).unwrap();
-        assert_eq!((q, r), (142, 6));
-        assert!((60..=90).contains(&c));
-        let (q, r, _) = rt.sdiv(-1000, 7).unwrap();
-        assert_eq!((q, r), (-142, -6));
+        let out = rt.div_unsigned(1000, 7).unwrap();
+        assert_eq!((out.value, out.rem), (142, Some(6)));
+        assert!((60..=90).contains(&out.cycles));
+        let out = rt.div(-1000, 7).unwrap();
+        assert_eq!((out.value, out.rem), (-142, Some(-6)));
     }
 
     #[test]
     fn dispatch_is_faster_for_small_divisors() {
         let rt = Runtime::new().unwrap();
-        let (q, fast) = rt.udiv_dispatch(123_456, 7).unwrap();
-        assert_eq!(q, 123_456 / 7);
-        let (_, _, slow) = rt.udiv(123_456, 7).unwrap();
-        assert!(fast < slow / 2, "dispatch {fast} vs general {slow}");
+        let fast = rt.div_dispatch(123_456, 7).unwrap();
+        assert_eq!(fast.value, 123_456 / 7);
+        let slow = rt.div_unsigned(123_456, 7).unwrap();
+        assert!(
+            fast.cycles < slow.cycles / 2,
+            "dispatch {} vs general {}",
+            fast.cycles,
+            slow.cycles
+        );
     }
 
     #[test]
     fn zero_divisor_reports() {
         let rt = Runtime::new().unwrap();
+        assert_eq!(rt.div_unsigned(5, 0), Err(Error::DivideByZero));
+        assert_eq!(rt.div(5, 0), Err(Error::DivideByZero));
+        assert_eq!(rt.div_dispatch(5, 0), Err(Error::DivideByZero));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_tuple_shims_still_work() {
+        let rt = Runtime::new().unwrap();
+        let (p, c) = rt.mul_i32(-123, 456).unwrap();
+        assert_eq!(p, -56088);
+        assert!(c > 0);
+        let (p, _) = rt.mul_u32(7, 9).unwrap();
+        assert_eq!(p, 63);
+        let (q, r, _) = rt.udiv(1000, 7).unwrap();
+        assert_eq!((q, r), (142, 6));
+        let (q, r, _) = rt.sdiv(-1000, 7).unwrap();
+        assert_eq!((q, r), (-142, -6));
+        let (q, _) = rt.udiv_dispatch(100, 7).unwrap();
+        assert_eq!(q, 14);
         assert_eq!(rt.udiv(5, 0), Err(RuntimeError::DivideByZero));
         assert_eq!(rt.sdiv(5, 0), Err(RuntimeError::DivideByZero));
         assert_eq!(rt.udiv_dispatch(5, 0), Err(RuntimeError::DivideByZero));
@@ -240,12 +448,12 @@ mod tests {
     fn runtime_calls_emit_strategy_events() {
         let rt = Runtime::new().unwrap();
         let ((), events) = telemetry::collect(|| {
-            rt.mul_i32(-123, 456).unwrap();
-            rt.mul_u32(7, 9).unwrap();
-            rt.udiv(1000, 7).unwrap();
-            rt.sdiv(-1000, 7).unwrap();
-            rt.udiv_dispatch(100, 7).unwrap();
-            let _ = rt.udiv(5, 0); // failed calls record nothing
+            rt.mul(-123, 456).unwrap();
+            rt.mul_unsigned(7, 9).unwrap();
+            rt.div_unsigned(1000, 7).unwrap();
+            rt.div(-1000, 7).unwrap();
+            rt.div_dispatch(100, 7).unwrap();
+            let _ = rt.div_unsigned(5, 0); // failed calls record nothing
         });
         assert_eq!(events.len(), 5);
         for e in &events {
@@ -261,6 +469,24 @@ mod tests {
         assert_eq!(hist.get("mul/nibble-x1"), Some(&1)); // 7 drives
         assert_eq!(hist.get("divvar/general"), Some(&2));
         assert_eq!(hist.get("divvar/inlined-body"), Some(&1));
+    }
+
+    #[test]
+    fn builder_dispatch_limit_is_respected() {
+        let rt = Runtime::builder().dispatch_limit(5).build().unwrap();
+        assert_eq!(rt.dispatch_limit(), 5);
+        assert_eq!(rt.div_dispatch(100, 3).unwrap().value, 33);
+        // Divisors beyond the table fall to the general path but still
+        // produce the right quotient.
+        assert_eq!(rt.div_dispatch(100, 9).unwrap().value, 11);
+    }
+
+    #[test]
+    fn construction_emits_prepare_events() {
+        let (rt, events) = telemetry::collect(|| Runtime::new().unwrap());
+        let hist = telemetry::strategy_histogram(&events);
+        assert_eq!(hist.get("prepare/program"), Some(&5));
+        drop(rt);
     }
 
     #[test]

@@ -1,0 +1,319 @@
+//! Reusable execution sessions and structured call outcomes.
+
+use millicode::{divvar, mulvar};
+use pa_isa::Reg;
+use pa_sim::{Machine, PreparedProgram, Termination, TrapKind};
+
+use crate::runtime::Runtime;
+use crate::{Error, Result};
+
+/// The outcome of one runtime or compiled-op call.
+///
+/// Replaces the old positional tuples (`(i32, u64)`, `(u32, u32, u64)`):
+/// `value` is the product or quotient, `rem` the remainder when the routine
+/// produces one, and `cycles` the simulated cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome<T> {
+    /// The product or quotient.
+    pub value: T,
+    /// The remainder, for divide routines that compute one.
+    pub rem: Option<T>,
+    /// Simulated cycles consumed.
+    pub cycles: u64,
+}
+
+/// The outcome of a batch call: per-input results plus total simulated
+/// cycles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchOutcome<T> {
+    /// Per-input products or quotients, in input order.
+    pub values: Vec<T>,
+    /// Per-input remainders, when the routine produces them.
+    pub rems: Option<Vec<T>>,
+    /// Total simulated cycles across the batch.
+    pub cycles: u64,
+}
+
+impl<T> BatchOutcome<T> {
+    /// Number of operations in the batch.
+    #[must_use]
+    pub fn ops(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// A call session that owns one reusable [`Machine`], avoiding a fresh
+/// register-file allocation per call. The machine is reset before every
+/// call, so results and cycle counts are identical to the per-call
+/// [`Runtime`] methods.
+///
+/// # Example
+///
+/// ```
+/// use hppa_muldiv::Runtime;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let rt = Runtime::new()?;
+/// let mut s = rt.session();
+/// let out = s.div(-1000, 7)?;
+/// assert_eq!(out.value, -142);
+/// assert_eq!(out.rem, Some(-6));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Session<'rt> {
+    rt: &'rt Runtime,
+    machine: Machine,
+}
+
+impl<'rt> Session<'rt> {
+    pub(crate) fn new(rt: &'rt Runtime) -> Session<'rt> {
+        Session {
+            rt,
+            machine: Machine::new(),
+        }
+    }
+
+    fn call(&mut self, p: &PreparedProgram, a: u32, b: u32) -> Result<(u32, u32, u64)> {
+        let m = &mut self.machine;
+        m.reset();
+        m.set_reg(Reg::R26, a);
+        m.set_reg(Reg::R25, b);
+        let r = p.run(m);
+        match r.termination {
+            Termination::Completed => Ok((m.reg(Reg::R28), m.reg(Reg::R29), r.cycles)),
+            Termination::Trapped(t) if t.kind == TrapKind::Break(divvar::DIV_ZERO_BREAK) => {
+                Err(Error::DivideByZero)
+            }
+            Termination::Trapped(t) => Err(Error::Trapped(t.kind)),
+            _ => Err(Error::DidNotComplete),
+        }
+    }
+
+    /// Signed multiply via the §6 switched algorithm (wrapping, like C on
+    /// the real machine).
+    ///
+    /// # Errors
+    ///
+    /// Only simulator faults (never expected).
+    pub fn mul(&mut self, x: i32, y: i32) -> Result<RunOutcome<i32>> {
+        let (v, _, cycles) = self.call(self.rt.prepared_mul_signed(), x as u32, y as u32)?;
+        telemetry::emit(|| {
+            let (tier, driver) = mulvar::tier_for(true, x as u32, y as u32);
+            telemetry::Event::MulStrategy {
+                routine: "switched",
+                tier,
+                operand: i64::from(driver),
+                cycles: Some(cycles),
+            }
+        });
+        Ok(RunOutcome {
+            value: v as i32,
+            rem: None,
+            cycles,
+        })
+    }
+
+    /// Unsigned multiply (wrapping).
+    ///
+    /// # Errors
+    ///
+    /// Only simulator faults (never expected).
+    pub fn mul_unsigned(&mut self, x: u32, y: u32) -> Result<RunOutcome<u32>> {
+        let (v, _, cycles) = self.call(self.rt.prepared_mul_unsigned(), x, y)?;
+        telemetry::emit(|| {
+            let (tier, driver) = mulvar::tier_for(false, x, y);
+            telemetry::Event::MulStrategy {
+                routine: "switched",
+                tier,
+                operand: i64::from(driver),
+                cycles: Some(cycles),
+            }
+        });
+        Ok(RunOutcome {
+            value: v,
+            rem: None,
+            cycles,
+        })
+    }
+
+    /// Signed divide, truncating toward zero; `rem` carries the remainder.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::DivideByZero`] for `y = 0`.
+    pub fn div(&mut self, x: i32, y: i32) -> Result<RunOutcome<i32>> {
+        let (q, r, cycles) = self.call(self.rt.prepared_sdiv(), x as u32, y as u32)?;
+        telemetry::emit(|| telemetry::Event::DivDispatch {
+            routine: "sdiv",
+            tier: divvar::general_tier(true, y as u32),
+            divisor: i64::from(y),
+            cycles: Some(cycles),
+        });
+        Ok(RunOutcome {
+            value: q as i32,
+            rem: Some(r as i32),
+            cycles,
+        })
+    }
+
+    /// Unsigned divide via the general `DS`/`ADDC` routine; `rem` carries
+    /// the remainder.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::DivideByZero`] for `y = 0`.
+    pub fn div_unsigned(&mut self, x: u32, y: u32) -> Result<RunOutcome<u32>> {
+        let (q, r, cycles) = self.call(self.rt.prepared_udiv(), x, y)?;
+        telemetry::emit(|| telemetry::Event::DivDispatch {
+            routine: "udiv",
+            tier: divvar::general_tier(false, y),
+            divisor: i64::from(y),
+            cycles: Some(cycles),
+        });
+        Ok(RunOutcome {
+            value: q,
+            rem: Some(r),
+            cycles,
+        })
+    }
+
+    /// Unsigned divide through the §7 small-divisor dispatch (quotient
+    /// only): divisors below the dispatch limit hit the inlined
+    /// derived-method bodies.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::DivideByZero`] for `y = 0`.
+    pub fn div_dispatch(&mut self, x: u32, y: u32) -> Result<RunOutcome<u32>> {
+        let (q, _, cycles) = self.call(self.rt.prepared_dispatch(), x, y)?;
+        telemetry::emit(|| telemetry::Event::DivDispatch {
+            routine: "small_dispatch",
+            tier: divvar::dispatch_tier(self.rt.dispatch_limit(), y),
+            divisor: i64::from(y),
+            cycles: Some(cycles),
+        });
+        Ok(RunOutcome {
+            value: q,
+            rem: None,
+            cycles,
+        })
+    }
+
+    /// Multiplies every pair through the reused machine.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first pair that faults.
+    pub fn mul_batch(&mut self, pairs: &[(i32, i32)]) -> Result<BatchOutcome<i32>> {
+        let mut values = Vec::with_capacity(pairs.len());
+        let mut cycles = 0u64;
+        for &(x, y) in pairs {
+            let out = self.mul(x, y)?;
+            values.push(out.value);
+            cycles += out.cycles;
+        }
+        Ok(BatchOutcome {
+            values,
+            rems: None,
+            cycles,
+        })
+    }
+
+    /// Divides every pair through the small-divisor dispatch.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first zero divisor.
+    pub fn div_dispatch_batch(&mut self, pairs: &[(u32, u32)]) -> Result<BatchOutcome<u32>> {
+        let mut values = Vec::with_capacity(pairs.len());
+        let mut cycles = 0u64;
+        for &(x, y) in pairs {
+            let out = self.div_dispatch(x, y)?;
+            values.push(out.value);
+            cycles += out.cycles;
+        }
+        Ok(BatchOutcome {
+            values,
+            rems: None,
+            cycles,
+        })
+    }
+
+    /// Unsigned-divides every pair through the general routine, collecting
+    /// remainders too.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first zero divisor.
+    pub fn div_unsigned_batch(&mut self, pairs: &[(u32, u32)]) -> Result<BatchOutcome<u32>> {
+        let mut values = Vec::with_capacity(pairs.len());
+        let mut rems = Vec::with_capacity(pairs.len());
+        let mut cycles = 0u64;
+        for &(x, y) in pairs {
+            let out = self.div_unsigned(x, y)?;
+            values.push(out.value);
+            rems.push(out.rem.expect("udiv yields a remainder"));
+            cycles += out.cycles;
+        }
+        Ok(BatchOutcome {
+            values,
+            rems: Some(rems),
+            cycles,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_matches_runtime_methods() {
+        let rt = Runtime::new().unwrap();
+        let mut s = rt.session();
+        for (x, y) in [(3i32, 4i32), (-123, 456), (0, 9), (i32::MIN, -1)] {
+            let fresh = rt.mul(x, y).unwrap();
+            let reused = s.mul(x, y).unwrap();
+            assert_eq!(fresh, reused, "{x} * {y}");
+        }
+        for (x, y) in [(1000u32, 7u32), (0, 3), (u32::MAX, 1)] {
+            assert_eq!(
+                rt.div_unsigned(x, y).unwrap(),
+                s.div_unsigned(x, y).unwrap()
+            );
+            assert_eq!(
+                rt.div_dispatch(x, y).unwrap(),
+                s.div_dispatch(x, y).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn batches_accumulate_cycles() {
+        let rt = Runtime::new().unwrap();
+        let mut s = rt.session();
+        let pairs = [(3i32, 4i32), (-5, 6), (1000, -1000)];
+        let batch = s.mul_batch(&pairs).unwrap();
+        assert_eq!(batch.ops(), 3);
+        let mut total = 0;
+        for (i, &(x, y)) in pairs.iter().enumerate() {
+            let out = s.mul(x, y).unwrap();
+            assert_eq!(batch.values[i], out.value);
+            assert_eq!(batch.values[i], x.wrapping_mul(y));
+            total += out.cycles;
+        }
+        assert_eq!(batch.cycles, total);
+    }
+
+    #[test]
+    fn division_by_zero_reports_in_batches() {
+        let rt = Runtime::new().unwrap();
+        let mut s = rt.session();
+        assert_eq!(
+            s.div_dispatch_batch(&[(5, 1), (5, 0)]),
+            Err(Error::DivideByZero)
+        );
+    }
+}

@@ -22,7 +22,7 @@ use mulconst::{compile_mul_const, CodegenConfig};
 use pa_isa::{Cond, Program, ProgramBuilder, Reg};
 use pa_sim::{run_fn, ExecConfig};
 
-use crate::CompilerError;
+use crate::Result;
 
 /// The loop being compiled: `for i in 1..=trips { acc += i * factor }`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,7 +75,7 @@ const RUNNING: Reg = Reg::R5;
 /// # Errors
 ///
 /// Propagates multiply-codegen failures.
-pub fn naive_loop(spec: LoopSpec) -> Result<Program, CompilerError> {
+pub fn naive_loop(spec: LoopSpec) -> Result<Program> {
     let mul_cfg = CodegenConfig {
         source: IVAR,
         dest: PRODUCT,
@@ -96,8 +96,7 @@ pub fn naive_loop(spec: LoopSpec) -> Result<Program, CompilerError> {
     let limit = i32::try_from(spec.trips).unwrap_or(i32::MAX);
     b.comiclr(Cond::Lt, limit, IVAR, Reg::R0); // trips < i → exit
     b.b(top);
-    b.build()
-        .map_err(|e| CompilerError::Mul(mulconst::CodegenError::Isa(e)))
+    Ok(b.build()?)
 }
 
 /// Builds the strength-reduced loop: the multiplication results form an
@@ -107,7 +106,7 @@ pub fn naive_loop(spec: LoopSpec) -> Result<Program, CompilerError> {
 ///
 /// Propagates multiply-codegen failures (only the loop-invariant setup
 /// multiplies).
-pub fn reduced_loop(spec: LoopSpec) -> Result<Program, CompilerError> {
+pub fn reduced_loop(spec: LoopSpec) -> Result<Program> {
     let mut b = ProgramBuilder::new();
     b.ldi(1, IVAR);
     b.copy(Reg::R0, ACC);
@@ -139,8 +138,7 @@ pub fn reduced_loop(spec: LoopSpec) -> Result<Program, CompilerError> {
     let limit = i32::try_from(spec.trips).unwrap_or(i32::MAX);
     b.comiclr(Cond::Lt, limit, IVAR, Reg::R0);
     b.b(top);
-    b.build()
-        .map_err(|e| CompilerError::Mul(mulconst::CodegenError::Isa(e)))
+    Ok(b.build()?)
 }
 
 /// Compiles and runs both versions, checking they agree.
@@ -163,9 +161,9 @@ pub fn reduced_loop(spec: LoopSpec) -> Result<Program, CompilerError> {
 /// let cmp = compare(LoopSpec { trips: 10, factor: 15 })?;
 /// assert_eq!(cmp.result, 15 * (1..=10).sum::<i32>());
 /// assert!(cmp.reduced_cycles < cmp.naive_cycles);
-/// # Ok::<(), hppa_muldiv::CompilerError>(())
+/// # Ok::<(), hppa_muldiv::Error>(())
 /// ```
-pub fn compare(spec: LoopSpec) -> Result<Comparison, CompilerError> {
+pub fn compare(spec: LoopSpec) -> Result<Comparison> {
     let naive = naive_loop(spec)?;
     let reduced = reduced_loop(spec)?;
     let cfg = ExecConfig {

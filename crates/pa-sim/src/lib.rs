@@ -47,6 +47,7 @@
 mod exec;
 mod machine;
 mod overflow;
+mod prepared;
 mod stats;
 
 pub use exec::{
@@ -55,4 +56,5 @@ pub use exec::{
 };
 pub use machine::Machine;
 pub use overflow::{cheap_circuit_overflow, precise_overflow, OverflowModel};
+pub use prepared::{execute_prepared, run_fn_prepared, PreparedProgram};
 pub use stats::{RegionCycles, SimStats};

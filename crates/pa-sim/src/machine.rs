@@ -111,6 +111,28 @@ impl Machine {
     pub fn regs(&self) -> [u32; pa_isa::NUM_REGS] {
         self.regs
     }
+
+    /// Zeroes every register and both PSW bits, restoring the state of a
+    /// fresh [`Machine::new`] without reallocating. Batch executors reuse
+    /// one machine across calls; a reset machine is bit-identical to a new
+    /// one, so results cannot depend on reuse.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pa_isa::Reg;
+    /// use pa_sim::Machine;
+    ///
+    /// let mut m = Machine::with_regs(&[(Reg::R5, 7)]);
+    /// m.set_carry(true);
+    /// m.reset();
+    /// assert_eq!(m, Machine::new());
+    /// ```
+    pub fn reset(&mut self) {
+        self.regs = [0; pa_isa::NUM_REGS];
+        self.carry = false;
+        self.v = false;
+    }
 }
 
 impl Default for Machine {

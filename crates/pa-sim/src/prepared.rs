@@ -1,0 +1,751 @@
+//! Pre-decoded programs for hot-path execution.
+//!
+//! [`run`](crate::run) walks the boxed [`pa_isa::Insn`] stream and
+//! re-evaluates every immediate field (`Im11::value`, `Im21::shifted`,
+//! shift-amount bit extraction, the `31 - pos` EXTRU arithmetic) on each
+//! fetch. That is the right trade-off for a debugger, but replaying a
+//! paper workload executes the same few dozen instructions millions of
+//! times. [`PreparedProgram`] pays the decode cost once: immediates are
+//! folded to plain integers, EXTRU becomes a shift-and-mask pair, LDIL
+//! becomes a pre-shifted constant load, and the watchdog/overflow
+//! configuration is baked in at preparation time.
+//!
+//! The prepared executor is **bit-identical** to the interpreter: same
+//! architectural results, same cycle/executed/nullified/taken-branch
+//! accounting, same terminations. Runs that ask for instrumentation
+//! (profile, trace or stats) are delegated to the interpreter wholesale so
+//! the instrumented paths cannot drift.
+//!
+//! # Example
+//!
+//! ```
+//! use pa_isa::{ProgramBuilder, Reg};
+//! use pa_sim::{execute_prepared, run, ExecConfig, Machine, PreparedProgram};
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.sh2add(Reg::R26, Reg::R26, Reg::R28);
+//! b.add(Reg::R28, Reg::R28, Reg::R28);
+//! let p = b.build()?;
+//!
+//! let prepared = PreparedProgram::new(&p, ExecConfig::default());
+//! let mut m = Machine::with_regs(&[(Reg::R26, 7)]);
+//! let fast = execute_prepared(&prepared, &mut m);
+//! assert_eq!(m.reg(Reg::R28), 70);
+//!
+//! let mut m2 = Machine::with_regs(&[(Reg::R26, 7)]);
+//! let slow = run(&p, &mut m2, &ExecConfig::default());
+//! assert_eq!(fast.cycles, slow.cycles);
+//! assert_eq!(m, m2);
+//! # Ok::<(), pa_isa::IsaError>(())
+//! ```
+
+use pa_isa::{BitSense, Cond, Op, Program, Reg};
+
+use crate::exec::{run, ExecConfig, Fault, RunResult, Termination, Trap, TrapKind};
+use crate::overflow::{cheap_circuit_overflow, precise_overflow, OverflowModel};
+use crate::Machine;
+
+/// One pre-decoded instruction. Immediate fields are folded to the integer
+/// the interpreter would compute from them, so the executor loop touches no
+/// accessor methods.
+#[derive(Debug, Clone, Copy)]
+enum PreparedOp {
+    Add {
+        a: Reg,
+        b: Reg,
+        t: Reg,
+        trap: bool,
+    },
+    Addc {
+        a: Reg,
+        b: Reg,
+        t: Reg,
+    },
+    Sub {
+        a: Reg,
+        b: Reg,
+        t: Reg,
+        trap: bool,
+    },
+    Subb {
+        a: Reg,
+        b: Reg,
+        t: Reg,
+    },
+    ShAdd {
+        bits: u32,
+        a: Reg,
+        b: Reg,
+        t: Reg,
+        trap: bool,
+    },
+    Ds {
+        a: Reg,
+        b: Reg,
+        t: Reg,
+    },
+    Or {
+        a: Reg,
+        b: Reg,
+        t: Reg,
+    },
+    And {
+        a: Reg,
+        b: Reg,
+        t: Reg,
+    },
+    Xor {
+        a: Reg,
+        b: Reg,
+        t: Reg,
+    },
+    AndCm {
+        a: Reg,
+        b: Reg,
+        t: Reg,
+    },
+    Comclr {
+        cond: Cond,
+        a: Reg,
+        b: Reg,
+        t: Reg,
+    },
+    Comiclr {
+        cond: Cond,
+        i: i32,
+        b: Reg,
+        t: Reg,
+    },
+    Addi {
+        i: i32,
+        b: Reg,
+        t: Reg,
+        trap: bool,
+    },
+    Subi {
+        i: i32,
+        b: Reg,
+        t: Reg,
+    },
+    Ldo {
+        d: u32,
+        b: Reg,
+        t: Reg,
+    },
+    LoadHigh {
+        value: u32,
+        t: Reg,
+    },
+    Shl {
+        s: Reg,
+        sa: u32,
+        t: Reg,
+    },
+    ShrU {
+        s: Reg,
+        sa: u32,
+        t: Reg,
+    },
+    ShrS {
+        s: Reg,
+        sa: u32,
+        t: Reg,
+    },
+    Shd {
+        hi: Reg,
+        lo: Reg,
+        sa: u32,
+        t: Reg,
+    },
+    Extru {
+        s: Reg,
+        shr: u32,
+        mask: u32,
+        t: Reg,
+    },
+    B {
+        target: usize,
+    },
+    Comb {
+        cond: Cond,
+        a: Reg,
+        b: Reg,
+        target: usize,
+    },
+    Combi {
+        cond: Cond,
+        i: i32,
+        b: Reg,
+        target: usize,
+    },
+    Addib {
+        i: u32,
+        b: Reg,
+        cond: Cond,
+        target: usize,
+    },
+    Bb {
+        s: Reg,
+        shr: u32,
+        expect: u32,
+        target: usize,
+    },
+    Blr {
+        x: Reg,
+        base: usize,
+    },
+    Nop,
+    Break {
+        code: u16,
+    },
+}
+
+fn predecode(op: &Op) -> PreparedOp {
+    match *op {
+        Op::Add { a, b, t, trap } => PreparedOp::Add { a, b, t, trap },
+        Op::Addc { a, b, t } => PreparedOp::Addc { a, b, t },
+        Op::Sub { a, b, t, trap } => PreparedOp::Sub { a, b, t, trap },
+        Op::Subb { a, b, t } => PreparedOp::Subb { a, b, t },
+        Op::ShAdd { sh, a, b, t, trap } => PreparedOp::ShAdd {
+            bits: sh.bits(),
+            a,
+            b,
+            t,
+            trap,
+        },
+        Op::Ds { a, b, t } => PreparedOp::Ds { a, b, t },
+        Op::Or { a, b, t } => PreparedOp::Or { a, b, t },
+        Op::And { a, b, t } => PreparedOp::And { a, b, t },
+        Op::Xor { a, b, t } => PreparedOp::Xor { a, b, t },
+        Op::AndCm { a, b, t } => PreparedOp::AndCm { a, b, t },
+        Op::Comclr { cond, a, b, t } => PreparedOp::Comclr { cond, a, b, t },
+        Op::Comiclr { cond, i, b, t } => PreparedOp::Comiclr {
+            cond,
+            i: i.value(),
+            b,
+            t,
+        },
+        Op::Addi { i, b, t, trap } => PreparedOp::Addi {
+            i: i.value(),
+            b,
+            t,
+            trap,
+        },
+        Op::Subi { i, b, t } => PreparedOp::Subi { i: i.value(), b, t },
+        Op::Ldo { b, d, t } => PreparedOp::Ldo {
+            d: d.value() as u32,
+            b,
+            t,
+        },
+        Op::Ldil { i, t } => PreparedOp::LoadHigh {
+            value: i.shifted(),
+            t,
+        },
+        Op::Shl { s, sa, t } => PreparedOp::Shl {
+            s,
+            sa: sa.bits(),
+            t,
+        },
+        Op::ShrU { s, sa, t } => PreparedOp::ShrU {
+            s,
+            sa: sa.bits(),
+            t,
+        },
+        Op::ShrS { s, sa, t } => PreparedOp::ShrS {
+            s,
+            sa: sa.bits(),
+            t,
+        },
+        Op::Shd { hi, lo, sa, t } => PreparedOp::Shd {
+            hi,
+            lo,
+            sa: sa.bits(),
+            t,
+        },
+        Op::Extru { s, pos, len, t } => PreparedOp::Extru {
+            s,
+            shr: 31 - u32::from(pos),
+            mask: if len == 32 {
+                u32::MAX
+            } else {
+                (1u32 << len) - 1
+            },
+            t,
+        },
+        Op::B { target } => PreparedOp::B { target },
+        Op::Comb { cond, a, b, target } => PreparedOp::Comb { cond, a, b, target },
+        Op::Combi { cond, i, b, target } => PreparedOp::Combi {
+            cond,
+            i: i.value(),
+            b,
+            target,
+        },
+        Op::Addib { i, b, cond, target } => PreparedOp::Addib {
+            i: i.value() as u32,
+            b,
+            cond,
+            target,
+        },
+        Op::Bb {
+            s,
+            bit,
+            sense,
+            target,
+        } => PreparedOp::Bb {
+            s,
+            shr: 31 - u32::from(bit),
+            expect: match sense {
+                BitSense::Set => 1,
+                BitSense::Clear => 0,
+            },
+            target,
+        },
+        Op::Blr { x, base } => PreparedOp::Blr { x, base },
+        Op::Nop => PreparedOp::Nop,
+        Op::Break { code } => PreparedOp::Break { code },
+        _ => unreachable!("pa-sim handles every pa-isa op"),
+    }
+}
+
+/// A program decoded once for repeated execution: labels already resolved
+/// (they were at build time), immediates folded, and the execution
+/// configuration (overflow model, watchdog, instrumentation switches)
+/// baked in.
+///
+/// Construct with [`PreparedProgram::new`], execute with
+/// [`PreparedProgram::run`] or the free function [`execute_prepared`].
+/// The original [`Program`] is retained for listings, label lookups and
+/// instrumented (stats/trace/profile) runs, which delegate to the
+/// interpreter verbatim.
+#[derive(Debug, Clone)]
+pub struct PreparedProgram {
+    program: Program,
+    code: Box<[PreparedOp]>,
+    config: ExecConfig,
+}
+
+impl PreparedProgram {
+    /// Pre-decodes `program` under `config`.
+    #[must_use]
+    pub fn new(program: &Program, config: ExecConfig) -> PreparedProgram {
+        let code = program.iter().map(|insn| predecode(&insn.op)).collect();
+        PreparedProgram {
+            program: program.clone(),
+            code,
+            config,
+        }
+    }
+
+    /// The source program (labels intact).
+    #[must_use]
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The execution configuration baked in at preparation time.
+    #[must_use]
+    pub fn config(&self) -> &ExecConfig {
+        &self.config
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the program is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Executes the prepared program on `machine`.
+    ///
+    /// Identical observable behaviour to `run(self.program(), machine,
+    /// self.config())` — same registers, PSW bits, cycle counts and
+    /// termination. When the configuration requests instrumentation
+    /// (profile, trace or stats) the interpreter runs instead, so
+    /// instrumented results are the interpreter's by construction.
+    pub fn run(&self, machine: &mut Machine) -> RunResult {
+        if self.config.profile || self.config.trace || self.config.stats {
+            return run(&self.program, machine, &self.config);
+        }
+        self.run_fast(machine)
+    }
+
+    fn run_fast(&self, m: &mut Machine) -> RunResult {
+        let code = &self.code;
+        let len = code.len();
+        let max_cycles = self.config.max_cycles;
+        let precise = self.config.overflow == OverflowModel::Precise;
+
+        let mut result = RunResult {
+            cycles: 0,
+            executed: 0,
+            nullified: 0,
+            taken_branches: 0,
+            termination: Termination::Completed,
+            profile: Vec::new(),
+            trace: Vec::new(),
+            stats: None,
+        };
+        let mut pc = 0usize;
+        let mut nullify_next = false;
+
+        let overflows = |a: i32, sh: u32, b: i32| -> bool {
+            if precise {
+                precise_overflow(a, sh, b)
+            } else {
+                cheap_circuit_overflow(a, sh, b)
+            }
+        };
+
+        'fetch: while pc < len {
+            if result.cycles >= max_cycles {
+                result.termination = Termination::CycleLimit;
+                break 'fetch;
+            }
+            result.cycles += 1;
+
+            if nullify_next {
+                nullify_next = false;
+                result.nullified += 1;
+                pc += 1;
+                continue;
+            }
+            result.executed += 1;
+
+            match code[pc] {
+                PreparedOp::Add { a, b, t, trap } => {
+                    let (av, bv) = (m.reg(a), m.reg(b));
+                    if trap && overflows(av as i32, 0, bv as i32) {
+                        result.termination = Termination::Trapped(Trap {
+                            kind: TrapKind::Overflow,
+                            at: pc,
+                        });
+                        break 'fetch;
+                    }
+                    let (sum, c) = add_with_carry(av, bv, false);
+                    m.set_reg(t, sum);
+                    m.set_carry(c);
+                    pc += 1;
+                }
+                PreparedOp::Addc { a, b, t } => {
+                    let (sum, c) = add_with_carry(m.reg(a), m.reg(b), m.carry());
+                    m.set_reg(t, sum);
+                    m.set_carry(c);
+                    pc += 1;
+                }
+                PreparedOp::Sub { a, b, t, trap } => {
+                    let (av, bv) = (m.reg(a), m.reg(b));
+                    if trap {
+                        let full = i64::from(av as i32) - i64::from(bv as i32);
+                        if i32::try_from(full).is_err() {
+                            result.termination = Termination::Trapped(Trap {
+                                kind: TrapKind::Overflow,
+                                at: pc,
+                            });
+                            break 'fetch;
+                        }
+                    }
+                    let (diff, c) = add_with_carry(av, !bv, true);
+                    m.set_reg(t, diff);
+                    m.set_carry(c);
+                    pc += 1;
+                }
+                PreparedOp::Subb { a, b, t } => {
+                    let (diff, c) = add_with_carry(m.reg(a), !m.reg(b), m.carry());
+                    m.set_reg(t, diff);
+                    m.set_carry(c);
+                    pc += 1;
+                }
+                PreparedOp::ShAdd {
+                    bits,
+                    a,
+                    b,
+                    t,
+                    trap,
+                } => {
+                    let (av, bv) = (m.reg(a), m.reg(b));
+                    if trap && overflows(av as i32, bits, bv as i32) {
+                        result.termination = Termination::Trapped(Trap {
+                            kind: TrapKind::Overflow,
+                            at: pc,
+                        });
+                        break 'fetch;
+                    }
+                    let shifted = av.wrapping_shl(bits);
+                    let (sum, c) = add_with_carry(shifted, bv, false);
+                    m.set_reg(t, sum);
+                    m.set_carry(c);
+                    pc += 1;
+                }
+                PreparedOp::Ds { a, b, t } => {
+                    let shifted = m.reg(a).wrapping_shl(1) | u32::from(m.carry());
+                    let bv = m.reg(b);
+                    let (res, c) = if m.v_bit() {
+                        add_with_carry(shifted, bv, false)
+                    } else {
+                        add_with_carry(shifted, !bv, true)
+                    };
+                    m.set_reg(t, res);
+                    m.set_carry(c);
+                    m.set_v_bit(!c);
+                    pc += 1;
+                }
+                PreparedOp::Or { a, b, t } => {
+                    m.set_reg(t, m.reg(a) | m.reg(b));
+                    pc += 1;
+                }
+                PreparedOp::And { a, b, t } => {
+                    m.set_reg(t, m.reg(a) & m.reg(b));
+                    pc += 1;
+                }
+                PreparedOp::Xor { a, b, t } => {
+                    m.set_reg(t, m.reg(a) ^ m.reg(b));
+                    pc += 1;
+                }
+                PreparedOp::AndCm { a, b, t } => {
+                    m.set_reg(t, m.reg(a) & !m.reg(b));
+                    pc += 1;
+                }
+                PreparedOp::Comclr { cond, a, b, t } => {
+                    let taken = cond.eval(m.reg_i32(a), m.reg_i32(b));
+                    m.set_reg(t, 0);
+                    nullify_next = taken;
+                    pc += 1;
+                }
+                PreparedOp::Comiclr { cond, i, b, t } => {
+                    let taken = cond.eval(i, m.reg_i32(b));
+                    m.set_reg(t, 0);
+                    nullify_next = taken;
+                    pc += 1;
+                }
+                PreparedOp::Addi { i, b, t, trap } => {
+                    let bv = m.reg(b);
+                    if trap && overflows(i, 0, bv as i32) {
+                        result.termination = Termination::Trapped(Trap {
+                            kind: TrapKind::Overflow,
+                            at: pc,
+                        });
+                        break 'fetch;
+                    }
+                    let (sum, c) = add_with_carry(i as u32, bv, false);
+                    m.set_reg(t, sum);
+                    m.set_carry(c);
+                    pc += 1;
+                }
+                PreparedOp::Subi { i, b, t } => {
+                    let (diff, c) = add_with_carry(i as u32, !m.reg(b), true);
+                    m.set_reg(t, diff);
+                    m.set_carry(c);
+                    pc += 1;
+                }
+                PreparedOp::Ldo { d, b, t } => {
+                    m.set_reg(t, m.reg(b).wrapping_add(d));
+                    pc += 1;
+                }
+                PreparedOp::LoadHigh { value, t } => {
+                    m.set_reg(t, value);
+                    pc += 1;
+                }
+                PreparedOp::Shl { s, sa, t } => {
+                    m.set_reg(t, m.reg(s).wrapping_shl(sa));
+                    pc += 1;
+                }
+                PreparedOp::ShrU { s, sa, t } => {
+                    m.set_reg(t, m.reg(s) >> sa);
+                    pc += 1;
+                }
+                PreparedOp::ShrS { s, sa, t } => {
+                    m.set_reg(t, (m.reg_i32(s) >> sa) as u32);
+                    pc += 1;
+                }
+                PreparedOp::Shd { hi, lo, sa, t } => {
+                    let pair = (u64::from(m.reg(hi)) << 32) | u64::from(m.reg(lo));
+                    m.set_reg(t, (pair >> sa) as u32);
+                    pc += 1;
+                }
+                PreparedOp::Extru { s, shr, mask, t } => {
+                    m.set_reg(t, (m.reg(s) >> shr) & mask);
+                    pc += 1;
+                }
+                PreparedOp::B { target } => {
+                    result.taken_branches += 1;
+                    pc = target;
+                }
+                PreparedOp::Comb { cond, a, b, target } => {
+                    if cond.eval(m.reg_i32(a), m.reg_i32(b)) {
+                        result.taken_branches += 1;
+                        pc = target;
+                    } else {
+                        pc += 1;
+                    }
+                }
+                PreparedOp::Combi { cond, i, b, target } => {
+                    if cond.eval(i, m.reg_i32(b)) {
+                        result.taken_branches += 1;
+                        pc = target;
+                    } else {
+                        pc += 1;
+                    }
+                }
+                PreparedOp::Addib { i, b, cond, target } => {
+                    let updated = m.reg(b).wrapping_add(i);
+                    m.set_reg(b, updated);
+                    if cond.eval(updated as i32, 0) {
+                        result.taken_branches += 1;
+                        pc = target;
+                    } else {
+                        pc += 1;
+                    }
+                }
+                PreparedOp::Bb {
+                    s,
+                    shr,
+                    expect,
+                    target,
+                } => {
+                    if (m.reg(s) >> shr) & 1 == expect {
+                        result.taken_branches += 1;
+                        pc = target;
+                    } else {
+                        pc += 1;
+                    }
+                }
+                PreparedOp::Blr { x, base } => {
+                    let target = base as u64 + 2 * u64::from(m.reg(x));
+                    if target > len as u64 {
+                        result.termination = Termination::Faulted(Fault { at: pc, target });
+                        break 'fetch;
+                    }
+                    result.taken_branches += 1;
+                    pc = target as usize;
+                }
+                PreparedOp::Nop => pc += 1,
+                PreparedOp::Break { code } => {
+                    result.termination = Termination::Trapped(Trap {
+                        kind: TrapKind::Break(code),
+                        at: pc,
+                    });
+                    break 'fetch;
+                }
+            }
+        }
+        result
+    }
+}
+
+/// Adds `x + y + cin` and returns `(sum, carry_out)`.
+fn add_with_carry(x: u32, y: u32, cin: bool) -> (u32, bool) {
+    let wide = u64::from(x) + u64::from(y) + u64::from(cin);
+    (wide as u32, wide >> 32 != 0)
+}
+
+/// Executes a [`PreparedProgram`] on `machine` — free-function spelling of
+/// [`PreparedProgram::run`].
+pub fn execute_prepared(prepared: &PreparedProgram, machine: &mut Machine) -> RunResult {
+    prepared.run(machine)
+}
+
+/// Convenience wrapper mirroring [`crate::run_fn`]: preload registers into a
+/// fresh machine, execute the prepared program, return both.
+pub fn run_fn_prepared(prepared: &PreparedProgram, inputs: &[(Reg, u32)]) -> (Machine, RunResult) {
+    let mut machine = Machine::with_regs(inputs);
+    let result = prepared.run(&mut machine);
+    (machine, result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_fn;
+    use pa_isa::{Cond, ProgramBuilder};
+
+    fn assert_equivalent(p: &Program, inputs: &[(Reg, u32)], config: &ExecConfig) {
+        let (m_slow, r_slow) = run_fn(p, inputs, config);
+        let prepared = PreparedProgram::new(p, config.clone());
+        let (m_fast, r_fast) = run_fn_prepared(&prepared, inputs);
+        assert_eq!(m_slow, m_fast, "machine state must match");
+        assert_eq!(r_slow.cycles, r_fast.cycles);
+        assert_eq!(r_slow.executed, r_fast.executed);
+        assert_eq!(r_slow.nullified, r_fast.nullified);
+        assert_eq!(r_slow.taken_branches, r_fast.taken_branches);
+        assert_eq!(r_slow.termination, r_fast.termination);
+    }
+
+    #[test]
+    fn prepared_matches_interpreter_on_branchy_loop() {
+        let mut b = ProgramBuilder::new();
+        b.ldi(6, Reg::R1);
+        b.ldi(0, Reg::R2);
+        let top = b.here("loop");
+        b.add(Reg::R1, Reg::R2, Reg::R2);
+        b.comclr(Cond::Odd, Reg::R1, Reg::R0, Reg::R0);
+        b.sh1add(Reg::R2, Reg::R0, Reg::R2);
+        b.addib(-1, Reg::R1, Cond::Ne, top);
+        let p = b.build().unwrap();
+        assert_equivalent(&p, &[], &ExecConfig::default());
+    }
+
+    #[test]
+    fn prepared_matches_interpreter_on_traps() {
+        let mut b = ProgramBuilder::new();
+        b.load_const(0x7FFF_FFFF, Reg::R1);
+        b.addio(1, Reg::R1, Reg::R2);
+        let p = b.build().unwrap();
+        assert_equivalent(&p, &[], &ExecConfig::default());
+        assert_equivalent(&p, &[], &ExecConfig::precise());
+    }
+
+    #[test]
+    fn prepared_matches_interpreter_on_faults() {
+        let mut b = ProgramBuilder::new();
+        let table = b.named_label("table");
+        b.blr(Reg::R1, table);
+        b.bind(table);
+        b.nop();
+        let p = b.build().unwrap();
+        assert_equivalent(&p, &[(Reg::R1, 500)], &ExecConfig::default());
+    }
+
+    #[test]
+    fn prepared_matches_interpreter_on_cycle_limit() {
+        let mut b = ProgramBuilder::new();
+        let top = b.here("spin");
+        b.b(top);
+        let p = b.build().unwrap();
+        let cfg = ExecConfig {
+            max_cycles: 100,
+            ..ExecConfig::default()
+        };
+        assert_equivalent(&p, &[], &cfg);
+    }
+
+    #[test]
+    fn instrumented_runs_delegate_to_the_interpreter() {
+        let mut b = ProgramBuilder::new();
+        b.ldi(3, Reg::R1);
+        let top = b.here("top");
+        b.addib(-1, Reg::R1, Cond::Ne, top);
+        let p = b.build().unwrap();
+        let prepared = PreparedProgram::new(&p, ExecConfig::default().with_stats().with_profile());
+        let mut m = Machine::new();
+        let r = prepared.run(&mut m);
+        assert!(r.stats.is_some(), "delegated run must carry stats");
+        assert_eq!(r.profile, vec![1, 3]);
+    }
+
+    #[test]
+    fn accessors_expose_source_and_config() {
+        let mut b = ProgramBuilder::new();
+        b.nop();
+        let p = b.build().unwrap();
+        let prepared = PreparedProgram::new(&p, ExecConfig::precise());
+        assert_eq!(prepared.len(), 1);
+        assert!(!prepared.is_empty());
+        assert_eq!(prepared.program().len(), 1);
+        assert_eq!(prepared.config().overflow, OverflowModel::Precise);
+    }
+}

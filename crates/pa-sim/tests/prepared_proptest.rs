@@ -1,0 +1,139 @@
+//! Property tests for the pre-decoded fast path: [`PreparedProgram`] must be
+//! bit-identical to the interpreter — same final machine, same cycle,
+//! executed, nullified and taken-branch counts, same termination — across
+//! randomized operands for programs covering every predecoded op class.
+
+use pa_isa::{BitSense, Cond, Program, ProgramBuilder, Reg, ShAmount};
+use pa_sim::{run_fn, run_fn_prepared, ExecConfig, PreparedProgram};
+use proptest::prelude::*;
+
+fn assert_equivalent(p: &Program, inputs: &[(Reg, u32)], config: &ExecConfig) {
+    let (m_slow, r_slow) = run_fn(p, inputs, config);
+    let prepared = PreparedProgram::new(p, config.clone());
+    let (m_fast, r_fast) = run_fn_prepared(&prepared, inputs);
+    assert_eq!(m_slow, m_fast, "machine state must match");
+    assert_eq!(r_slow.cycles, r_fast.cycles);
+    assert_eq!(r_slow.executed, r_fast.executed);
+    assert_eq!(r_slow.nullified, r_fast.nullified);
+    assert_eq!(r_slow.taken_branches, r_fast.taken_branches);
+    assert_eq!(r_slow.termination, r_fast.termination);
+}
+
+/// Straight-line arithmetic touching carries, borrows, shift-adds, logic
+/// ops, conditional clears and extracts.
+fn arith_program() -> Program {
+    let mut b = ProgramBuilder::new();
+    b.add(Reg::R26, Reg::R25, Reg::R1);
+    b.addc(Reg::R26, Reg::R1, Reg::R2);
+    b.sub(Reg::R1, Reg::R25, Reg::R3);
+    b.subb(Reg::R2, Reg::R3, Reg::R4);
+    b.sh2add(Reg::R3, Reg::R4, Reg::R5);
+    b.xor(Reg::R5, Reg::R26, Reg::R6);
+    b.andcm(Reg::R6, Reg::R25, Reg::R7);
+    b.comclr(Cond::Lt, Reg::R7, Reg::R26, Reg::R8);
+    b.or(Reg::R7, Reg::R8, Reg::R9);
+    b.extru(Reg::R9, 23, 16, Reg::R10);
+    b.shd(Reg::R9, Reg::R10, 7, Reg::R11);
+    b.sar(Reg::R9, 5, Reg::R12);
+    b.comiclr(Cond::Eq, 0, Reg::R12, Reg::R13);
+    b.addi(17, Reg::R13, Reg::R14);
+    b.subi(100, Reg::R14, Reg::R15);
+    b.build().unwrap()
+}
+
+/// The §4 DS/ADDC division loop — exercises `DS`'s V-bit state machine.
+fn ds_divide_program() -> Program {
+    let mut b = ProgramBuilder::new();
+    b.copy(Reg::R0, Reg::R1);
+    b.add(Reg::R26, Reg::R26, Reg::R26);
+    for _ in 0..32 {
+        b.ds(Reg::R1, Reg::R25, Reg::R1);
+        b.addc(Reg::R26, Reg::R26, Reg::R26);
+    }
+    b.build().unwrap()
+}
+
+/// A nibble-style loop with `EXTRU`, `BLR` dispatch, `BB` tests and `ADDIB`
+/// back-edges — every control-flow op class in one program.
+fn branchy_program() -> Program {
+    let mut b = ProgramBuilder::new();
+    b.ldi(8, Reg::R3); // trip counter
+    b.copy(Reg::R0, Reg::R28);
+    let top = b.here("loop");
+    b.extru(Reg::R26, 31, 3, Reg::R1); // low three bits drive the dispatch
+    let table = b.named_label("table");
+    b.blr(Reg::R1, table);
+    b.nop();
+    b.bind(table);
+    // Eight two-slot table entries.
+    let join = b.named_label("join");
+    for i in 0..8i32 {
+        b.addi(i, Reg::R28, Reg::R28);
+        b.b(join);
+    }
+    b.bind(join);
+    b.shr(Reg::R26, 3, Reg::R26);
+    let skip = b.named_label("skip");
+    b.bb_lsb(Reg::R25, BitSense::Clear, skip);
+    b.sh1add(Reg::R28, Reg::R0, Reg::R28);
+    b.bind(skip);
+    b.shr(Reg::R25, 1, Reg::R25);
+    b.addib(-1, Reg::R3, Cond::Ne, top);
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn arith_matches(a in any::<u32>(), b in any::<u32>()) {
+        let p = arith_program();
+        let inputs = [(Reg::R26, a), (Reg::R25, b)];
+        assert_equivalent(&p, &inputs, &ExecConfig::default());
+        assert_equivalent(&p, &inputs, &ExecConfig::precise());
+    }
+
+    #[test]
+    fn ds_divide_matches(x in any::<u32>(), y in 1u32..0x8000_0000) {
+        let p = ds_divide_program();
+        let inputs = [(Reg::R26, x), (Reg::R25, y)];
+        assert_equivalent(&p, &inputs, &ExecConfig::default());
+        // The fast path must also agree on the quotient itself.
+        let prepared = PreparedProgram::new(&p, ExecConfig::default());
+        let (m, _) = run_fn_prepared(&prepared, &inputs);
+        prop_assert_eq!(m.reg(Reg::R26), x / y);
+    }
+
+    #[test]
+    fn branchy_matches(a in any::<u32>(), b in any::<u32>()) {
+        let p = branchy_program();
+        assert_equivalent(&p, &[(Reg::R26, a), (Reg::R25, b)], &ExecConfig::default());
+    }
+
+    #[test]
+    fn trapping_adds_match(a in any::<u32>(), b in any::<u32>()) {
+        // ADDO/SUBO/SH3ADDO trap on signed overflow; the fast path must trap
+        // at the same instruction with the same partial state.
+        let mut builder = ProgramBuilder::new();
+        builder.addo(Reg::R26, Reg::R25, Reg::R1);
+        builder.shaddo(ShAmount::Three, Reg::R1, Reg::R26, Reg::R2);
+        builder.subo(Reg::R2, Reg::R25, Reg::R3);
+        let p = builder.build().unwrap();
+        let inputs = [(Reg::R26, a), (Reg::R25, b)];
+        assert_equivalent(&p, &inputs, &ExecConfig::default());
+        assert_equivalent(&p, &inputs, &ExecConfig::precise());
+    }
+
+    #[test]
+    fn cycle_limits_match(a in any::<u32>(), budget in 1u64..40) {
+        // An infinite loop cut off by the watchdog must stop at the same
+        // cycle with the same counters on both paths.
+        let mut builder = ProgramBuilder::new();
+        let top = builder.here("spin");
+        builder.addi(1, Reg::R1, Reg::R1);
+        builder.b(top);
+        let p = builder.build().unwrap();
+        let config = ExecConfig { max_cycles: budget, ..ExecConfig::default() };
+        assert_equivalent(&p, &[(Reg::R1, a)], &config);
+    }
+}

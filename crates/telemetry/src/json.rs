@@ -102,6 +102,17 @@ impl Json {
         }
     }
 
+    /// The value as `f64`, if it is any number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Float(v) => Some(*v),
+            Json::Int(i) => Some(*i as f64),
+            Json::UInt(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
     /// The value as an array slice.
     #[must_use]
     pub fn as_array(&self) -> Option<&[Json]> {

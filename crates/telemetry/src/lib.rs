@@ -102,6 +102,22 @@ pub enum Event {
         /// Measured cycles, when the caller ran the routine.
         cycles: Option<u64>,
     },
+    /// The compile cache answered a lookup for a constant-operand program.
+    CacheLookup {
+        /// Display form of the requested operation (e.g. `"x * 10"`).
+        op: String,
+        /// Whether the cache already held a compiled program.
+        hit: bool,
+        /// Entries resident after the lookup (and any insertion).
+        entries: usize,
+    },
+    /// A program was pre-decoded into its dense executable form.
+    Prepare {
+        /// What was prepared (an operation display form or routine name).
+        label: String,
+        /// Instruction count of the prepared program.
+        len: usize,
+    },
     /// The divide-by-constant planner chose a strategy for a divisor.
     DivPlan {
         /// The divisor.
@@ -130,6 +146,10 @@ impl Event {
             Event::MulStrategy { tier, .. } => format!("mul/{tier}"),
             Event::DivDispatch { tier, .. } => format!("divvar/{tier}"),
             Event::DivPlan { strategy, .. } => format!("div/{strategy}"),
+            Event::CacheLookup { hit, .. } => {
+                format!("cache/{}", if *hit { "hit" } else { "miss" })
+            }
+            Event::Prepare { .. } => "prepare/program".to_string(),
         }
     }
 
@@ -182,6 +202,17 @@ impl Event {
                 put("tier", Json::str(*tier));
                 put("divisor", Json::int(*divisor));
                 put("cycles", Json::opt_u64(*cycles));
+            }
+            Event::CacheLookup { op, hit, entries } => {
+                put("event", Json::str("cache_lookup"));
+                put("op", Json::str(op));
+                put("hit", Json::Bool(*hit));
+                put("entries", Json::uint(*entries as u64));
+            }
+            Event::Prepare { label, len } => {
+                put("event", Json::str("prepare"));
+                put("label", Json::str(label));
+                put("len", Json::uint(*len as u64));
             }
             Event::DivPlan {
                 y,
@@ -390,6 +421,43 @@ mod tests {
         assert_eq!(hist.get("mul/nibble-x2"), Some(&1));
         assert_eq!(hist.get("mul/one-exit"), Some(&1));
         assert_eq!(hist.get("div/even-split"), Some(&1));
+    }
+
+    #[test]
+    fn cache_and_prepare_events_serialise_and_key() {
+        let hit = Event::CacheLookup {
+            op: "x * 10".to_string(),
+            hit: true,
+            entries: 3,
+        };
+        let miss = Event::CacheLookup {
+            op: "x / 7u".to_string(),
+            hit: false,
+            entries: 4,
+        };
+        let prepare = Event::Prepare {
+            label: "x / 7u".to_string(),
+            len: 17,
+        };
+        assert_eq!(hit.strategy_key(), "cache/hit");
+        assert_eq!(miss.strategy_key(), "cache/miss");
+        assert_eq!(prepare.strategy_key(), "prepare/program");
+
+        let j = hit.to_json();
+        assert_eq!(j.get("event").and_then(Json::as_str), Some("cache_lookup"));
+        assert_eq!(j.get("op").and_then(Json::as_str), Some("x * 10"));
+        assert_eq!(j.get("hit"), Some(&Json::Bool(true)));
+        assert_eq!(j.get("entries").and_then(Json::as_u64), Some(3));
+
+        let j = prepare.to_json();
+        assert_eq!(j.get("event").and_then(Json::as_str), Some("prepare"));
+        assert_eq!(j.get("label").and_then(Json::as_str), Some("x / 7u"));
+        assert_eq!(j.get("len").and_then(Json::as_u64), Some(17));
+
+        let hist = strategy_histogram(&[hit, miss, prepare]);
+        assert_eq!(hist.get("cache/hit"), Some(&1));
+        assert_eq!(hist.get("cache/miss"), Some(&1));
+        assert_eq!(hist.get("prepare/program"), Some(&1));
     }
 
     #[test]

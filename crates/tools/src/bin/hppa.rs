@@ -1,23 +1,24 @@
 //! `hppa` — the top-level workbench command.
 //!
 //! ```sh
-//! hppa report                    # write BENCH_pr1.json in the current dir
+//! hppa report                    # write BENCH_pr2.json in the current dir
 //! hppa report -o out/bench.json  # write elsewhere
 //! hppa report --stdout           # print the document instead
+//! hppa report --ops 20000        # size the throughput batches
 //! ```
 //!
 //! `report` replays the paper-table workloads (Figure 5 multiply classes,
 //! the general divide, the §7 dispatch, constant multiply/divide) with
-//! cycle-attribution stats and telemetry enabled, and writes one JSON array
-//! of `{workload, cycles, executed, nullified, per_opcode,
-//! strategy_histogram}` records.
+//! cycle-attribution stats and telemetry enabled, then times the E13 operand
+//! mix through the one-shot path and the cached/pre-decoded hot path. The
+//! output is one JSON object: `{"workloads": […], "throughput": […]}`.
 
 use std::io::Write as _;
 use std::process::ExitCode;
 
 use tools::report;
 
-const USAGE: &str = "usage: hppa report [-o PATH] [--stdout]";
+const USAGE: &str = "usage: hppa report [-o PATH] [--stdout] [--ops N]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,8 +36,9 @@ fn main() -> ExitCode {
 }
 
 fn run_report(args: &[String]) -> ExitCode {
-    let mut out_path = String::from("BENCH_pr1.json");
+    let mut out_path = String::from("BENCH_pr2.json");
     let mut to_stdout = false;
+    let mut ops = 1_000usize;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -48,6 +50,13 @@ fn run_report(args: &[String]) -> ExitCode {
                 }
             },
             "--stdout" => to_stdout = true,
+            "--ops" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => ops = n,
+                None => {
+                    eprintln!("hppa report: --ops needs a count\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!("hppa report: unknown option `{other}`\n{USAGE}");
                 return ExitCode::FAILURE;
@@ -56,7 +65,8 @@ fn run_report(args: &[String]) -> ExitCode {
     }
 
     let workloads = report::paper_workloads();
-    let doc = report::report_json(&workloads).to_pretty_string();
+    let throughput = report::throughput_workloads_with(ops);
+    let doc = report::report_json(&workloads, &throughput).to_pretty_string();
     if to_stdout {
         print!("{doc}");
         return ExitCode::SUCCESS;
@@ -67,6 +77,16 @@ fn run_report(args: &[String]) -> ExitCode {
                 eprintln!(
                     "{:<28} {:>8} cycles ({} executed + {} nullified)",
                     w.workload, w.cycles, w.executed, w.nullified
+                );
+            }
+            for t in &throughput {
+                eprintln!(
+                    "{:<28} {:>8} ops: {:>12.0} ops/s cold, {:>12.0} ops/s hot ({:.1}x)",
+                    t.workload,
+                    t.ops,
+                    t.unprepared_ops_per_sec(),
+                    t.prepared_ops_per_sec(),
+                    t.speedup()
                 );
             }
             eprintln!("wrote {out_path}");

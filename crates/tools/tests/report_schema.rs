@@ -1,7 +1,7 @@
-//! Golden-schema test for `hppa report`: the written `BENCH_pr1.json` must
-//! parse and carry exactly the documented shape. Numbers are workload
-//! dependent, so the test pins names, key sets, and invariants — not exact
-//! counts.
+//! Golden-schema test for `hppa report`: the written `BENCH_pr2.json` must
+//! parse and carry exactly the documented shape. Numbers are workload and
+//! wall-clock dependent, so the test pins names, key sets, and invariants —
+//! not exact counts, and never the nanosecond timings.
 
 use std::process::Command;
 
@@ -24,22 +24,44 @@ const RECORD_KEYS: [&str; 6] = [
     "strategy_histogram",
 ];
 
+const EXPECTED_THROUGHPUT: [&str; 2] = ["e13_multiply_mix", "e13_divide_mix"];
+
+const THROUGHPUT_KEYS: [&str; 8] = [
+    "workload",
+    "ops",
+    "simulated_cycles",
+    "unprepared_ns",
+    "prepared_ns",
+    "unprepared_ops_per_sec",
+    "prepared_ops_per_sec",
+    "speedup",
+];
+
+/// Keep the throughput batches small: the schema does not depend on the
+/// batch size, and the cold pass compiles every operation.
+const OPS: &str = "200";
+
 fn written_report() -> Json {
     let path = std::env::temp_dir().join(format!("hppa_report_schema_{}.json", std::process::id()));
     let out = Command::new(env!("CARGO_BIN_EXE_hppa"))
-        .args(["report", "-o", path.to_str().unwrap()])
+        .args(["report", "--ops", OPS, "-o", path.to_str().unwrap()])
         .output()
         .unwrap();
     assert!(out.status.success(), "{out:?}");
     let text = std::fs::read_to_string(&path).unwrap();
     std::fs::remove_file(&path).ok();
-    parse(&text).expect("BENCH_pr1.json must be valid JSON")
+    parse(&text).expect("BENCH_pr2.json must be valid JSON")
 }
 
 #[test]
 fn bench_json_matches_the_documented_schema() {
     let doc = written_report();
-    let records = doc.as_array().expect("top level is an array");
+    assert_eq!(doc.keys(), vec!["workloads", "throughput"]);
+
+    let records = doc
+        .get("workloads")
+        .and_then(Json::as_array)
+        .expect("workloads is an array");
     let names: Vec<&str> = records
         .iter()
         .map(|r| {
@@ -83,20 +105,71 @@ fn bench_json_matches_the_documented_schema() {
             assert!(hist.get(key).and_then(Json::as_u64).unwrap() > 0);
         }
     }
+
+    let throughput = doc
+        .get("throughput")
+        .and_then(Json::as_array)
+        .expect("throughput is an array");
+    let names: Vec<&str> = throughput
+        .iter()
+        .map(|r| r.get("workload").and_then(Json::as_str).unwrap())
+        .collect();
+    assert_eq!(names, EXPECTED_THROUGHPUT);
+    for record in throughput {
+        let name = record.get("workload").and_then(Json::as_str).unwrap();
+        assert_eq!(record.keys(), THROUGHPUT_KEYS, "{name}: unexpected key set");
+        assert_eq!(record.get("ops").and_then(Json::as_u64), Some(200));
+        assert!(
+            record
+                .get("simulated_cycles")
+                .and_then(Json::as_u64)
+                .unwrap()
+                > 0
+        );
+        for key in ["unprepared_ns", "prepared_ns"] {
+            assert!(
+                record.get(key).and_then(Json::as_u64).unwrap() > 0,
+                "{name}: {key} must be positive"
+            );
+        }
+        for key in ["unprepared_ops_per_sec", "prepared_ops_per_sec", "speedup"] {
+            let v = record
+                .get(key)
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| panic!("{name}: {key} must be a number"));
+            assert!(v > 0.0, "{name}: {key} must be positive");
+        }
+    }
 }
 
 #[test]
-fn report_stdout_mode_prints_the_same_document() {
+fn workload_section_is_deterministic_across_runs() {
+    // Wall-clock timings vary run to run; the simulated section must not.
+    let a = written_report();
+    let b = written_report();
+    assert_eq!(
+        a.get("workloads").unwrap().to_compact_string(),
+        b.get("workloads").unwrap().to_compact_string(),
+        "workload records must be reproducible byte for byte"
+    );
+}
+
+#[test]
+fn report_stdout_mode_prints_the_same_workloads() {
     let out = Command::new(env!("CARGO_BIN_EXE_hppa"))
-        .args(["report", "--stdout"])
+        .args(["report", "--ops", OPS, "--stdout"])
         .output()
         .unwrap();
     assert!(out.status.success(), "{out:?}");
     let printed = parse(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    assert_eq!(printed.keys(), vec!["workloads", "throughput"]);
     assert_eq!(
-        printed.to_compact_string(),
-        written_report().to_compact_string(),
-        "stdout and file modes must agree"
+        printed.get("workloads").unwrap().to_compact_string(),
+        written_report()
+            .get("workloads")
+            .unwrap()
+            .to_compact_string(),
+        "stdout and file modes must agree on the simulated section"
     );
 }
 

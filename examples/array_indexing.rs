@@ -39,12 +39,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (size, layout) in STRUCT_SIZES {
         let op = compiler.mul_const(i64::from(size))?;
         // The same product through the general switched multiply:
-        let (_, milli_cycles) = rt.mul_i32(1234, size as i32)?;
+        let milli = rt.mul(1234, size as i32)?;
         println!(
             "{:<6} {:>8} {:>10}   {}",
             size,
             op.cycles(),
-            milli_cycles,
+            milli.cycles,
             layout
         );
         assert_eq!(op.run_i32(1234)?, 1234 * size as i32);
@@ -56,12 +56,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (size, layout) in STRUCT_SIZES {
         let op = compiler.sdiv_const(size as i32)?;
         let bytes = 1234 * size as i32;
-        let (_, _, milli_cycles) = rt.sdiv(bytes, size as i32)?;
+        let milli = rt.div(bytes, size as i32)?;
         println!(
             "{:<6} {:>8} {:>10}   {}",
             size,
             op.cycles_for(bytes as u32),
-            milli_cycles,
+            milli.cycles,
             layout
         );
         assert_eq!(op.run_i32(bytes)?, 1234);

@@ -21,6 +21,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert_eq!(times10.run_i32(7)?, 70);
 
+    // Compiling the same constant again is a cache hit — no chain search —
+    // and batches replay one reusable machine over the whole operand set.
+    let again = compiler.mul_const(10)?;
+    let batch = again.run_batch_i32(&[1, 2, 3, 4])?;
+    println!(
+        "x * 10 over a batch: {:?} ({} simulated cycles for {} ops)",
+        batch.values,
+        batch.cycles,
+        batch.ops()
+    );
+
     // A larger constant still fits "four or fewer" (§8).
     let times1000 = compiler.mul_const(1000)?;
     println!(
@@ -46,10 +57,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Run-time values go through the millicode routines.
     let rt = Runtime::new()?;
-    let (product, mul_cycles) = rt.mul_i32(-1234, 5678)?;
-    let (quotient, remainder, div_cycles) = rt.udiv(1_000_000, 7)?;
-    println!("millicode: -1234 * 5678 = {product}  ({mul_cycles} cycles)");
-    println!("millicode: 1000000 / 7 = {quotient} rem {remainder}  ({div_cycles} cycles)");
+    let product = rt.mul(-1234, 5678)?;
+    let division = rt.div_unsigned(1_000_000, 7)?;
+    println!(
+        "millicode: -1234 * 5678 = {}  ({} cycles)",
+        product.value, product.cycles
+    );
+    println!(
+        "millicode: 1000000 / 7 = {} rem {}  ({} cycles)",
+        division.value,
+        division.rem.unwrap(),
+        division.cycles
+    );
+
+    // Hot loops open a session: one machine, reset between calls, no
+    // per-operation allocation.
+    let mut session = rt.session();
+    let products = session.mul_batch(&[(3, 4), (-5, 6), (1000, -70)])?;
+    println!(
+        "session batch: {:?} ({} simulated cycles)",
+        products.values, products.cycles
+    );
 
     // And the paper's famous summary numbers, re-measured:
     let mul = analysis::multiply_summary(42, 500);

@@ -19,9 +19,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         compiler.mul_const(45)?;
         compiler.udiv_const(7)?;
         let rt = Runtime::new()?;
-        rt.mul_i32(-123, 456)?;
-        rt.udiv(1_000_000, 7)?;
-        rt.udiv_dispatch(1_000_000, 7)?;
+        rt.mul(-123, 456)?;
+        rt.div_unsigned(1_000_000, 7)?;
+        rt.div_dispatch(1_000_000, 7)?;
         Ok::<(), Box<dyn std::error::Error>>(())
     });
     result?;

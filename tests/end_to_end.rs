@@ -3,7 +3,7 @@
 
 use std::sync::OnceLock;
 
-use hppa_muldiv::{Compiler, CompilerError, Runtime};
+use hppa_muldiv::{Compiler, Error, Runtime};
 use proptest::prelude::*;
 
 /// The millicode routines are immutable once built; share one instance
@@ -23,8 +23,11 @@ fn compiler_and_runtime_agree_with_native_ops() {
         for x in [0i32, 1, -1, 12345, -99999, i32::MAX, i32::MIN] {
             let expect = x.wrapping_mul(n as i32);
             assert_eq!(op.run_i32(x).unwrap(), expect, "compile {x}*{n}");
-            let (product, _) = rt.mul_i32(x, n as i32).unwrap();
-            assert_eq!(product, expect, "millicode {x}*{n}");
+            assert_eq!(
+                rt.mul(x, n as i32).unwrap().value,
+                expect,
+                "millicode {x}*{n}"
+            );
         }
     }
 }
@@ -50,7 +53,7 @@ proptest! {
             Some(exact) => prop_assert_eq!(op.run_i32(x).unwrap(), exact),
             None => prop_assert!(matches!(
                 op.run_i32(x),
-                Err(CompilerError::Trapped(_))
+                Err(Error::Trapped(_))
             )),
         }
     }
@@ -81,43 +84,66 @@ proptest! {
     #[test]
     fn prop_runtime_mul_matches(x in any::<i32>(), y in any::<i32>()) {
         let rt = runtime();
-        let (product, cycles) = rt.mul_i32(x, y).unwrap();
-        prop_assert_eq!(product, x.wrapping_mul(y));
-        prop_assert!(cycles <= 130, "switched multiply took {} cycles", cycles);
+        let out = rt.mul(x, y).unwrap();
+        prop_assert_eq!(out.value, x.wrapping_mul(y));
+        prop_assert!(out.cycles <= 130, "switched multiply took {} cycles", out.cycles);
     }
 
     #[test]
     fn prop_runtime_udiv_matches(x in any::<u32>(), y in 1u32..) {
         let rt = runtime();
-        let (q, r, cycles) = rt.udiv(x, y).unwrap();
-        prop_assert_eq!((q, r), (x / y, x % y));
-        prop_assert!(cycles <= 90);
+        let out = rt.div_unsigned(x, y).unwrap();
+        prop_assert_eq!((out.value, out.rem), (x / y, Some(x % y)));
+        prop_assert!(out.cycles <= 90);
     }
 
     #[test]
     fn prop_runtime_sdiv_matches(x in any::<i32>(), y in any::<i32>()) {
         prop_assume!(y != 0);
         let rt = runtime();
-        let (q, r, _) = rt.sdiv(x, y).unwrap();
-        prop_assert_eq!(i64::from(q), i64::from(x) / i64::from(y));
-        prop_assert_eq!(i64::from(r), i64::from(x) % i64::from(y));
+        let out = rt.div(x, y).unwrap();
+        prop_assert_eq!(i64::from(out.value), i64::from(x) / i64::from(y));
+        prop_assert_eq!(i64::from(out.rem.unwrap()), i64::from(x) % i64::from(y));
     }
 
     #[test]
     fn prop_dispatch_matches_udiv(x in any::<u32>(), y in 1u32..64) {
         let rt = runtime();
-        let (q, _) = rt.udiv_dispatch(x, y).unwrap();
-        prop_assert_eq!(q, x / y);
+        let out = rt.div_dispatch(x, y).unwrap();
+        prop_assert_eq!(out.value, x / y);
+    }
+
+    #[test]
+    fn prop_session_batches_match_singular_calls(
+        pairs in proptest::collection::vec((any::<i32>(), any::<i32>()), 16),
+    ) {
+        let rt = runtime();
+        let mut session = rt.session();
+        let batch = session.mul_batch(&pairs).unwrap();
+        prop_assert_eq!(batch.ops(), pairs.len());
+        let mut cycles = 0u64;
+        for (i, &(x, y)) in pairs.iter().enumerate() {
+            let out = rt.mul(x, y).unwrap();
+            prop_assert_eq!(batch.values[i], out.value);
+            cycles += out.cycles;
+        }
+        prop_assert_eq!(batch.cycles, cycles);
     }
 }
 
 #[test]
 fn division_by_zero_is_reported_everywhere() {
     let c = Compiler::new();
-    assert!(c.udiv_const(0).is_err());
-    assert!(c.sdiv_const(0).is_err());
+    assert_eq!(c.udiv_const(0).unwrap_err(), Error::DivideByZero);
+    assert_eq!(c.sdiv_const(0).unwrap_err(), Error::DivideByZero);
     let rt = Runtime::new().unwrap();
-    assert!(rt.udiv(1, 0).is_err());
-    assert!(rt.sdiv(1, 0).is_err());
-    assert!(rt.udiv_dispatch(1, 0).is_err());
+    assert_eq!(rt.div_unsigned(1, 0).unwrap_err(), Error::DivideByZero);
+    assert_eq!(rt.div(1, 0).unwrap_err(), Error::DivideByZero);
+    assert_eq!(rt.div_dispatch(1, 0).unwrap_err(), Error::DivideByZero);
+}
+
+#[test]
+fn unified_error_implements_std_error() {
+    let e: Box<dyn std::error::Error> = Box::new(Error::DivideByZero);
+    assert_eq!(e.to_string(), "division by zero");
 }
