@@ -112,6 +112,58 @@ mod tests {
     }
 
     #[test]
+    fn interleaved_mul_and_div_keys_evict_in_strict_lru_order() {
+        let ukey = |y: u32| CacheKey {
+            kind: OpKind::UdivConst { y },
+            overflow: OverflowModel::default(),
+        };
+        let uop = |y: u32| Compiler::new().udiv_const(y).unwrap();
+        // Mul and div entries share one recency list, not per-family lists:
+        // a hot multiply must be able to evict a stale divide and vice versa.
+        let mut cache = CompileCache::new(3);
+        cache.insert(key(3), op(3));
+        cache.insert(ukey(3), uop(3));
+        cache.insert(key(5), op(5));
+        assert_eq!(cache.len(), 3);
+        // Refresh the divide: the oldest *multiply* is now LRU.
+        assert!(cache.lookup(&ukey(3)).is_some());
+        cache.insert(ukey(7), uop(7));
+        assert!(cache.lookup(&key(3)).is_none(), "mul 3 was LRU");
+        assert!(cache.lookup(&ukey(3)).is_some(), "refreshed div survived");
+        // And the other way around: refresh a multiply, evict a divide.
+        assert!(cache.lookup(&key(5)).is_some());
+        cache.insert(key(9), op(9));
+        assert!(cache.lookup(&ukey(7)).is_none(), "div 7 was LRU");
+        assert!(cache.lookup(&key(5)).is_some());
+        assert!(cache.lookup(&key(9)).is_some());
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn mul_and_div_keys_with_equal_constants_are_distinct() {
+        let mut cache = CompileCache::new(4);
+        cache.insert(key(3), op(3));
+        let div3 = CacheKey {
+            kind: OpKind::UdivConst { y: 3 },
+            overflow: OverflowModel::default(),
+        };
+        assert!(cache.lookup(&div3).is_none(), "udiv 3 must not alias mul 3");
+        cache.insert(div3, Compiler::new().udiv_const(3).unwrap());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(
+            cache.lookup(&key(3)).unwrap().kind(),
+            OpKind::MulConst {
+                n: 3,
+                checked: false
+            }
+        );
+        assert_eq!(
+            cache.lookup(&div3).unwrap().kind(),
+            OpKind::UdivConst { y: 3 }
+        );
+    }
+
+    #[test]
     fn zero_capacity_disables_caching() {
         let mut cache = CompileCache::new(0);
         cache.insert(key(10), op(10));

@@ -133,3 +133,54 @@ fn eviction_preserves_correctness() {
     let op = c.mul_const(2).unwrap();
     assert_eq!(op.run_i32(-9).unwrap(), -18);
 }
+
+/// Interleaved multiply and divide compiles share one recency list: the
+/// telemetry hit/miss stream shows recently touched entries of either
+/// family surviving while the stale one — whatever its family — evicts.
+#[test]
+fn interleaved_mul_div_eviction_is_lru_across_families() {
+    let c = Compiler::builder().cache_capacity(4).build();
+    // Fill: mul 3, udiv 3, urem 3, sdiv 3 — four distinct keys, one
+    // constant, recency order oldest→newest as listed.
+    c.mul_const(3).unwrap();
+    c.udiv_const(3).unwrap();
+    c.urem_const(3).unwrap();
+    c.sdiv_const(3).unwrap();
+    assert_eq!(c.cached_ops(), 4);
+    // Refresh the multiply, then insert a fifth key: the unsigned divide
+    // (now LRU) must be the one to go.
+    c.mul_const(3).unwrap();
+    c.mul_const(5).unwrap();
+    assert_eq!(c.cached_ops(), 4);
+    let (_, events) = telemetry::collect(|| {
+        c.mul_const(3).unwrap(); // hit
+        c.urem_const(3).unwrap(); // hit
+        c.sdiv_const(3).unwrap(); // hit
+        c.mul_const(5).unwrap(); // hit
+    });
+    let hist = telemetry::strategy_histogram(&events);
+    assert_eq!(hist.get("cache/hit"), Some(&4), "{hist:?}");
+    assert_eq!(hist.get("cache/miss"), None, "{hist:?}");
+    let (op, events) = telemetry::collect(|| c.udiv_const(3).unwrap());
+    let hist = telemetry::strategy_histogram(&events);
+    assert_eq!(hist.get("cache/miss"), Some(&1), "udiv 3 was evicted");
+    // The recompiled entry still divides correctly.
+    assert_eq!(op.run_u32(10).unwrap(), 3);
+    assert_eq!(c.cached_ops(), 4);
+}
+
+/// A mul/div interleave wider than the capacity churns the cache without
+/// ever corrupting results, and the occupancy bound holds throughout.
+#[test]
+fn interleaved_churn_stays_bounded_and_correct() {
+    let c = Compiler::builder().cache_capacity(3).build();
+    for n in 2..32u32 {
+        let mul = c.mul_const(i64::from(n)).unwrap();
+        assert_eq!(mul.run_i32(7).unwrap(), 7 * n as i32, "7 * {n}");
+        let udiv = c.udiv_const(n).unwrap();
+        assert_eq!(udiv.run_u32(1_000_000).unwrap(), 1_000_000 / n);
+        let srem = c.srem_const(n as i32).unwrap();
+        assert_eq!(srem.run_i32(-1_000_001).unwrap(), -1_000_001 % n as i32);
+        assert!(c.cached_ops() <= 3, "capacity bound violated");
+    }
+}

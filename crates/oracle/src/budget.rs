@@ -1,0 +1,227 @@
+//! Cycle-budget conformance: the paper's table envelopes as data.
+//!
+//! The budgets live in a checked-in TOML file (`crates/oracle/budgets.toml`,
+//! embedded at build time and overridable from the CLI). Each `[section]`
+//! is an operation family and each `key = N` entry caps the simulated
+//! cycles any single case of that strategy may spend. The verifier maps
+//! every fuzz case to a `section.key` and flags any run over its cap.
+//!
+//! The parser handles exactly the subset the file uses — `[section]`
+//! headers, `key = <integer>` pairs, `#` comments, blank lines — so the
+//! crate stays dependency-free.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed budget table: `section.key → max cycles`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Budgets {
+    caps: BTreeMap<String, u64>,
+}
+
+/// A malformed line in a budget file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for BudgetParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "budget file line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for BudgetParseError {}
+
+/// One case that ran over its cap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetViolation {
+    /// The `section.key` that was exceeded.
+    pub key: String,
+    /// Cycles the case actually spent.
+    pub cycles: u64,
+    /// The configured cap.
+    pub budget: u64,
+    /// Display form of the offending case.
+    pub case: String,
+}
+
+impl fmt::Display for BudgetViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} took {} cycles, budget {}",
+            self.key, self.case, self.cycles, self.budget
+        )
+    }
+}
+
+impl Budgets {
+    /// The checked-in budget table (see `crates/oracle/budgets.toml`).
+    ///
+    /// # Panics
+    ///
+    /// Never — the embedded file is validated by the crate's tests.
+    #[must_use]
+    pub fn embedded() -> Budgets {
+        Budgets::parse(include_str!("../budgets.toml")).expect("embedded budgets.toml parses")
+    }
+
+    /// Parses the TOML subset described in the module docs.
+    ///
+    /// # Errors
+    ///
+    /// [`BudgetParseError`] on the first malformed line.
+    pub fn parse(text: &str) -> Result<Budgets, BudgetParseError> {
+        let mut caps = BTreeMap::new();
+        let mut section = String::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            let err = |message: String| BudgetParseError {
+                line: idx + 1,
+                message,
+            };
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[') {
+                let Some(name) = name.strip_suffix(']') else {
+                    return Err(err(format!("unterminated section header `{raw}`")));
+                };
+                section = name.trim().to_string();
+                if section.is_empty() {
+                    return Err(err("empty section name".to_string()));
+                }
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(err(format!("expected `key = value`, got `{raw}`")));
+            };
+            let key = key.trim();
+            if key.is_empty() {
+                return Err(err("empty key".to_string()));
+            }
+            let cycles: u64 = value
+                .trim()
+                .parse()
+                .map_err(|_| err(format!("`{}` is not an integer cycle count", value.trim())))?;
+            let full = if section.is_empty() {
+                key.to_string()
+            } else {
+                format!("{section}.{key}")
+            };
+            if caps.insert(full.clone(), cycles).is_some() {
+                return Err(err(format!("duplicate budget `{full}`")));
+            }
+        }
+        Ok(Budgets { caps })
+    }
+
+    /// The cap for a strategy key, if one is configured.
+    #[must_use]
+    pub fn cap(&self, key: &str) -> Option<u64> {
+        self.caps.get(key).copied()
+    }
+
+    /// All configured `(key, cap)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.caps.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of configured caps.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// Whether no caps are configured.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.caps.is_empty()
+    }
+
+    /// Checks one measurement; `None` when within budget (or when the
+    /// key has no cap, which the verifier reports separately).
+    #[must_use]
+    pub fn check(&self, key: &str, cycles: u64, case: &str) -> Option<BudgetViolation> {
+        let budget = self.cap(key)?;
+        if cycles > budget {
+            Some(BudgetViolation {
+                key: key.to_string(),
+                cycles,
+                budget,
+                case: case.to_string(),
+            })
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_keys_and_comments() {
+        let b = Budgets::parse(
+            "# header comment\n\
+             top = 5\n\
+             [mul_const]\n\
+             wrapping = 14   # trailing comment\n\
+             checked = 30\n\
+             \n\
+             [div_var]\n\
+             general_unsigned = 88\n",
+        )
+        .unwrap();
+        assert_eq!(b.cap("top"), Some(5));
+        assert_eq!(b.cap("mul_const.wrapping"), Some(14));
+        assert_eq!(b.cap("mul_const.checked"), Some(30));
+        assert_eq!(b.cap("div_var.general_unsigned"), Some(88));
+        assert_eq!(b.cap("missing"), None);
+        assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert_eq!(Budgets::parse("[oops\n").unwrap_err().line, 1);
+        assert_eq!(Budgets::parse("a = 1\nnot a pair\n").unwrap_err().line, 2);
+        assert_eq!(Budgets::parse("k = soon\n").unwrap_err().line, 1);
+        assert_eq!(Budgets::parse("[s]\nk = 1\nk = 2\n").unwrap_err().line, 3);
+        assert_eq!(Budgets::parse("[]\n").unwrap_err().line, 1);
+    }
+
+    #[test]
+    fn check_flags_only_over_budget() {
+        let b = Budgets::parse("[m]\nk = 10\n").unwrap();
+        assert_eq!(b.check("m.k", 10, "case"), None);
+        let v = b.check("m.k", 11, "case").unwrap();
+        assert_eq!((v.cycles, v.budget), (11, 10));
+        assert_eq!(v.to_string(), "m.k: case took 11 cycles, budget 10");
+        assert_eq!(b.check("unknown", 999, "case"), None);
+    }
+
+    #[test]
+    fn embedded_budgets_parse_and_cover_every_family() {
+        let b = Budgets::embedded();
+        for key in [
+            "mul_const.wrapping",
+            "mul_const.checked",
+            "div_const.unsigned",
+            "div_const.signed",
+            "rem_const.unsigned",
+            "rem_const.signed",
+            "mul_var.switched",
+            "div_var.general_unsigned",
+            "div_var.general_signed",
+            "div_var.dispatch_small",
+            "div_var.dispatch_large",
+        ] {
+            assert!(b.cap(key).is_some(), "missing embedded budget for {key}");
+        }
+    }
+}

@@ -1,0 +1,745 @@
+//! Deterministic structured case generation, replay files, and shrinking.
+//!
+//! Cases are drawn from a seeded [splitmix64] stream, so a failing run is
+//! reproduced exactly by its seed alone. Generation is *structured*: the
+//! constants come from pools engineered to land in every codegen tier
+//! (shift-add chains, even splits, single- and triple-precision magic,
+//! dispatch bodies, the general routines) and the operands are biased
+//! toward the boundaries where the §7 algebra can break — multiples of
+//! the divisor ± 1 and the top of the dividend range.
+//!
+//! [splitmix64]: https://prng.di.unimi.it/splitmix64.c
+
+use telemetry::json::{self, Json};
+
+/// A self-seeding splitmix64 stream — the oracle carries its own
+/// generator so replayability never depends on another crate's RNG.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// A stream seeded with `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    /// The next 64 raw bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The next 32 bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A value in `0..bound` (`bound` ≥ 1).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// One element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len() as u64) as usize]
+    }
+}
+
+/// One differential test case: which operation, its constant (if the
+/// operation is compiled against one), and the operand(s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Case {
+    /// Compiled `x * n` (wrapping or trapping).
+    MulConst {
+        /// The constant multiplier.
+        n: i64,
+        /// The operand.
+        x: i32,
+        /// Whether the trapping (Pascal) chain is requested.
+        checked: bool,
+    },
+    /// Compiled unsigned `x / y`.
+    UdivConst {
+        /// The constant divisor.
+        y: u32,
+        /// The dividend.
+        x: u32,
+    },
+    /// Compiled signed `x / y`.
+    SdivConst {
+        /// The constant divisor.
+        y: i32,
+        /// The dividend.
+        x: i32,
+    },
+    /// Compiled unsigned `x % y`.
+    UremConst {
+        /// The constant divisor.
+        y: u32,
+        /// The dividend.
+        x: u32,
+    },
+    /// Compiled signed `x % y`.
+    SremConst {
+        /// The constant divisor.
+        y: i32,
+        /// The dividend.
+        x: i32,
+    },
+    /// Millicode switched multiply, signed.
+    MulVar {
+        /// Multiplicand.
+        x: i32,
+        /// Multiplier.
+        y: i32,
+    },
+    /// Millicode switched multiply, unsigned.
+    MulVarUnsigned {
+        /// Multiplicand.
+        x: u32,
+        /// Multiplier.
+        y: u32,
+    },
+    /// Millicode general unsigned divide (`y = 0` expects the BREAK).
+    DivVar {
+        /// Dividend.
+        x: u32,
+        /// Divisor.
+        y: u32,
+    },
+    /// Millicode general signed divide (`y = 0` expects the BREAK).
+    SdivVar {
+        /// Dividend.
+        x: i32,
+        /// Divisor.
+        y: i32,
+    },
+    /// Millicode §7 small-divisor dispatch (`y = 0` expects the BREAK).
+    DivDispatch {
+        /// Dividend.
+        x: u32,
+        /// Divisor.
+        y: u32,
+    },
+}
+
+impl Case {
+    /// The `kind` discriminator used in replay files.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Case::MulConst { .. } => "mul_const",
+            Case::UdivConst { .. } => "udiv_const",
+            Case::SdivConst { .. } => "sdiv_const",
+            Case::UremConst { .. } => "urem_const",
+            Case::SremConst { .. } => "srem_const",
+            Case::MulVar { .. } => "mul_var",
+            Case::MulVarUnsigned { .. } => "mul_var_unsigned",
+            Case::DivVar { .. } => "div_var",
+            Case::SdivVar { .. } => "sdiv_var",
+            Case::DivDispatch { .. } => "div_dispatch",
+        }
+    }
+
+    /// The flat JSON object written to replay files.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut obj: Vec<(String, Json)> = vec![("kind".into(), Json::str(self.kind()))];
+        let mut put = |k: &str, v: i64| obj.push((k.to_string(), Json::int(v)));
+        match *self {
+            Case::MulConst { n, x, checked } => {
+                put("n", n);
+                put("x", i64::from(x));
+                obj.push(("checked".into(), Json::Bool(checked)));
+            }
+            Case::UdivConst { y, x } | Case::UremConst { y, x } => {
+                put("y", i64::from(y));
+                put("x", i64::from(x));
+            }
+            Case::SdivConst { y, x } | Case::SremConst { y, x } => {
+                put("y", i64::from(y));
+                put("x", i64::from(x));
+            }
+            Case::MulVar { x, y } | Case::SdivVar { x, y } => {
+                put("x", i64::from(x));
+                put("y", i64::from(y));
+            }
+            Case::MulVarUnsigned { x, y } | Case::DivVar { x, y } | Case::DivDispatch { x, y } => {
+                put("x", i64::from(x));
+                put("y", i64::from(y));
+            }
+        }
+        Json::Object(obj)
+    }
+
+    /// Parses a replay object produced by [`Case::to_json`].
+    #[must_use]
+    pub fn from_json(j: &Json) -> Option<Case> {
+        let int = |k: &str| -> Option<i64> {
+            match j.get(k) {
+                Some(Json::Int(v)) => Some(*v),
+                Some(Json::UInt(v)) => i64::try_from(*v).ok(),
+                _ => None,
+            }
+        };
+        let u32of = |k: &str| int(k).and_then(|v| u32::try_from(v).ok());
+        let i32of = |k: &str| int(k).and_then(|v| i32::try_from(v).ok());
+        match j.get("kind").and_then(Json::as_str)? {
+            "mul_const" => Some(Case::MulConst {
+                n: int("n")?,
+                x: i32of("x")?,
+                checked: matches!(j.get("checked"), Some(Json::Bool(true))),
+            }),
+            "udiv_const" => Some(Case::UdivConst {
+                y: u32of("y")?,
+                x: u32of("x")?,
+            }),
+            "sdiv_const" => Some(Case::SdivConst {
+                y: i32of("y")?,
+                x: i32of("x")?,
+            }),
+            "urem_const" => Some(Case::UremConst {
+                y: u32of("y")?,
+                x: u32of("x")?,
+            }),
+            "srem_const" => Some(Case::SremConst {
+                y: i32of("y")?,
+                x: i32of("x")?,
+            }),
+            "mul_var" => Some(Case::MulVar {
+                x: i32of("x")?,
+                y: i32of("y")?,
+            }),
+            "mul_var_unsigned" => Some(Case::MulVarUnsigned {
+                x: u32of("x")?,
+                y: u32of("y")?,
+            }),
+            "div_var" => Some(Case::DivVar {
+                x: u32of("x")?,
+                y: u32of("y")?,
+            }),
+            "sdiv_var" => Some(Case::SdivVar {
+                x: i32of("x")?,
+                y: i32of("y")?,
+            }),
+            "div_dispatch" => Some(Case::DivDispatch {
+                x: u32of("x")?,
+                y: u32of("y")?,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Parses one replay line (a compact JSON object).
+    #[must_use]
+    pub fn parse(line: &str) -> Option<Case> {
+        Case::from_json(&json::parse(line).ok()?)
+    }
+
+    /// A magnitude used to order cases while shrinking: smaller constant
+    /// first, then smaller operand.
+    #[must_use]
+    pub fn weight(&self) -> (u64, u64) {
+        match *self {
+            Case::MulConst { n, x, .. } => (n.unsigned_abs(), u64::from(x.unsigned_abs())),
+            Case::UdivConst { y, x } | Case::UremConst { y, x } => (u64::from(y), u64::from(x)),
+            Case::SdivConst { y, x } | Case::SremConst { y, x } => {
+                (u64::from(y.unsigned_abs()), u64::from(x.unsigned_abs()))
+            }
+            Case::MulVar { x, y } | Case::SdivVar { x, y } => {
+                (u64::from(y.unsigned_abs()), u64::from(x.unsigned_abs()))
+            }
+            Case::MulVarUnsigned { x, y } | Case::DivVar { x, y } | Case::DivDispatch { x, y } => {
+                (u64::from(y), u64::from(x))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Case {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Case::MulConst {
+                n,
+                x,
+                checked: false,
+            } => write!(f, "compile {x} * {n}"),
+            Case::MulConst {
+                n,
+                x,
+                checked: true,
+            } => write!(f, "compile {x} * {n} (checked)"),
+            Case::UdivConst { y, x } => write!(f, "compile {x} / {y}u"),
+            Case::SdivConst { y, x } => write!(f, "compile {x} / {y}"),
+            Case::UremConst { y, x } => write!(f, "compile {x} % {y}u"),
+            Case::SremConst { y, x } => write!(f, "compile {x} % {y}"),
+            Case::MulVar { x, y } => write!(f, "millicode {x} * {y}"),
+            Case::MulVarUnsigned { x, y } => write!(f, "millicode {x} * {y}u"),
+            Case::DivVar { x, y } => write!(f, "millicode {x} / {y}u"),
+            Case::SdivVar { x, y } => write!(f, "millicode {x} / {y}"),
+            Case::DivDispatch { x, y } => write!(f, "dispatch {x} / {y}u"),
+        }
+    }
+}
+
+/// Multiplier pool: one constant per §5 chain shape (powers of two,
+/// sh-add ladders, the subtract family, factor splits, negatives, and
+/// the Figure 5 examples), plus zero/one edge cases.
+const MUL_CONSTANTS: [i64; 24] = [
+    0, 1, -1, 2, 3, 5, 6, 9, 10, 12, 59, 100, 320, 625, 641, 1000, 1979, 46_341, 65_535, 65_537,
+    -7, -100, -32_768, 1_000_000,
+];
+
+/// Divisor pool: identity, every power-of-two flavour, even splits,
+/// single- and triple-precision magic (3/5/7 vs 11/641), dispatch-table
+/// bodies (< 20), and divisors past every range cliff.
+const DIV_CONSTANTS: [u32; 24] = [
+    1,
+    2,
+    3,
+    4,
+    5,
+    6,
+    7,
+    10,
+    11,
+    16,
+    19,
+    20,
+    25,
+    641,
+    1000,
+    65_535,
+    65_537,
+    1_000_003,
+    (1 << 30) - 1,
+    0x7FFF_FFFF,
+    0x8000_0000,
+    0x8000_0001,
+    u32::MAX - 2,
+    u32::MAX,
+];
+
+/// Operand corners for the variable-operand routines.
+const VAR_OPERANDS: [u32; 10] = [
+    0,
+    1,
+    2,
+    15,
+    255,
+    46_340,
+    65_537,
+    0x7FFF_FFFF,
+    0x8000_0000,
+    u32::MAX,
+];
+
+/// The deterministic structured case generator.
+#[derive(Debug, Clone)]
+pub struct CaseGen {
+    rng: Rng,
+    /// Every 16th divide case is a deliberate `y = 0` trap probe and a
+    /// slice of multiply cases aims straight at the overflow boundary.
+    tick: u64,
+    /// Seed-derived pool of arbitrary 32-bit constants. Cases *reuse*
+    /// these rather than minting a fresh constant each time: compiling a
+    /// constant costs a chain search (~ms), so a bounded pool keeps the
+    /// verifier's compile cache hot and the run time proportional to the
+    /// case count, while still spanning the full width of the space.
+    wild: [u32; 64],
+}
+
+impl CaseGen {
+    /// A generator reproducible from `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> CaseGen {
+        let mut rng = Rng::new(seed);
+        let mut wild = [0u32; 64];
+        for slot in &mut wild {
+            *slot = rng.next_u32();
+        }
+        CaseGen { rng, tick: 0, wild }
+    }
+
+    fn constant_u(&mut self) -> u32 {
+        match self.rng.below(4) {
+            0 => *self.rng.pick(&DIV_CONSTANTS),
+            1 => self.rng.next_u32() % 256 + 1,
+            2 => {
+                let k = self.rng.below(31) as u32;
+                (1u32 << k)
+                    .wrapping_add(self.rng.below(3) as u32)
+                    .wrapping_sub(1)
+            }
+            _ => {
+                let wild = self.wild;
+                *self.rng.pick(&wild)
+            }
+        }
+    }
+
+    /// A dividend biased toward `k·y ± δ` — where derived-method
+    /// off-by-ones live — or a range corner, or uniform noise.
+    fn dividend_near(&mut self, y: u32) -> u32 {
+        match self.rng.below(3) {
+            0 if y != 0 => {
+                let kmax = u64::from(u32::MAX) / u64::from(y);
+                let k = self.rng.below(kmax + 1);
+                let base = k * u64::from(y);
+                let delta = self.rng.below(5) as i64 - 2;
+                u32::try_from((base as i64).saturating_add(delta)).unwrap_or(u32::MAX)
+            }
+            1 => *self.rng.pick(&VAR_OPERANDS),
+            _ => self.rng.next_u32(),
+        }
+    }
+
+    /// The next structured case.
+    pub fn next_case(&mut self) -> Case {
+        self.tick += 1;
+        let trap_probe = self.tick.is_multiple_of(16);
+        match self.rng.below(10) {
+            0 => {
+                let n = *self.rng.pick(&MUL_CONSTANTS);
+                let x = if trap_probe && n != 0 {
+                    // Aim at the overflow boundary of the checked chain.
+                    let limit = i64::from(i32::MAX) / n.abs().max(1);
+                    let delta = self.rng.below(5) as i64 - 2;
+                    i32::try_from(limit.saturating_add(delta)).unwrap_or(i32::MAX)
+                } else {
+                    self.rng.next_u32() as i32
+                };
+                Case::MulConst {
+                    n,
+                    x,
+                    checked: self.rng.below(2) == 0,
+                }
+            }
+            1 => {
+                let y = self.constant_u().max(1);
+                Case::UdivConst {
+                    y,
+                    x: self.dividend_near(y),
+                }
+            }
+            2 => {
+                let y = (self.constant_u() >> 1).max(1) as i32;
+                let y = if self.rng.below(2) == 0 { y } else { -y };
+                Case::SdivConst {
+                    y,
+                    x: self.dividend_near(y.unsigned_abs()) as i32,
+                }
+            }
+            3 => {
+                let y = self.constant_u().max(1);
+                Case::UremConst {
+                    y,
+                    x: self.dividend_near(y),
+                }
+            }
+            4 => {
+                let y = (self.constant_u() >> 1).max(1) as i32;
+                let y = if self.rng.below(2) == 0 { y } else { -y };
+                Case::SremConst {
+                    y,
+                    x: self.dividend_near(y.unsigned_abs()) as i32,
+                }
+            }
+            5 => Case::MulVar {
+                x: self.operand() as i32,
+                y: self.operand() as i32,
+            },
+            6 => Case::MulVarUnsigned {
+                x: self.operand(),
+                y: self.operand(),
+            },
+            7 => {
+                let y = if trap_probe { 0 } else { self.constant_u() };
+                Case::DivVar {
+                    x: self.dividend_near(y),
+                    y,
+                }
+            }
+            8 => {
+                let y = if trap_probe {
+                    0
+                } else {
+                    self.constant_u() >> 1
+                };
+                Case::SdivVar {
+                    x: self.dividend_near(y) as i32,
+                    y: y as i32 * if self.rng.below(2) == 0 { 1 } else { -1 },
+                }
+            }
+            _ => {
+                // Half the dispatch traffic stays under the table limit.
+                let y = if trap_probe {
+                    0
+                } else if self.rng.below(2) == 0 {
+                    self.rng.below(20) as u32 + 1
+                } else {
+                    self.constant_u()
+                };
+                Case::DivDispatch {
+                    x: self.dividend_near(y),
+                    y,
+                }
+            }
+        }
+    }
+
+    fn operand(&mut self) -> u32 {
+        if self.rng.below(3) == 0 {
+            *self.rng.pick(&VAR_OPERANDS)
+        } else {
+            self.rng.next_u32()
+        }
+    }
+}
+
+/// Greedily shrinks `case` while `fails` keeps returning `true`,
+/// preferring smaller constants, then smaller operands. Deterministic
+/// and bounded; the result is a local minimum, which in practice is the
+/// first divisor/operand pair past the broken boundary.
+pub fn shrink(case: Case, fails: impl Fn(&Case) -> bool) -> Case {
+    let mut best = case;
+    for _ in 0..64 {
+        let mut improved = false;
+        for candidate in shrink_candidates(&best) {
+            if candidate.weight() < best.weight() && fails(&candidate) {
+                best = candidate;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    best
+}
+
+fn shrunk_u32(v: u32) -> Vec<u32> {
+    let mut out = vec![0, 1, 2, 3];
+    out.extend([v / 2, v.saturating_sub(1)]);
+    out.retain(|&c| c < v);
+    out.dedup();
+    out
+}
+
+fn shrunk_i32(v: i32) -> Vec<i32> {
+    let mut out: Vec<i32> = vec![0, 1, -1, 2, 3];
+    out.extend([v / 2, v.saturating_sub(v.signum())]);
+    out.retain(|&c| c.unsigned_abs() < v.unsigned_abs());
+    out.dedup();
+    out
+}
+
+fn shrunk_i64(v: i64) -> Vec<i64> {
+    let mut out: Vec<i64> = vec![0, 1, -1, 2, 3];
+    out.extend([v / 2, v.saturating_sub(v.signum())]);
+    out.retain(|&c| c.unsigned_abs() < v.unsigned_abs());
+    out.dedup();
+    out
+}
+
+fn shrink_candidates(case: &Case) -> Vec<Case> {
+    let mut out = Vec::new();
+    match *case {
+        Case::MulConst { n, x, checked } => {
+            for n2 in shrunk_i64(n) {
+                out.push(Case::MulConst { n: n2, x, checked });
+            }
+            for x2 in shrunk_i32(x) {
+                out.push(Case::MulConst { n, x: x2, checked });
+            }
+        }
+        Case::UdivConst { y, x } => {
+            for y2 in shrunk_u32(y) {
+                if y2 > 0 {
+                    out.push(Case::UdivConst { y: y2, x });
+                }
+            }
+            for x2 in shrink_dividend(x, y) {
+                out.push(Case::UdivConst { y, x: x2 });
+            }
+        }
+        Case::UremConst { y, x } => {
+            for y2 in shrunk_u32(y) {
+                if y2 > 0 {
+                    out.push(Case::UremConst { y: y2, x });
+                }
+            }
+            for x2 in shrink_dividend(x, y) {
+                out.push(Case::UremConst { y, x: x2 });
+            }
+        }
+        Case::SdivConst { y, x } => {
+            for y2 in shrunk_i32(y) {
+                if y2 != 0 {
+                    out.push(Case::SdivConst { y: y2, x });
+                }
+            }
+            for x2 in shrunk_i32(x) {
+                out.push(Case::SdivConst { y, x: x2 });
+            }
+        }
+        Case::SremConst { y, x } => {
+            for y2 in shrunk_i32(y) {
+                if y2 != 0 {
+                    out.push(Case::SremConst { y: y2, x });
+                }
+            }
+            for x2 in shrunk_i32(x) {
+                out.push(Case::SremConst { y, x: x2 });
+            }
+        }
+        Case::MulVar { x, y } => {
+            for y2 in shrunk_i32(y) {
+                out.push(Case::MulVar { x, y: y2 });
+            }
+            for x2 in shrunk_i32(x) {
+                out.push(Case::MulVar { x: x2, y });
+            }
+        }
+        Case::MulVarUnsigned { x, y } => {
+            for y2 in shrunk_u32(y) {
+                out.push(Case::MulVarUnsigned { x, y: y2 });
+            }
+            for x2 in shrunk_u32(x) {
+                out.push(Case::MulVarUnsigned { x: x2, y });
+            }
+        }
+        Case::DivVar { x, y } => {
+            for y2 in shrunk_u32(y) {
+                out.push(Case::DivVar { x, y: y2 });
+            }
+            for x2 in shrink_dividend(x, y) {
+                out.push(Case::DivVar { x: x2, y });
+            }
+        }
+        Case::SdivVar { x, y } => {
+            for y2 in shrunk_i32(y) {
+                out.push(Case::SdivVar { x, y: y2 });
+            }
+            for x2 in shrunk_i32(x) {
+                out.push(Case::SdivVar { x: x2, y });
+            }
+        }
+        Case::DivDispatch { x, y } => {
+            for y2 in shrunk_u32(y) {
+                out.push(Case::DivDispatch { x, y: y2 });
+            }
+            for x2 in shrink_dividend(x, y) {
+                out.push(Case::DivDispatch { x: x2, y });
+            }
+        }
+    }
+    out
+}
+
+/// Dividend shrink candidates: plain halving plus snapping to the
+/// nearest multiple-of-`y` boundary below, which keeps divergences that
+/// only fire at `k·y ± δ` alive while the magnitude collapses.
+fn shrink_dividend(x: u32, y: u32) -> Vec<u32> {
+    let mut out = shrunk_u32(x);
+    if y > 1 && x > y {
+        let k = x / y; // shrinker infrastructure may use native ops
+        out.push(k.saturating_mul(y));
+        out.push((k / 2).saturating_mul(y));
+        out.push((k / 2).saturating_mul(y).saturating_add(1));
+    }
+    out.retain(|&c| c < x);
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let a: Vec<Case> = {
+            let mut g = CaseGen::new(0xA5);
+            (0..500).map(|_| g.next_case()).collect()
+        };
+        let b: Vec<Case> = {
+            let mut g = CaseGen::new(0xA5);
+            (0..500).map(|_| g.next_case()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<Case> = {
+            let mut g = CaseGen::new(0xA6);
+            (0..500).map(|_| g.next_case()).collect()
+        };
+        assert_ne!(a, c, "different seeds explore different cases");
+    }
+
+    #[test]
+    fn every_kind_appears_and_roundtrips() {
+        let mut g = CaseGen::new(7);
+        let mut kinds = std::collections::BTreeSet::new();
+        for _ in 0..2000 {
+            let case = g.next_case();
+            kinds.insert(case.kind());
+            let line = case.to_json().to_compact_string();
+            assert_eq!(Case::parse(&line), Some(case), "{line}");
+        }
+        assert_eq!(kinds.len(), 10, "all ten case kinds generated: {kinds:?}");
+    }
+
+    #[test]
+    fn trap_probes_are_generated() {
+        let mut g = CaseGen::new(3);
+        let mut zero_divisors = 0;
+        for _ in 0..5000 {
+            match g.next_case() {
+                Case::DivVar { y: 0, .. }
+                | Case::SdivVar { y: 0, .. }
+                | Case::DivDispatch { y: 0, .. } => zero_divisors += 1,
+                _ => {}
+            }
+        }
+        assert!(
+            zero_divisors > 10,
+            "only {zero_divisors} zero-divisor probes"
+        );
+    }
+
+    #[test]
+    fn shrink_reaches_a_small_counterexample() {
+        // Pretend every unsigned constant divide with y ≥ 3 and x ≥ y
+        // "fails": the shrinker must walk down to the minimal instance.
+        let start = Case::UdivConst {
+            y: 1_000_003,
+            x: 3_141_592_653,
+        };
+        let min = shrink(
+            start,
+            |c| matches!(c, Case::UdivConst { y, x } if *y >= 3 && x >= y),
+        );
+        assert_eq!(min, Case::UdivConst { y: 3, x: 3 });
+    }
+
+    #[test]
+    fn shrink_keeps_the_failure_failing() {
+        // A "failure" that only fires on exact multiples of 641 must
+        // still be a multiple of 641 after shrinking.
+        let fails = |c: &Case| matches!(c, Case::UdivConst { y: 641, x } if x % 641 == 0 && *x > 0);
+        let start = Case::UdivConst {
+            y: 641,
+            x: 641 * 5_000_001,
+        };
+        let min = shrink(start, fails);
+        assert!(fails(&min));
+        assert_eq!(min, Case::UdivConst { y: 641, x: 641 });
+    }
+}

@@ -1,0 +1,264 @@
+//! From-scratch recomputation of the §7 "derived method" magic numbers.
+//!
+//! `divconst` derives its constants with native `u128` division and
+//! validates them with the paper's reach condition. This module rebuilds
+//! the same parameters a second time from first principles — long
+//! division done bit by bit, and a correctness bound proved exactly
+//! rather than inherited — so a slip in the production derivation cannot
+//! hide behind an identical slip in its checker.
+//!
+//! ## The exact bound
+//!
+//! The derived method computes `q'(x) = (a·x + b) / z` with `z = 2^s`,
+//! `a = ⌊z/y⌋`, `r = z mod y`, `b = a + r − 1` (evaluated as
+//! `(x+1)·a + (r−1)` in the generated code). Writing `x = q·y + t` with
+//! `0 ≤ t < y`:
+//!
+//! ```text
+//! a·x + b = q·z + a·(t+1) + (r−1) − q·r
+//! ```
+//!
+//! so `q'(x) = q + ⌊(a·(t+1) + (r−1) − q·r) / z⌋`. The bracketed term is
+//! maximised at `t = y−1`, where `a·y + r = z` makes it `z − 1 − q·r < z`,
+//! so `q'` never overshoots. It is minimised at `t = 0`, where it is
+//! `a + r − 1 − q·r = b − q·r`, which stays non-negative exactly while
+//! `q ≤ K = ⌊b/r⌋` (for the odd divisors the method targets, `r ≥ 1`).
+//! Hence the method is correct for every dividend `x < N` **iff** every
+//! quotient reachable below `N` is at most `K`, i.e. iff
+//! `(K+1)·y ≥ N` — the same quantity `divconst` calls the *reach*, but
+//! arrived at independently (this is the bound Lemire et al. and Li
+//! state for the round-up variant).
+
+/// Bit-by-bit long division of a 128-bit dividend: `(quotient,
+/// remainder)`. Shift-and-subtract only — the oracle's magic constants
+/// never touch a native divide.
+#[must_use]
+pub fn divmod_u128(n: u128, d: u128) -> Option<(u128, u128)> {
+    if d == 0 {
+        return None;
+    }
+    let mut rem = 0u128;
+    let mut quot = 0u128;
+    let bits = 128 - n.leading_zeros();
+    for i in (0..bits).rev() {
+        rem = (rem << 1) | ((n >> i) & 1);
+        if rem >= d {
+            rem -= d;
+            quot |= 1 << i;
+        }
+    }
+    Some((quot, rem))
+}
+
+/// Shift-and-add 128-bit product (the schoolbook loop widened).
+#[must_use]
+pub fn mul_u128_bit_serial(x: u128, y: u128) -> u128 {
+    let mut acc = 0u128;
+    let mut addend = x;
+    let mut rest = y;
+    while rest != 0 {
+        if rest & 1 == 1 {
+            acc = acc.wrapping_add(addend);
+        }
+        addend <<= 1;
+        rest >>= 1;
+    }
+    acc
+}
+
+/// An independently recomputed set of derived-method parameters for an
+/// odd divisor `y ≥ 3`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefMagic {
+    y: u32,
+    s: u32,
+    a: u64,
+    r: u64,
+}
+
+impl RefMagic {
+    /// Derives parameters for `z = 2^s`, without checking validity.
+    /// Returns `None` unless `y` is odd and ≥ 3 and `s ≤ 63`.
+    #[must_use]
+    pub fn derive(y: u32, s: u32) -> Option<RefMagic> {
+        if y < 3 || y & 1 == 0 || s > 63 {
+            return None;
+        }
+        let (a, r) = divmod_u128(1u128 << s, u128::from(y))?;
+        Some(RefMagic {
+            y,
+            s,
+            a: a as u64,
+            r: r as u64,
+        })
+    }
+
+    /// The smallest `s` whose parameters are exact for all dividends
+    /// below `2^32` (the Figure 6 `z` column, re-derived).
+    #[must_use]
+    pub fn minimal(y: u32) -> Option<RefMagic> {
+        RefMagic::minimal_for(y, 1u128 << 32)
+    }
+
+    /// The smallest `s` exact for all dividends below `need`.
+    #[must_use]
+    pub fn minimal_for(y: u32, need: u128) -> Option<RefMagic> {
+        (32..=63).find_map(|s| RefMagic::derive(y, s).filter(|m| m.is_valid_for(need)))
+    }
+
+    /// The divisor.
+    #[must_use]
+    pub fn y(&self) -> u32 {
+        self.y
+    }
+
+    /// The exponent: `z = 2^s`.
+    #[must_use]
+    pub fn s(&self) -> u32 {
+        self.s
+    }
+
+    /// The multiplier `a = ⌊2^s / y⌋`.
+    #[must_use]
+    pub fn a(&self) -> u64 {
+        self.a
+    }
+
+    /// The residue `r = 2^s mod y` (≥ 1 for odd `y ≥ 3`).
+    #[must_use]
+    pub fn r(&self) -> u64 {
+        self.r
+    }
+
+    /// The additive constant `b = a + r − 1`.
+    #[must_use]
+    pub fn b(&self) -> u64 {
+        self.a + self.r - 1
+    }
+
+    /// Whether `q'(x) = (a·x + b)/2^s` equals `⌊x/y⌋` for *every*
+    /// `x < need` — the exact `(K+1)·y ≥ need` bound with `K = ⌊b/r⌋`
+    /// (see the module docs for the proof).
+    #[must_use]
+    pub fn is_valid_for(&self, need: u128) -> bool {
+        let Some((k, _)) = divmod_u128(u128::from(self.b()), u128::from(self.r)) else {
+            return false; // r = 0 cannot happen for odd y ≥ 3
+        };
+        mul_u128_bit_serial(k + 1, u128::from(self.y)) >= need
+    }
+
+    /// Evaluates `q'(x) = (a·x + b) / 2^s` directly.
+    #[must_use]
+    pub fn evaluate(&self, x: u32) -> u32 {
+        let num = mul_u128_bit_serial(u128::from(x), u128::from(self.a)) + u128::from(self.b());
+        (num >> self.s) as u32
+    }
+
+    /// Evaluates the generated code's algebraic form,
+    /// `((x+1)·a + (r−1)) / 2^s` — identical to [`RefMagic::evaluate`]
+    /// by construction, and checked to be so by the oracle tests.
+    #[must_use]
+    pub fn evaluate_via_xplus1(&self, x: u32) -> u32 {
+        let num =
+            mul_u128_bit_serial(u128::from(x) + 1, u128::from(self.a)) + u128::from(self.r) - 1;
+        (num >> self.s) as u32
+    }
+
+    /// A deliberately wrong scratch copy with the multiplier off by one,
+    /// used to prove the differential harness catches exactly this class
+    /// of bug (see `Inject::MagicOffByOne`).
+    #[must_use]
+    pub fn with_multiplier_off_by_one(&self) -> RefMagic {
+        RefMagic {
+            a: self.a + 1,
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+
+    #[test]
+    fn long_division_matches_native() {
+        let samples: [u128; 8] = [
+            0,
+            1,
+            5,
+            1 << 32,
+            (1 << 33) + 7,
+            u128::from(u64::MAX),
+            1 << 63,
+            12345,
+        ];
+        for &n in &samples {
+            for d in [1u128, 2, 3, 7, 11, 1 << 31, u128::from(u32::MAX)] {
+                assert_eq!(divmod_u128(n, d), Some((n / d, n % d)), "{n} / {d}");
+            }
+            assert_eq!(divmod_u128(n, 0), None);
+        }
+    }
+
+    #[test]
+    fn figure6_rows_rederive() {
+        // Spot rows of the paper's Figure 6, recomputed from nothing.
+        let m = RefMagic::minimal(3).unwrap();
+        assert_eq!((m.s(), m.a(), m.r()), (32, 0x5555_5555, 1));
+        let m = RefMagic::minimal(5).unwrap();
+        assert_eq!((m.s(), m.a(), m.r()), (32, 0x3333_3333, 1));
+        let m = RefMagic::minimal(7).unwrap();
+        assert_eq!(m.s(), 33);
+        let m = RefMagic::minimal(11).unwrap();
+        assert_eq!((m.s(), m.a()), (36, 0x1_745D_1745));
+    }
+
+    #[test]
+    fn minimal_agrees_with_production_derivation() {
+        // The differential point: two independent derivations, same
+        // constants. `step_by(2)` keeps the sweep odd-only.
+        for y in (3u32..400).step_by(2) {
+            let ours = RefMagic::minimal(y).unwrap();
+            let theirs = divconst::Magic::minimal(y).unwrap();
+            assert_eq!(ours.s(), theirs.s(), "s for y = {y}");
+            assert_eq!(ours.a(), theirs.a(), "a for y = {y}");
+            assert_eq!(ours.r(), theirs.r(), "r for y = {y}");
+        }
+    }
+
+    #[test]
+    fn evaluate_is_exact_on_boundaries() {
+        for y in [3u32, 7, 11, 641, 0x7FFF_FFFF] {
+            let m = RefMagic::minimal(y).unwrap();
+            for x in [0u32, 1, y - 1, y, y + 1, u32::MAX - 1, u32::MAX] {
+                let expect = reference::udiv(x, y).unwrap();
+                assert_eq!(m.evaluate(x), expect, "{x} / {y}");
+                assert_eq!(m.evaluate_via_xplus1(x), expect, "{x} / {y} via x+1");
+            }
+        }
+    }
+
+    #[test]
+    fn validity_bound_is_sharp() {
+        // For y = 7 the minimal s is 33; s = 32 must fail the bound and
+        // actually produce a wrong quotient somewhere below 2^32.
+        let short = RefMagic::derive(7, 32).unwrap();
+        assert!(!short.is_valid_for(1u128 << 32));
+        let wrong = (0..=u32::MAX / 7)
+            .map(|k| k * 7)
+            .rev()
+            .take(10_000)
+            .find(|&x| short.evaluate(x) != x / 7);
+        assert!(wrong.is_some(), "an invalid s must actually fail");
+    }
+
+    #[test]
+    fn off_by_one_multiplier_fails() {
+        let m = RefMagic::minimal(3).unwrap().with_multiplier_off_by_one();
+        assert!((0..=u32::MAX)
+            .rev()
+            .take(100)
+            .any(|x| m.evaluate(x) != x / 3));
+    }
+}

@@ -1,0 +1,264 @@
+//! Independent reference models for multiply and divide.
+//!
+//! Everything here is deliberately *primitive*: the multiplier is the
+//! bit-serial schoolbook shift-and-add loop and the divider is the
+//! textbook restoring divider, both built from addition, subtraction,
+//! shifts, and comparisons only. No routine in this module calls the
+//! native `*`, `/`, or `%` operators on the operands, and none of it
+//! shares a line of code with `mulconst`, `divconst`, or `millicode` —
+//! when an implementation path and a reference disagree, exactly one of
+//! two *independently derived* computations is wrong.
+//!
+//! Signedness is layered on top of the unsigned cores by the same
+//! magnitude/sign-fixup argument the paper uses (§4, §6), with the one
+//! wrinkle C and the Precision share: `i32::MIN / -1` wraps back to
+//! `i32::MIN` (quotient magnitude `2^31` does not fit) and its remainder
+//! is zero.
+
+/// The full 64-bit product of two 32-bit values by the schoolbook method:
+/// scan the multiplier bit by bit, adding the (shifted) multiplicand
+/// wherever a bit is set. 32 iterations, addition and shifts only.
+#[must_use]
+pub fn mul_u64_bit_serial(x: u32, y: u32) -> u64 {
+    let mut acc = 0u64;
+    let mut addend = u64::from(x);
+    let mut rest = y;
+    while rest != 0 {
+        if rest & 1 == 1 {
+            acc = acc.wrapping_add(addend);
+        }
+        addend <<= 1;
+        rest >>= 1;
+    }
+    acc
+}
+
+/// Wrapping unsigned 32-bit product (C semantics): the low word of the
+/// bit-serial double-length product.
+#[must_use]
+pub fn mul_wrapping_u32(x: u32, y: u32) -> u32 {
+    mul_u64_bit_serial(x, y) as u32
+}
+
+/// Wrapping signed 32-bit product. Two's-complement multiplication has
+/// the same low word regardless of signedness, so this is the unsigned
+/// model reinterpreted.
+#[must_use]
+pub fn mul_wrapping_i32(x: i32, y: i32) -> i32 {
+    mul_wrapping_u32(x as u32, y as u32) as i32
+}
+
+/// The exact signed product as an `i64`, from magnitudes and a sign
+/// fixup (the largest magnitude product, `2^31 * 2^31 = 2^62`, fits).
+#[must_use]
+pub fn mul_exact_i64(x: i32, y: i32) -> i64 {
+    let mag = mul_u64_bit_serial(x.unsigned_abs(), y.unsigned_abs());
+    if (x < 0) != (y < 0) {
+        (mag as i64).wrapping_neg()
+    } else {
+        mag as i64
+    }
+}
+
+/// Checked signed product (Pascal semantics): `None` exactly when the
+/// exact product leaves the `i32` range — the cases where the trapping
+/// multiply chains must raise an overflow trap.
+#[must_use]
+pub fn mul_checked_i32(x: i32, y: i32) -> Option<i32> {
+    let exact = mul_exact_i64(x, y);
+    if exact < i64::from(i32::MIN) || exact > i64::from(i32::MAX) {
+        None
+    } else {
+        Some(exact as i32)
+    }
+}
+
+/// Checked signed product with the *trapping chain's* semantics: for a
+/// negative multiplier the generated code computes `x · |n|` through a
+/// monotonic trapping chain and then negates with `SUBO`, so it traps
+/// whenever the magnitude product leaves the `i32` range **or** lands
+/// exactly on `i32::MIN` (whose negation overflows) — even though the
+/// mathematical product `x · n` would fit in that last case
+/// (`65536 · -32768 = i32::MIN` traps). For non-negative multipliers the
+/// chain semantics coincide with [`mul_checked_i32`].
+#[must_use]
+pub fn mul_checked_chain(x: i32, n: i32) -> Option<i32> {
+    let exact = mul_exact_i64(x, n);
+    if n >= 0 {
+        return mul_checked_i32(x, n);
+    }
+    // exact = x·n, so the pre-negation magnitude product is x·|n| = −exact.
+    let mag = exact.wrapping_neg();
+    if mag <= i64::from(i32::MIN) || mag > i64::from(i32::MAX) {
+        None
+    } else {
+        Some(exact as i32)
+    }
+}
+
+/// Restoring division: `(quotient, remainder)`, or `None` for a zero
+/// divisor. The remainder is developed one dividend bit at a time in a
+/// double-width accumulator; each step subtracts the divisor back out
+/// whenever it fits. Subtraction and comparison only — structurally
+/// unlike the paper's non-restoring `DS`/`ADDC` scheme, which is the
+/// point.
+#[must_use]
+pub fn div_restoring(x: u32, y: u32) -> Option<(u32, u32)> {
+    if y == 0 {
+        return None;
+    }
+    let mut rem = 0u64;
+    let mut quot = 0u32;
+    for i in (0..32).rev() {
+        rem = (rem << 1) | u64::from((x >> i) & 1);
+        if rem >= u64::from(y) {
+            rem -= u64::from(y);
+            quot |= 1 << i;
+        }
+    }
+    Some((quot, rem as u32))
+}
+
+/// Unsigned quotient, or `None` for a zero divisor.
+#[must_use]
+pub fn udiv(x: u32, y: u32) -> Option<u32> {
+    div_restoring(x, y).map(|(q, _)| q)
+}
+
+/// Unsigned remainder, or `None` for a zero divisor.
+#[must_use]
+pub fn urem(x: u32, y: u32) -> Option<u32> {
+    div_restoring(x, y).map(|(_, r)| r)
+}
+
+/// Signed division truncating toward zero: `(quotient, remainder)` with
+/// the remainder taking the dividend's sign (C semantics), or `None` for
+/// a zero divisor. `i32::MIN / -1` wraps to `(i32::MIN, 0)`.
+#[must_use]
+pub fn sdiv_trunc(x: i32, y: i32) -> Option<(i32, i32)> {
+    let (qmag, rmag) = div_restoring(x.unsigned_abs(), y.unsigned_abs())?;
+    let q = if (x < 0) != (y < 0) {
+        (qmag as i32).wrapping_neg()
+    } else {
+        qmag as i32 // 2^31 wraps to i32::MIN here, matching C
+    };
+    let r = if x < 0 {
+        (rmag as i32).wrapping_neg()
+    } else {
+        rmag as i32
+    };
+    Some((q, r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLES_U: [u32; 12] = [
+        0,
+        1,
+        2,
+        3,
+        7,
+        100,
+        46_340,
+        65_537,
+        0x7FFF_FFFF,
+        0x8000_0000,
+        0xFFFF_FFFE,
+        u32::MAX,
+    ];
+
+    #[test]
+    fn bit_serial_product_matches_native() {
+        for &x in &SAMPLES_U {
+            for &y in &SAMPLES_U {
+                assert_eq!(
+                    mul_u64_bit_serial(x, y),
+                    u64::from(x) * u64::from(y),
+                    "{x} * {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrapping_products_match_native() {
+        for &x in &SAMPLES_U {
+            for &y in &SAMPLES_U {
+                assert_eq!(mul_wrapping_u32(x, y), x.wrapping_mul(y));
+                let (xs, ys) = (x as i32, y as i32);
+                assert_eq!(mul_wrapping_i32(xs, ys), xs.wrapping_mul(ys));
+            }
+        }
+    }
+
+    #[test]
+    fn checked_product_matches_native() {
+        for &x in &SAMPLES_U {
+            for &y in &SAMPLES_U {
+                let (xs, ys) = (x as i32, y as i32);
+                assert_eq!(mul_checked_i32(xs, ys), xs.checked_mul(ys), "{xs} * {ys}");
+                assert_eq!(
+                    mul_exact_i64(xs, ys),
+                    i64::from(xs) * i64::from(ys),
+                    "{xs} * {ys}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chain_semantics_differ_only_on_the_negation_edge() {
+        for &x in &SAMPLES_U {
+            for &y in &SAMPLES_U {
+                let (xs, ys) = (x as i32, y as i32);
+                let math = mul_checked_i32(xs, ys);
+                let chain = mul_checked_chain(xs, ys);
+                if ys >= 0 || math != Some(i32::MIN) {
+                    assert_eq!(chain, math, "{xs} * {ys}");
+                }
+            }
+        }
+        // The one divergence: a product of exactly i32::MIN through a
+        // negative constant traps in the chain (the SUBO negation
+        // overflows on +2^31) though the value is representable.
+        assert_eq!(mul_checked_i32(65_536, -32_768), Some(i32::MIN));
+        assert_eq!(mul_checked_chain(65_536, -32_768), None);
+        assert_eq!(mul_checked_chain(-65_536, -32_768), None); // +2^31 overflows
+        assert_eq!(mul_checked_chain(-65_535, -32_768), Some(2_147_450_880));
+    }
+
+    #[test]
+    fn restoring_divider_matches_native() {
+        for &x in &SAMPLES_U {
+            for &y in &SAMPLES_U {
+                if y == 0 {
+                    assert_eq!(div_restoring(x, y), None);
+                } else {
+                    assert_eq!(div_restoring(x, y), Some((x / y, x % y)), "{x} / {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn signed_division_truncates_and_wraps() {
+        for &x in &SAMPLES_U {
+            for &y in &SAMPLES_U {
+                let (xs, ys) = (x as i32, y as i32);
+                if ys == 0 {
+                    assert_eq!(sdiv_trunc(xs, ys), None);
+                } else {
+                    let q = (i64::from(xs) / i64::from(ys)) as i32;
+                    let r = (i64::from(xs) % i64::from(ys)) as i32;
+                    assert_eq!(sdiv_trunc(xs, ys), Some((q, r)), "{xs} / {ys}");
+                }
+            }
+        }
+        assert_eq!(sdiv_trunc(i32::MIN, -1), Some((i32::MIN, 0)));
+        assert_eq!(sdiv_trunc(i32::MIN, 1), Some((i32::MIN, 0)));
+        assert_eq!(sdiv_trunc(-7, 3), Some((-2, -1)));
+        assert_eq!(sdiv_trunc(7, -3), Some((-2, 1)));
+    }
+}

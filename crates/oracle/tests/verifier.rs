@@ -1,0 +1,91 @@
+//! End-to-end checks of the differential verifier itself.
+
+use oracle::{Budgets, Case, Inject, Verifier};
+
+/// Constant compiles cost real time (a chain search each); debug builds
+/// get a smaller but still tier-spanning slice.
+const CASES: u64 = if cfg!(debug_assertions) { 100 } else { 2_000 };
+
+#[test]
+fn fuzz_run_is_clean_and_deterministic() {
+    let run = |seed: u64| {
+        let mut v = Verifier::new(Budgets::embedded(), None).unwrap();
+        v.run_fuzz(seed, CASES);
+        v.finish()
+    };
+    let a = run(0xA5);
+    assert!(
+        a.passed(),
+        "divergences: {:?}\nbudget violations: {:?}",
+        a.divergences,
+        a.budget_violations
+    );
+    assert_eq!(a.cases_run, CASES);
+    let b = run(0xA5);
+    assert_eq!(a.max_cycles, b.max_cycles, "same seed, same measurements");
+    assert_eq!(a.skipped_unsupported, b.skipped_unsupported);
+}
+
+#[test]
+fn sweep_smoke_is_clean() {
+    let mut v = Verifier::new(Budgets::embedded(), None).unwrap();
+    v.run_sweep(if cfg!(debug_assertions) { 9_973 } else { 997 });
+    let report = v.finish();
+    assert!(
+        report.passed(),
+        "divergences: {:?}\nbudget violations: {:?}",
+        report.divergences,
+        report.budget_violations
+    );
+    assert!(report.cases_run > 0);
+}
+
+#[test]
+fn injected_magic_fault_is_caught_and_shrunk() {
+    let mut v = Verifier::new(Budgets::embedded(), Some(Inject::MagicOffByOne)).unwrap();
+    v.run_fuzz(0xA5, CASES);
+    let report = v.finish();
+    assert!(
+        report.divergence_count > 0,
+        "an off-by-one magic multiplier must not survive the fuzzer"
+    );
+    let shrunk = report.shrunk.expect("first divergence shrinks");
+    // The shrinker must land on a constant divide (the injected family)
+    // with small parameters, still failing.
+    match shrunk {
+        Case::UdivConst { y, x } => {
+            assert!(
+                y >= 3 && y & 1 == 1,
+                "injection targets odd divisors, got y={y}"
+            );
+            assert!(y <= 25, "shrunk divisor should be small, got y={y}");
+            assert!(x <= 1_000, "shrunk dividend should be small, got x={x}");
+        }
+        other => panic!("shrunk case should be a constant unsigned divide, got {other:?}"),
+    }
+}
+
+#[test]
+fn replayed_case_reports_through_check_case() {
+    // A single replayed case runs every path; a clean one stays clean.
+    let mut v = Verifier::new(Budgets::embedded(), None).unwrap();
+    let case = Case::parse(r#"{"kind":"udiv_const","y":7,"x":4294967295}"#).unwrap();
+    v.check_case(&case);
+    let report = v.finish();
+    assert!(report.passed(), "divergences: {:?}", report.divergences);
+    assert_eq!(report.cases_run, 1);
+}
+
+#[test]
+fn budget_violations_surface_with_tight_budgets() {
+    let tight = Budgets::parse("[div_var]\ngeneral_unsigned = 1\n").unwrap();
+    let mut v = Verifier::new(tight, None).unwrap();
+    let case = Case::parse(r#"{"kind":"div_var","x":1000,"y":7}"#).unwrap();
+    v.check_case(&case);
+    let report = v.finish();
+    assert_eq!(report.divergence_count, 0);
+    assert_eq!(report.budget_violations.len(), 1);
+    let v0 = &report.budget_violations[0];
+    assert_eq!(v0.key, "div_var.general_unsigned");
+    assert!(v0.cycles > 1);
+}

@@ -1,0 +1,94 @@
+//! A reused [`Machine`] must be indistinguishable from a fresh one after
+//! [`Machine::reset`]: identical architectural state, and — when stats are
+//! enabled — a [`SimStats`] report identical between back-to-back sessions
+//! with no counters leaking across the reset.
+
+use pa_isa::{Cond, ProgramBuilder, Reg};
+use pa_sim::{run, ExecConfig, Machine, RunResult, Termination};
+
+/// A branchy, nullifying loop touching several opcode classes so the
+/// per-opcode and per-region stats have structure worth comparing.
+fn workload() -> pa_isa::Program {
+    let mut b = ProgramBuilder::new();
+    b.ldi(6, Reg::R1);
+    b.ldi(0, Reg::R2);
+    let top = b.here("loop");
+    b.add(Reg::R1, Reg::R2, Reg::R2);
+    b.comclr(Cond::Odd, Reg::R1, Reg::R0, Reg::R0);
+    b.sh1add(Reg::R2, Reg::R0, Reg::R2); // nullified on odd counts
+    b.addib(-1, Reg::R1, Cond::Ne, top);
+    b.ldi(1, Reg::R3);
+    b.build().unwrap()
+}
+
+fn run_session(m: &mut Machine) -> RunResult {
+    let r = run(&workload(), m, &ExecConfig::default().with_stats());
+    assert_eq!(r.termination, Termination::Completed);
+    r
+}
+
+#[test]
+fn reset_returns_the_machine_to_its_initial_state() {
+    let mut m = Machine::new();
+    run_session(&mut m);
+    assert_ne!(m, Machine::new(), "the workload must actually dirty state");
+    m.reset();
+    assert_eq!(m, Machine::new());
+}
+
+#[test]
+fn stats_are_identical_between_sessions_on_a_reset_machine() {
+    let mut fresh = Machine::new();
+    let first = run_session(&mut fresh);
+    let first_stats = first.stats.as_deref().expect("stats enabled");
+    let end_state = fresh.clone();
+
+    // Session two reuses the same machine after reset.
+    fresh.reset();
+    let second = run_session(&mut fresh);
+    let second_stats = second.stats.as_deref().expect("stats enabled");
+
+    assert_eq!(first_stats, second_stats, "SimStats must not drift");
+    assert_eq!(first.cycles, second.cycles);
+    assert_eq!(first.executed, second.executed);
+    assert_eq!(first.nullified, second.nullified);
+    assert_eq!(first.taken_branches, second.taken_branches);
+    assert_eq!(fresh, end_state, "same program, same final state");
+}
+
+#[test]
+fn reset_clears_contamination_from_unrelated_state() {
+    // Baseline on a fresh machine.
+    let mut clean = Machine::new();
+    let baseline = run_session(&mut clean);
+
+    // Deliberately contaminate every input the workload reads (and some it
+    // does not) before resetting; the reset must erase all of it.
+    let mut dirty = Machine::new();
+    for r in [Reg::R1, Reg::R2, Reg::R3, Reg::R26, Reg::R25, Reg::R31] {
+        dirty.set_reg(r, 0xDEAD_BEEF);
+    }
+    run_session(&mut dirty);
+    dirty.reset();
+    assert_eq!(dirty, Machine::new());
+
+    let replay = run_session(&mut dirty);
+    assert_eq!(
+        baseline.stats.as_deref().unwrap(),
+        replay.stats.as_deref().unwrap()
+    );
+    assert_eq!(dirty, clean);
+}
+
+#[test]
+fn stats_runs_do_not_perturb_the_machine_relative_to_plain_runs() {
+    // A reset machine driven with stats off must land in the same state as
+    // one driven with stats on — instrumentation is observational only.
+    let mut m = Machine::new();
+    run_session(&mut m);
+    let with_stats = m.clone();
+    m.reset();
+    let r = run(&workload(), &mut m, &ExecConfig::default());
+    assert!(r.stats.is_none(), "stats default off");
+    assert_eq!(m, with_stats);
+}

@@ -135,6 +135,17 @@ pub enum Event {
         /// Length of the shift-add chain evaluating `x * a`, if any.
         chain_len: Option<usize>,
     },
+    /// The differential verifier observed something worth recording —
+    /// a divergence between execution paths, a cycle-budget violation,
+    /// or a sweep landmark.
+    Verify {
+        /// Which verification suite fired (`"divergence"`, `"budget"`).
+        suite: &'static str,
+        /// Compact JSON of the replayable case.
+        case: String,
+        /// Human-readable description of what was observed.
+        detail: String,
+    },
 }
 
 impl Event {
@@ -150,6 +161,7 @@ impl Event {
                 format!("cache/{}", if *hit { "hit" } else { "miss" })
             }
             Event::Prepare { .. } => "prepare/program".to_string(),
+            Event::Verify { suite, .. } => format!("verify/{suite}"),
         }
     }
 
@@ -229,6 +241,16 @@ impl Event {
                 put("shift_s", Json::opt_u64(shift_s.map(u64::from)));
                 put("fixup", Json::str(*fixup));
                 put("chain_len", Json::opt_u64(chain_len.map(|n| n as u64)));
+            }
+            Event::Verify {
+                suite,
+                case,
+                detail,
+            } => {
+                put("event", Json::str("verify"));
+                put("suite", Json::str(*suite));
+                put("case", Json::str(case));
+                put("detail", Json::str(detail));
             }
         }
         Json::Object(obj)
@@ -458,6 +480,29 @@ mod tests {
         assert_eq!(hist.get("cache/hit"), Some(&1));
         assert_eq!(hist.get("cache/miss"), Some(&1));
         assert_eq!(hist.get("prepare/program"), Some(&1));
+    }
+
+    #[test]
+    fn verify_events_serialise_and_key() {
+        let e = Event::Verify {
+            suite: "divergence",
+            case: "{\"kind\":\"udiv_const\",\"y\":7,\"x\":21}".to_string(),
+            detail: "interpreter value 0x3, oracle expects 0x4".to_string(),
+        };
+        assert_eq!(e.strategy_key(), "verify/divergence");
+        let j = e.to_json();
+        assert_eq!(j.get("event").and_then(Json::as_str), Some("verify"));
+        assert_eq!(j.get("suite").and_then(Json::as_str), Some("divergence"));
+        assert!(j
+            .get("case")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("udiv_const"));
+        assert!(j
+            .get("detail")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("oracle"));
     }
 
     #[test]

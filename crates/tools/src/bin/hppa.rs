@@ -5,6 +5,10 @@
 //! hppa report -o out/bench.json  # write elsewhere
 //! hppa report --stdout           # print the document instead
 //! hppa report --ops 20000        # size the throughput batches
+//! hppa verify                    # 10k differential fuzz cases, seed 0xA5
+//! hppa verify --seed 0x1 --cases 100000
+//! hppa verify --sweep smoke      # every 257th 16-bit constant, boundary xs
+//! hppa verify --replay verify_failures.jsonl
 //! ```
 //!
 //! `report` replays the paper-table workloads (Figure 5 multiply classes,
@@ -12,18 +16,27 @@
 //! cycle-attribution stats and telemetry enabled, then times the E13 operand
 //! mix through the one-shot path and the cached/pre-decoded hot path. The
 //! output is one JSON object: `{"workloads": […], "throughput": […]}`.
+//!
+//! `verify` runs every generated case through the interpreter, the prepared
+//! fast path, a batched session, and the independent reference oracle, and
+//! checks observed cycles against the per-strategy budgets. Failures land in
+//! a JSONL artifact plus a shrunk one-line minimal replay file.
 
 use std::io::Write as _;
 use std::process::ExitCode;
 
-use tools::report;
+use tools::{report, verify};
 
-const USAGE: &str = "usage: hppa report [-o PATH] [--stdout] [--ops N]";
+const USAGE: &str = "usage: hppa report [-o PATH] [--stdout] [--ops N]
+       hppa verify [--seed N] [--cases N] [--sweep smoke|full]
+                   [--budgets PATH] [--replay FILE] [--inject magic-off-by-one]
+                   [--failures PATH] [--minimal PATH]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("report") => run_report(&args[1..]),
+        Some("verify") => run_verify(&args[1..]),
         Some("--help" | "-h") | None => {
             println!("{USAGE}");
             ExitCode::SUCCESS
@@ -33,6 +46,41 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+fn run_verify(args: &[String]) -> ExitCode {
+    let opts = match verify::parse_args(args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("hppa verify: {msg}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match verify::execute(&opts) {
+        Ok(report) => report,
+        Err(msg) => {
+            eprintln!("hppa verify: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", verify::summarize(&report));
+    if report.passed() {
+        return ExitCode::SUCCESS;
+    }
+    match std::fs::File::create(&opts.failures_path)
+        .and_then(|f| verify::write_failures(&report, f))
+    {
+        Ok(()) => eprintln!("wrote {}", opts.failures_path),
+        Err(e) => eprintln!("hppa verify: cannot write {}: {e}", opts.failures_path),
+    }
+    if let Some(case) = &report.shrunk {
+        let line = format!("{}\n", case.to_json().to_compact_string());
+        match std::fs::write(&opts.minimal_path, line) {
+            Ok(()) => eprintln!("wrote {}", opts.minimal_path),
+            Err(e) => eprintln!("hppa verify: cannot write {}: {e}", opts.minimal_path),
+        }
+    }
+    ExitCode::FAILURE
 }
 
 fn run_report(args: &[String]) -> ExitCode {

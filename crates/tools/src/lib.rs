@@ -2,9 +2,11 @@
 //!
 //! The binaries in `src/bin/` stay thin; anything worth testing lives here.
 //! Currently that is [`report`], the `hppa report` builder that replays the
-//! paper-table workloads with full telemetry and writes `BENCH_*.json`.
+//! paper-table workloads with full telemetry and writes `BENCH_*.json`, and
+//! [`verify`], the differential-oracle driver behind `hppa verify`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod report;
+pub mod verify;

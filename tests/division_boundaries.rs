@@ -1,9 +1,16 @@
 //! Heavy boundary sweeps for the derived-method division — the places magic
 //! numbers break when the `(K+1)y ≥ 2^32` condition is miscomputed are
 //! always right next to multiples of the divisor and at the top of the
-//! dividend range.
+//! dividend range — plus the three semantic edges (`i32::MIN / -1`, the
+//! divide-by-zero `BREAK`, overflow at the top of the multiply range),
+//! each pinned across all three execution paths: one-shot interpreter,
+//! pre-decoded prepared program, and batch.
 
-use hppa_muldiv::{Compiler, Signedness};
+use hppa_muldiv::{millicode, Compiler, Error, Runtime, Signedness};
+use millicode::divvar::DIV_ZERO_BREAK;
+use oracle::reference;
+use pa_isa::Reg;
+use pa_sim::{execute_prepared, run_fn, ExecConfig, Machine, Termination, TrapKind};
 
 fn boundary_dividends(y: u64) -> Vec<u32> {
     let mut xs = vec![0u32, 1, 2, y as u32 / 2, u32::MAX, u32::MAX - 1];
@@ -84,6 +91,129 @@ fn signed_boundaries_every_divisor_to_128() {
             assert_eq!(op.run_i32(x).unwrap(), expect, "{x} / {y}");
         }
     }
+}
+
+/// `i32::MIN / -1`: the quotient magnitude `2^31` does not fit a signed
+/// word, so C (and the Precision) wrap back to `i32::MIN` with remainder
+/// zero rather than trapping.
+#[test]
+fn min_over_minus_one_wraps_on_every_path() {
+    assert_eq!(reference::sdiv_trunc(i32::MIN, -1), Some((i32::MIN, 0)));
+
+    // Compiled constant divide, interpreter path.
+    let c = Compiler::new();
+    let op = c.sdiv_const(-1).unwrap();
+    assert_eq!(op.run_i32(i32::MIN).unwrap(), i32::MIN);
+
+    // Prepared fast path, bit-for-bit.
+    let mut m = Machine::with_regs(&[(Reg::R26, i32::MIN as u32)]);
+    let r = execute_prepared(op.prepared(), &mut m);
+    assert!(r.termination.is_completed(), "{:?}", r.termination);
+    assert_eq!(m.reg(Reg::R28), i32::MIN as u32);
+
+    // Batched path.
+    let batch = op.run_batch_i32(&[i32::MIN, -1, 0, i32::MAX]).unwrap();
+    assert_eq!(batch.values, vec![i32::MIN, 1, 0, -i32::MAX]);
+
+    // Millicode general divide through the runtime facade and a session.
+    let rt = Runtime::new().unwrap();
+    let out = rt.div(i32::MIN, -1).unwrap();
+    assert_eq!((out.value, out.rem), (i32::MIN, Some(0)));
+    let mut session = rt.session();
+    let out = session.div(i32::MIN, -1).unwrap();
+    assert_eq!((out.value, out.rem), (i32::MIN, Some(0)));
+}
+
+/// A zero divisor raises `BREAK 0x2d` in millicode and surfaces as
+/// `Error::DivideByZero` from every facade entry point.
+#[test]
+fn divide_by_zero_traps_on_every_path() {
+    assert_eq!(reference::div_restoring(1000, 0), None);
+
+    // Interpreter on the raw millicode routine: the BREAK is visible in
+    // the termination itself.
+    let p = millicode::divvar::udiv().unwrap();
+    let (_, r) = run_fn(
+        &p,
+        &[(Reg::R26, 1000), (Reg::R25, 0)],
+        &ExecConfig::default(),
+    );
+    match r.termination {
+        Termination::Trapped(t) => assert_eq!(t.kind, TrapKind::Break(DIV_ZERO_BREAK)),
+        other => panic!("udiv(1000, 0) terminated {other:?}, expected BREAK"),
+    }
+
+    // Compile-time rejection for constant divides.
+    let c = Compiler::new();
+    assert_eq!(c.udiv_const(0).unwrap_err(), Error::DivideByZero);
+    assert_eq!(c.sdiv_const(0).unwrap_err(), Error::DivideByZero);
+    assert_eq!(c.urem_const(0).unwrap_err(), Error::DivideByZero);
+    assert_eq!(c.srem_const(0).unwrap_err(), Error::DivideByZero);
+
+    // Runtime facade, per-call and batched session paths.
+    let rt = Runtime::new().unwrap();
+    assert_eq!(rt.div(1000, 0).unwrap_err(), Error::DivideByZero);
+    assert_eq!(rt.div_unsigned(1000, 0).unwrap_err(), Error::DivideByZero);
+    assert_eq!(rt.div_dispatch(1000, 0).unwrap_err(), Error::DivideByZero);
+    let mut session = rt.session();
+    assert_eq!(
+        session
+            .div_unsigned_batch(&[(7, 7), (1000, 0)])
+            .unwrap_err(),
+        Error::DivideByZero
+    );
+    assert_eq!(
+        session.div_dispatch_batch(&[(1000, 0)]).unwrap_err(),
+        Error::DivideByZero
+    );
+}
+
+/// The top of the multiply range: `u32::MAX` through a wrapping constant
+/// multiply wraps identically everywhere, and the checked (Pascal) form
+/// raises an overflow trap on every path.
+#[test]
+fn umax_multiply_overflow_on_every_path() {
+    let x = u32::MAX as i32; // -1: wrapping multiply treats bits, not signs
+    let expect = reference::mul_wrapping_i32(x, 3);
+
+    let c = Compiler::new();
+    let op = c.mul_const(3).unwrap();
+    assert_eq!(op.run_i32(x).unwrap(), expect);
+    let mut m = Machine::with_regs(&[(Reg::R26, x as u32)]);
+    let r = execute_prepared(op.prepared(), &mut m);
+    assert!(r.termination.is_completed());
+    assert_eq!(m.reg(Reg::R28), expect as u32);
+    assert_eq!(op.run_batch_i32(&[x]).unwrap().values, vec![expect]);
+
+    // The checked form: an operand whose exact product leaves i32.
+    let big = i32::MAX / 2; // 3 * (i32::MAX / 2) > i32::MAX
+    assert_eq!(reference::mul_checked_chain(big, 3), None);
+    let checked = c.mul_const_checked(3).unwrap();
+    assert_eq!(
+        checked.run_i32(big).unwrap_err(),
+        Error::Trapped(TrapKind::Overflow)
+    );
+    let mut m = Machine::with_regs(&[(Reg::R26, big as u32)]);
+    let r = execute_prepared(checked.prepared(), &mut m);
+    match r.termination {
+        Termination::Trapped(t) => assert_eq!(t.kind, TrapKind::Overflow),
+        other => panic!("checked 3*{big} terminated {other:?}, expected overflow"),
+    }
+    assert_eq!(
+        checked.run_batch_i32(&[big]).unwrap_err(),
+        Error::Trapped(TrapKind::Overflow)
+    );
+
+    // In-range operands still flow through the checked chain untrapped.
+    assert_eq!(checked.run_i32(1000).unwrap(), 3000);
+
+    // The millicode switched multiply wraps like the oracle at the top too.
+    let rt = Runtime::new().unwrap();
+    assert_eq!(rt.mul(x, 3).unwrap().value, expect);
+    assert_eq!(
+        rt.mul_unsigned(u32::MAX, 3).unwrap().value,
+        reference::mul_wrapping_u32(u32::MAX, 3)
+    );
 }
 
 #[test]

@@ -1,9 +1,16 @@
-//! Cross-crate integration: the compiler and runtime facades against native
-//! Rust integer semantics, including property-based sweeps.
+//! Cross-crate integration: the compiler and runtime facades against the
+//! independent reference oracle, including property-based sweeps.
+//!
+//! Expected values come from `oracle::reference` — the bit-serial
+//! schoolbook multiplier and restoring divider that share no code with
+//! the implementation crates — so these tests cross-check two
+//! independently derived computations rather than trusting the host's
+//! `*`/`/` to stand in for the paper's semantics.
 
 use std::sync::OnceLock;
 
 use hppa_muldiv::{Compiler, Error, Runtime};
+use oracle::reference;
 use proptest::prelude::*;
 
 /// The millicode routines are immutable once built; share one instance
@@ -15,13 +22,13 @@ fn runtime() -> &'static Runtime {
 }
 
 #[test]
-fn compiler_and_runtime_agree_with_native_ops() {
+fn compiler_and_runtime_agree_with_the_oracle() {
     let c = Compiler::new();
     let rt = Runtime::new().unwrap();
     for n in [0i64, 1, 2, 3, 10, 59, 100, 641, -7, -100] {
         let op = c.mul_const(n).unwrap();
         for x in [0i32, 1, -1, 12345, -99999, i32::MAX, i32::MIN] {
-            let expect = x.wrapping_mul(n as i32);
+            let expect = reference::mul_wrapping_i32(x, n as i32);
             assert_eq!(op.run_i32(x).unwrap(), expect, "compile {x}*{n}");
             assert_eq!(
                 rt.mul(x, n as i32).unwrap().value,
@@ -36,20 +43,23 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(200))]
 
     #[test]
-    fn prop_mul_const_matches_wrapping_mul(n in -100_000i64..100_000, x in any::<i32>()) {
+    fn prop_mul_const_matches_oracle_wrapping_mul(n in -100_000i64..100_000, x in any::<i32>()) {
         let c = Compiler::new();
         let op = c.mul_const(n).unwrap();
-        prop_assert_eq!(op.run_i32(x).unwrap(), x.wrapping_mul(n as i32));
+        prop_assert_eq!(op.run_i32(x).unwrap(), reference::mul_wrapping_i32(x, n as i32));
     }
 
     #[test]
-    fn prop_checked_mul_traps_iff_rust_overflows(
+    fn prop_checked_mul_traps_iff_oracle_chain_overflows(
         n in -5_000i64..5_000,
         x in any::<i32>(),
     ) {
         let c = Compiler::new();
         let op = c.mul_const_checked(n).unwrap();
-        match x.checked_mul(n as i32) {
+        // `mul_checked_chain` models the generated chain exactly: for a
+        // negative constant the |n| product is negated with SUBO, so a
+        // product of exactly i32::MIN traps despite being representable.
+        match reference::mul_checked_chain(x, n as i32) {
             Some(exact) => prop_assert_eq!(op.run_i32(x).unwrap(), exact),
             None => prop_assert!(matches!(
                 op.run_i32(x),
@@ -59,58 +69,60 @@ proptest! {
     }
 
     #[test]
-    fn prop_udiv_const_matches(y in 1u32.., x in any::<u32>()) {
+    fn prop_udiv_const_matches_oracle(y in 1u32.., x in any::<u32>()) {
         let c = Compiler::new();
         let op = c.udiv_const(y).unwrap();
-        prop_assert_eq!(op.run_u32(x).unwrap(), x / y);
+        prop_assert_eq!(op.run_u32(x).unwrap(), reference::udiv(x, y).unwrap());
     }
 
     #[test]
-    fn prop_sdiv_const_matches(y in any::<i32>(), x in any::<i32>()) {
+    fn prop_sdiv_const_matches_oracle(y in any::<i32>(), x in any::<i32>()) {
         prop_assume!(y != 0);
         let c = Compiler::new();
         let op = c.sdiv_const(y).unwrap();
-        let expect = (i64::from(x) / i64::from(y)) as i32; // wrapping for MIN/-1
+        let (expect, _) = reference::sdiv_trunc(x, y).unwrap(); // wraps for MIN/-1
         prop_assert_eq!(op.run_i32(x).unwrap(), expect);
     }
 
     #[test]
-    fn prop_urem_const_matches(y in 1u32.., x in any::<u32>()) {
+    fn prop_urem_const_matches_oracle(y in 1u32.., x in any::<u32>()) {
         let c = Compiler::new();
         let op = c.urem_const(y).unwrap();
-        prop_assert_eq!(op.run_u32(x).unwrap(), x % y);
+        prop_assert_eq!(op.run_u32(x).unwrap(), reference::urem(x, y).unwrap());
     }
 
     #[test]
-    fn prop_runtime_mul_matches(x in any::<i32>(), y in any::<i32>()) {
+    fn prop_runtime_mul_matches_oracle(x in any::<i32>(), y in any::<i32>()) {
         let rt = runtime();
         let out = rt.mul(x, y).unwrap();
-        prop_assert_eq!(out.value, x.wrapping_mul(y));
+        prop_assert_eq!(out.value, reference::mul_wrapping_i32(x, y));
         prop_assert!(out.cycles <= 130, "switched multiply took {} cycles", out.cycles);
     }
 
     #[test]
-    fn prop_runtime_udiv_matches(x in any::<u32>(), y in 1u32..) {
+    fn prop_runtime_udiv_matches_oracle(x in any::<u32>(), y in 1u32..) {
         let rt = runtime();
         let out = rt.div_unsigned(x, y).unwrap();
-        prop_assert_eq!((out.value, out.rem), (x / y, Some(x % y)));
+        let (q, r) = reference::div_restoring(x, y).unwrap();
+        prop_assert_eq!((out.value, out.rem), (q, Some(r)));
         prop_assert!(out.cycles <= 90);
     }
 
     #[test]
-    fn prop_runtime_sdiv_matches(x in any::<i32>(), y in any::<i32>()) {
+    fn prop_runtime_sdiv_matches_oracle(x in any::<i32>(), y in any::<i32>()) {
         prop_assume!(y != 0);
         let rt = runtime();
         let out = rt.div(x, y).unwrap();
-        prop_assert_eq!(i64::from(out.value), i64::from(x) / i64::from(y));
-        prop_assert_eq!(i64::from(out.rem.unwrap()), i64::from(x) % i64::from(y));
+        let (q, r) = reference::sdiv_trunc(x, y).unwrap();
+        prop_assert_eq!(out.value, q);
+        prop_assert_eq!(out.rem, Some(r));
     }
 
     #[test]
-    fn prop_dispatch_matches_udiv(x in any::<u32>(), y in 1u32..64) {
+    fn prop_dispatch_matches_oracle_udiv(x in any::<u32>(), y in 1u32..64) {
         let rt = runtime();
         let out = rt.div_dispatch(x, y).unwrap();
-        prop_assert_eq!(out.value, x / y);
+        prop_assert_eq!(out.value, reference::udiv(x, y).unwrap());
     }
 
     #[test]
@@ -125,6 +137,7 @@ proptest! {
         for (i, &(x, y)) in pairs.iter().enumerate() {
             let out = rt.mul(x, y).unwrap();
             prop_assert_eq!(batch.values[i], out.value);
+            prop_assert_eq!(batch.values[i], reference::mul_wrapping_i32(x, y));
             cycles += out.cycles;
         }
         prop_assert_eq!(batch.cycles, cycles);
@@ -140,6 +153,9 @@ fn division_by_zero_is_reported_everywhere() {
     assert_eq!(rt.div_unsigned(1, 0).unwrap_err(), Error::DivideByZero);
     assert_eq!(rt.div(1, 0).unwrap_err(), Error::DivideByZero);
     assert_eq!(rt.div_dispatch(1, 0).unwrap_err(), Error::DivideByZero);
+    // The oracle agrees: a zero divisor has no quotient to disagree about.
+    assert_eq!(reference::div_restoring(1, 0), None);
+    assert_eq!(reference::sdiv_trunc(1, 0), None);
 }
 
 #[test]

@@ -4,15 +4,27 @@
 //! randomized operands. "Bit-identical" means the final machine state and
 //! all run counters (cycles, executed, nullified, taken branches) and the
 //! termination agree exactly.
+//!
+//! Path equivalence alone would let both paths be identically *wrong*, so
+//! each completed run is additionally anchored to `oracle::reference` —
+//! the independent bit-serial multiplier and restoring divider.
 
 use hppa_muldiv::{millicode, Compiler, DISPATCH_LIMIT};
+use oracle::reference;
 use pa_isa::{Program, Reg};
-use pa_sim::{execute_prepared, run_fn, ExecConfig, Machine, PreparedProgram};
+use pa_sim::{execute_prepared, run_fn, ExecConfig, Machine, PreparedProgram, RunResult};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Runs `p` both ways with `R26 = a`, `R25 = b` and demands exact equality.
-fn assert_bit_identical(name: &str, p: &Program, prepared: &PreparedProgram, a: u32, b: u32) {
+/// Runs `p` both ways with `R26 = a`, `R25 = b`, demands exact equality,
+/// and hands back the (shared) final state for semantic checks.
+fn assert_bit_identical(
+    name: &str,
+    p: &Program,
+    prepared: &PreparedProgram,
+    a: u32,
+    b: u32,
+) -> (Machine, RunResult) {
     let inputs = [(Reg::R26, a), (Reg::R25, b)];
     let (m_interp, r_interp) = run_fn(p, &inputs, &ExecConfig::default());
     let mut m_fast = Machine::with_regs(&inputs);
@@ -35,6 +47,7 @@ fn assert_bit_identical(name: &str, p: &Program, prepared: &PreparedProgram, a: 
         r_interp.termination, r_fast.termination,
         "{name}({a}, {b}): termination"
     );
+    (m_interp, r_interp)
 }
 
 /// Representative corners plus seeded random operands.
@@ -79,70 +92,143 @@ fn every_multiply_routine_is_bit_identical() {
     for (name, p) in &routines {
         let prepared = PreparedProgram::new(p, ExecConfig::default());
         for (a, b) in operand_pairs(0xE0, 40) {
-            assert_bit_identical(name, p, &prepared, a, b);
+            let (m, r) = assert_bit_identical(name, p, &prepared, a, b);
+            // Signed and unsigned products share their low word, so one
+            // oracle model anchors every multiply flavour.
+            assert!(r.termination.is_completed(), "{name}({a}, {b})");
+            assert_eq!(
+                m.reg(Reg::R28),
+                reference::mul_wrapping_u32(a, b),
+                "{name}({a}, {b}) vs oracle"
+            );
         }
     }
 }
 
 #[test]
 fn every_divide_routine_is_bit_identical() {
-    let routines: Vec<(&str, Program)> = vec![
-        ("udiv", millicode::divvar::udiv().unwrap()),
-        ("sdiv", millicode::divvar::sdiv().unwrap()),
+    type Oracle = fn(u32, u32) -> (u32, Option<u32>);
+    fn unsigned(a: u32, y: u32) -> (u32, Option<u32>) {
+        let (q, r) = reference::div_restoring(a, y).unwrap();
+        (q, Some(r))
+    }
+    fn signed(a: u32, y: u32) -> (u32, Option<u32>) {
+        let (q, r) = reference::sdiv_trunc(a as i32, y as i32).unwrap();
+        (q as u32, Some(r as u32))
+    }
+    fn dispatch(a: u32, y: u32) -> (u32, Option<u32>) {
+        // The dispatch table returns only the quotient register.
+        (reference::udiv(a, y).unwrap(), None)
+    }
+    let routines: Vec<(&str, Program, Oracle)> = vec![
+        ("udiv", millicode::divvar::udiv().unwrap(), unsigned),
+        ("sdiv", millicode::divvar::sdiv().unwrap(), signed),
         (
             "small_dispatch",
             millicode::divvar::small_dispatch(DISPATCH_LIMIT).unwrap(),
+            dispatch,
         ),
         (
             "restoring_udiv",
             millicode::divvar::restoring_udiv().unwrap(),
+            unsigned,
         ),
     ];
     let mut rng = StdRng::seed_from_u64(0xE13);
-    for (name, p) in &routines {
+    for (name, p, oracle) in &routines {
         let prepared = PreparedProgram::new(p, ExecConfig::default());
+        let check = |a: u32, y: u32| {
+            let (m, r) = assert_bit_identical(name, p, &prepared, a, y);
+            assert!(r.termination.is_completed(), "{name}({a}, {y})");
+            let (q, rem) = oracle(a, y);
+            assert_eq!(m.reg(Reg::R28), q, "{name}({a}, {y}) quotient vs oracle");
+            if let Some(rem) = rem {
+                assert_eq!(m.reg(Reg::R29), rem, "{name}({a}, {y}) remainder vs oracle");
+            }
+        };
         for (a, _) in operand_pairs(0xE4, 20) {
             for y in [1u32, 2, 7, 19, 20, 97, 65_537, 0x8000_0000, u32::MAX] {
-                assert_bit_identical(name, p, &prepared, a, y);
+                check(a, y);
             }
             let y: u32 = rng.gen_range(1..=u32::MAX);
-            assert_bit_identical(name, p, &prepared, a, y);
+            check(a, y);
         }
-        // Division by zero BREAKs identically too.
-        assert_bit_identical(name, p, &prepared, 1000, 0);
+        // Division by zero BREAKs identically too (no quotient to check —
+        // the oracle returns None for a zero divisor).
+        let (_, r) = assert_bit_identical(name, p, &prepared, 1000, 0);
+        assert!(!r.termination.is_completed(), "{name}(1000, 0) must BREAK");
     }
 }
 
 #[test]
 fn every_compiled_constant_op_is_bit_identical() {
+    // Expected value per operand, `None` meaning "must trap".
+    type Expect = Box<dyn Fn(u32) -> Option<u32>>;
     let c = Compiler::new();
     let mut rng = StdRng::seed_from_u64(0xE14);
     let mut xs: Vec<u32> = vec![0, 1, 2, 1000, i32::MAX as u32, i32::MIN as u32, u32::MAX];
     xs.extend((0..20).map(|_| rng.gen::<u32>()));
 
-    let mut ops = Vec::new();
+    let mut ops: Vec<(String, _, Expect)> = Vec::new();
     for n in [0i64, 1, 2, 3, 10, 59, 100, 641, 1979, -7, -100, 46_341] {
-        ops.push((format!("mul_const({n})"), c.mul_const(n).unwrap()));
+        ops.push((
+            format!("mul_const({n})"),
+            c.mul_const(n).unwrap(),
+            Box::new(move |x| Some(reference::mul_wrapping_i32(x as i32, n as i32) as u32)),
+        ));
         // Not every chain has a trapping-capable form; cover those that do.
         if let Ok(op) = c.mul_const_checked(n) {
-            ops.push((format!("mul_const_checked({n})"), op));
+            ops.push((
+                format!("mul_const_checked({n})"),
+                op,
+                Box::new(move |x| {
+                    reference::mul_checked_chain(x as i32, n as i32).map(|v| v as u32)
+                }),
+            ));
         }
     }
     for y in [1u32, 2, 3, 5, 7, 10, 16, 19, 641, 1_000_000] {
-        ops.push((format!("udiv_const({y})"), c.udiv_const(y).unwrap()));
-        ops.push((format!("urem_const({y})"), c.urem_const(y).unwrap()));
-        ops.push((format!("sdiv_const({y})"), c.sdiv_const(y as i32).unwrap()));
+        ops.push((
+            format!("udiv_const({y})"),
+            c.udiv_const(y).unwrap(),
+            Box::new(move |x| reference::udiv(x, y)),
+        ));
+        ops.push((
+            format!("urem_const({y})"),
+            c.urem_const(y).unwrap(),
+            Box::new(move |x| reference::urem(x, y)),
+        ));
+        ops.push((
+            format!("sdiv_const({y})"),
+            c.sdiv_const(y as i32).unwrap(),
+            Box::new(move |x| reference::sdiv_trunc(x as i32, y as i32).map(|(q, _)| q as u32)),
+        ));
         ops.push((
             format!("sdiv_const(-{y})"),
             c.sdiv_const(-(y as i32)).unwrap(),
+            Box::new(move |x| reference::sdiv_trunc(x as i32, -(y as i32)).map(|(q, _)| q as u32)),
         ));
-        ops.push((format!("srem_const({y})"), c.srem_const(y as i32).unwrap()));
+        ops.push((
+            format!("srem_const({y})"),
+            c.srem_const(y as i32).unwrap(),
+            Box::new(move |x| reference::sdiv_trunc(x as i32, y as i32).map(|(_, r)| r as u32)),
+        ));
     }
 
-    for (name, op) in &ops {
+    for (name, op, expect) in &ops {
         let prepared = op.prepared();
         for &x in &xs {
-            assert_bit_identical(name, op.program(), prepared, x, 0);
+            let (m, r) = assert_bit_identical(name, op.program(), prepared, x, 0);
+            match expect(x) {
+                Some(v) => {
+                    assert!(r.termination.is_completed(), "{name}({x})");
+                    assert_eq!(m.reg(Reg::R28), v, "{name}({x}) vs oracle");
+                }
+                None => assert!(
+                    !r.termination.is_completed(),
+                    "{name}({x}) must trap per the oracle"
+                ),
+            }
         }
     }
 }
