@@ -446,11 +446,15 @@ impl Compiler {
     }
 
     fn compile(&self, kind: OpKind) -> Result<CompiledOp> {
+        let _span = telemetry::span::enter_with("compile", || kind.to_string());
         let key = CacheKey {
             kind,
             overflow: self.exec.overflow,
         };
-        let cached = self.cache.borrow_mut().lookup(&key);
+        let cached = {
+            let _lookup = telemetry::span::enter("cache_lookup");
+            self.cache.borrow_mut().lookup(&key)
+        };
         if let Some(op) = cached {
             telemetry::emit(|| telemetry::Event::CacheLookup {
                 op: kind.to_string(),
@@ -470,6 +474,7 @@ impl Compiler {
     }
 
     fn compile_cold(&self, kind: OpKind) -> Result<CompiledOp> {
+        let _span = telemetry::span::enter_with("compile_cold", || kind.to_string());
         match kind {
             OpKind::MulConst { n, checked } => {
                 let cfg = CodegenConfig {

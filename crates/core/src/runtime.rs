@@ -116,6 +116,7 @@ impl RuntimeBuilder {
     ///
     /// Propagates `pa_isa` construction errors (a bug if it ever fires).
     pub fn build(self) -> Result<Runtime> {
+        let _span = telemetry::span::enter("build_routines");
         let config = ExecConfig {
             overflow: self.overflow,
             max_cycles: self.max_cycles,

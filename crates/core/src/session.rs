@@ -207,6 +207,8 @@ impl<'rt> Session<'rt> {
     ///
     /// Fails on the first pair that faults.
     pub fn mul_batch(&mut self, pairs: &[(i32, i32)]) -> Result<BatchOutcome<i32>> {
+        let mut span =
+            telemetry::span::enter_with("mul_batch", || format!("{} pairs", pairs.len()));
         let mut values = Vec::with_capacity(pairs.len());
         let mut cycles = 0u64;
         for &(x, y) in pairs {
@@ -214,6 +216,7 @@ impl<'rt> Session<'rt> {
             values.push(out.value);
             cycles += out.cycles;
         }
+        span.add_cycles(cycles);
         Ok(BatchOutcome {
             values,
             rems: None,
@@ -227,6 +230,8 @@ impl<'rt> Session<'rt> {
     ///
     /// Fails on the first zero divisor.
     pub fn div_dispatch_batch(&mut self, pairs: &[(u32, u32)]) -> Result<BatchOutcome<u32>> {
+        let mut span =
+            telemetry::span::enter_with("div_dispatch_batch", || format!("{} pairs", pairs.len()));
         let mut values = Vec::with_capacity(pairs.len());
         let mut cycles = 0u64;
         for &(x, y) in pairs {
@@ -234,6 +239,7 @@ impl<'rt> Session<'rt> {
             values.push(out.value);
             cycles += out.cycles;
         }
+        span.add_cycles(cycles);
         Ok(BatchOutcome {
             values,
             rems: None,
@@ -248,6 +254,8 @@ impl<'rt> Session<'rt> {
     ///
     /// Fails on the first zero divisor.
     pub fn div_unsigned_batch(&mut self, pairs: &[(u32, u32)]) -> Result<BatchOutcome<u32>> {
+        let mut span =
+            telemetry::span::enter_with("div_unsigned_batch", || format!("{} pairs", pairs.len()));
         let mut values = Vec::with_capacity(pairs.len());
         let mut rems = Vec::with_capacity(pairs.len());
         let mut cycles = 0u64;
@@ -257,6 +265,7 @@ impl<'rt> Session<'rt> {
             rems.push(out.rem.expect("udiv yields a remainder"));
             cycles += out.cycles;
         }
+        span.add_cycles(cycles);
         Ok(BatchOutcome {
             values,
             rems: Some(rems),

@@ -1,0 +1,118 @@
+//! Overhead guard: the prepared fast path must stay observability-free.
+//!
+//! The span/metrics layer is strictly opt-in — spans record only inside a
+//! `telemetry::span::trace` scope, events only inside `telemetry::collect`.
+//! The pre-decoded fast path is deliberately uninstrumented (the "prepare"
+//! span fires at preparation time, the "execute" span only in the stats
+//! interpreter), so running it under fully armed scopes must produce zero
+//! records and its wall-clock cost must not move by more than noise.
+
+use std::time::{Duration, Instant};
+
+use hppa_muldiv::{isa, sim, telemetry, Compiler};
+use isa::{Cond, Reg};
+
+/// A ×10-and-count-down loop: long enough to dominate per-run setup, small
+/// enough to iterate tens of thousands of times in a test.
+fn sample_program() -> isa::Program {
+    let mut b = isa::ProgramBuilder::new();
+    b.ldi(40, Reg::R1);
+    let top = b.here("loop");
+    b.sh2add(Reg::R26, Reg::R26, Reg::R28);
+    b.add(Reg::R28, Reg::R28, Reg::R28);
+    b.addib(-1, Reg::R1, Cond::Ne, top);
+    b.build().unwrap()
+}
+
+fn run_loop(prepared: &sim::PreparedProgram, iterations: u32) -> (u32, u64) {
+    let mut machine = sim::Machine::new();
+    let mut last = 0;
+    let mut cycles = 0;
+    for i in 0..iterations {
+        machine.reset();
+        machine.set_reg(Reg::R26, i % 97);
+        let r = prepared.run(&mut machine);
+        assert!(matches!(r.termination, sim::Termination::Completed));
+        last = machine.reg(Reg::R28);
+        cycles = r.cycles;
+    }
+    (last, cycles)
+}
+
+#[test]
+fn armed_scopes_see_nothing_from_the_prepared_fast_path() {
+    // Prepare outside any scope so the one legitimate span ("prepare") has
+    // already come and gone.
+    let program = sample_program();
+    let prepared = sim::PreparedProgram::new(&program, sim::ExecConfig::default());
+
+    let ((result, events), spans) =
+        telemetry::span::trace(|| telemetry::collect(|| run_loop(&prepared, 2_000)));
+    let (value, cycles) = result;
+    assert!(cycles > 0);
+    assert!(value > 0);
+    assert!(
+        events.is_empty(),
+        "fast path must emit zero telemetry events, got {events:?}"
+    );
+    assert!(
+        spans.is_empty(),
+        "fast path must record zero spans, got {spans:?}"
+    );
+
+    // Positive control: the same scopes DO observe instrumented work, so
+    // the empty vectors above are meaningful rather than a broken tracer.
+    let (_, control_spans) = telemetry::span::trace(|| {
+        let compiler = Compiler::builder().cache_capacity(0).build();
+        compiler.mul_const(10).unwrap();
+    });
+    assert!(
+        control_spans.iter().any(|s| s.name == "compile"),
+        "tracer failed to see a compile span: {control_spans:?}"
+    );
+}
+
+#[test]
+fn scoping_changes_neither_results_nor_cycles() {
+    let program = sample_program();
+    let prepared = sim::PreparedProgram::new(&program, sim::ExecConfig::default());
+    let bare = run_loop(&prepared, 50);
+    let ((scoped, _), _) =
+        telemetry::span::trace(|| telemetry::collect(|| run_loop(&prepared, 50)));
+    assert_eq!(bare, scoped, "armed scopes must not perturb execution");
+}
+
+#[test]
+fn armed_scopes_cost_at_most_a_small_wall_clock_factor() {
+    let program = sample_program();
+    let prepared = sim::PreparedProgram::new(&program, sim::ExecConfig::default());
+    const ITERS: u32 = 20_000;
+    // Warm up caches and the allocator before timing anything.
+    run_loop(&prepared, ITERS / 4);
+
+    // Best-of-three on each side squeezes out scheduler noise; the bound is
+    // deliberately loose (the real expectation is a ratio of ~1.0) so only
+    // an accidentally instrumented fast path can trip it.
+    let best = |f: &dyn Fn() -> (u32, u64)| -> Duration {
+        (0..3)
+            .map(|_| {
+                let start = Instant::now();
+                std::hint::black_box(f());
+                start.elapsed()
+            })
+            .min()
+            .unwrap()
+    };
+    let bare = best(&|| run_loop(&prepared, ITERS));
+    let scoped = best(&|| {
+        telemetry::span::trace(|| telemetry::collect(|| run_loop(&prepared, ITERS)))
+            .0
+             .0
+    });
+    let limit = bare.saturating_mul(10) + Duration::from_millis(50);
+    assert!(
+        scoped <= limit,
+        "fast path under armed scopes took {scoped:?}, bare took {bare:?} — \
+         telemetry has leaked into the prepared fast path"
+    );
+}

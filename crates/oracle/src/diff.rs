@@ -214,6 +214,8 @@ impl Verifier {
 
     /// Runs `cases` generated cases from `seed`.
     pub fn run_fuzz(&mut self, seed: u64, cases: u64) {
+        let _span =
+            telemetry::span::enter_with("verify_fuzz", || format!("seed {seed:#x}, {cases} cases"));
         let mut generator = CaseGen::new(seed);
         for _ in 0..cases {
             let case = generator.next_case();
@@ -225,6 +227,7 @@ impl Verifier {
     /// them) through boundary operands, as constant divides and
     /// multiplies.
     pub fn run_sweep(&mut self, stride: u32) {
+        let _span = telemetry::span::enter_with("verify_sweep", || format!("stride {stride}"));
         let stride = stride.max(1);
         let mut c = 1u32;
         while c <= u16::MAX as u32 {
@@ -263,6 +266,7 @@ impl Verifier {
     pub fn finish(mut self) -> VerifyReport {
         self.flush_all();
         if let Some(first) = self.report.divergences.first().cloned() {
+            let _span = telemetry::span::enter("shrink");
             self.report.shrunk = Some(shrink(first.case, |c| self.single_case_fails(c)));
         }
         self.report

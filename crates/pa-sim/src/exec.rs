@@ -272,6 +272,9 @@ pub struct RunResult {
 /// # Ok::<(), pa_isa::IsaError>(())
 /// ```
 pub fn run(program: &Program, machine: &mut Machine, config: &ExecConfig) -> RunResult {
+    // Inert (one thread-local check) unless a span::trace scope is active;
+    // the prepared fast path (`PreparedProgram::run_fast`) stays unspanned.
+    let mut span = telemetry::span::enter("execute");
     let len = program.len();
     let mut result = RunResult {
         cycles: 0,
@@ -336,6 +339,10 @@ pub fn run(program: &Program, machine: &mut Machine, config: &ExecConfig) -> Run
             }
             StepOutcome::Branch(target) => {
                 result.taken_branches += 1;
+                if let Some(rec) = &mut recorder {
+                    // `pc` still indexes the branch instruction here.
+                    rec.record_branch(pc);
+                }
                 pc = target;
             }
             StepOutcome::Trap(kind) => {
@@ -355,6 +362,7 @@ pub fn run(program: &Program, machine: &mut Machine, config: &ExecConfig) -> Run
         }
     }
     result.stats = recorder.map(|rec| Box::new(rec.finish()));
+    span.add_cycles(result.cycles);
     result
 }
 
@@ -979,6 +987,40 @@ mod tests {
         assert_eq!(done.executed, 1);
         let body = &stats.regions[1];
         assert_eq!(body.cycles, r.cycles - 3);
+    }
+
+    #[test]
+    fn stats_regions_track_taken_branches() {
+        let p = stats_workload();
+        let (_, r) = run_fn(&p, &[], &ExecConfig::default().with_stats());
+        let stats = r.stats.as_deref().unwrap();
+        let region_branches: u64 = stats.regions.iter().map(|reg| reg.taken_branches).sum();
+        assert_eq!(
+            region_branches, r.taken_branches,
+            "per-region branch counts must partition the run total"
+        );
+        // The only branch is the ADDIB at the loop tail.
+        let body = stats
+            .regions
+            .iter()
+            .find(|reg| reg.label == "loop")
+            .unwrap();
+        assert_eq!(body.taken_branches, r.taken_branches);
+        assert!(body.taken_branches <= body.executed);
+        for region in &stats.regions {
+            if region.label != "loop" {
+                assert_eq!(region.taken_branches, 0, "{}", region.label);
+            }
+        }
+    }
+
+    #[test]
+    fn run_records_an_execute_span_when_traced() {
+        let p = stats_workload();
+        let ((_, r), spans) = telemetry::span::trace(|| run_fn(&p, &[], &ExecConfig::default()));
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "execute");
+        assert_eq!(spans[0].cycles, r.cycles);
     }
 
     #[test]

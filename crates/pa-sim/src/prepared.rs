@@ -328,6 +328,8 @@ impl PreparedProgram {
     /// Pre-decodes `program` under `config`.
     #[must_use]
     pub fn new(program: &Program, config: ExecConfig) -> PreparedProgram {
+        let _span =
+            telemetry::span::enter_with("prepare", || format!("{} instructions", program.len()));
         let code = program.iter().map(|insn| predecode(&insn.op)).collect();
         PreparedProgram {
             program: program.clone(),

@@ -27,6 +27,9 @@ pub struct RegionCycles {
     pub executed: u64,
     /// Slots nullified in the region.
     pub nullified: u64,
+    /// Taken branches whose branch instruction sits in the region (a subset
+    /// of `executed`; millicode returns through `Blr`/`Bv` count here too).
+    pub taken_branches: u64,
 }
 
 /// Per-opcode and per-region statistics from one run (see
@@ -115,6 +118,7 @@ impl SimStats {
                     mine.cycles += region.cycles;
                     mine.executed += region.executed;
                     mine.nullified += region.nullified;
+                    mine.taken_branches += region.taken_branches;
                 }
                 None => self.regions.push(region.clone()),
             }
@@ -141,6 +145,7 @@ impl StatsRecorder {
             cycles: 0,
             executed: 0,
             nullified: 0,
+            taken_branches: 0,
         });
         let mut region_of = vec![0u32; len];
         let mut next_label = 0usize;
@@ -152,6 +157,7 @@ impl StatsRecorder {
                     cycles: 0,
                     executed: 0,
                     nullified: 0,
+                    taken_branches: 0,
                 });
                 current = (regions.len() - 1) as u32;
                 next_label += 1;
@@ -180,6 +186,15 @@ impl StatsRecorder {
             } else {
                 region.executed += 1;
             }
+        }
+    }
+
+    /// Accounts one taken branch, attributed to the region holding the
+    /// branch instruction at `pc` (called after [`Self::record`] for the
+    /// same slot, so the instruction is already in `executed`).
+    pub(crate) fn record_branch(&mut self, pc: usize) {
+        if let Some(&rid) = self.region_of.get(pc) {
+            self.region_scratch[rid as usize].taken_branches += 1;
         }
     }
 

@@ -15,7 +15,11 @@
 //! * [`json`] — a dependency-free JSON value model (serialise + parse) used
 //!   by the sinks, the `hppa report` tool, and the golden-schema tests;
 //! * [`strategy_histogram`] — fold a stream of events into the per-strategy
-//!   counts that `BENCH_*.json` files record.
+//!   counts that `BENCH_*.json` files record;
+//! * [`span`] — nested, timed spans (wall-clock + simulated cycles) across
+//!   compile → cache → prepare → execute → verify;
+//! * [`metrics`] — a counters/gauges/log2-histogram registry with
+//!   Prometheus-text and JSON exporters, fed by spans and events.
 //!
 //! ## Example
 //!
@@ -47,8 +51,19 @@ use std::collections::BTreeMap;
 use std::io;
 
 pub mod json;
+pub mod metrics;
+pub mod span;
 
 use json::Json;
+
+/// Version of the serialised telemetry/benchmark artifact schema.
+///
+/// Written as the `schema_version` field of `BENCH_*.json` documents and as
+/// the header line of JSONL sinks. Bumped when the shape of those artifacts
+/// changes; documents without the field are implicitly version 1 (the PR 1–2
+/// era). Comparison tools accept versions `1..=SCHEMA_VERSION` and refuse
+/// anything newer with a clear error.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// One structured telemetry record.
 ///
@@ -336,6 +351,22 @@ impl<W: io::Write> JsonlSink<W> {
         JsonlSink { writer }
     }
 
+    /// Writes the stream header line, `{"schema_version":N}`, identifying
+    /// the artifact schema ([`SCHEMA_VERSION`]) to downstream consumers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn write_header(&mut self) -> io::Result<()> {
+        let mut line = Json::object(vec![(
+            "schema_version".to_string(),
+            Json::uint(SCHEMA_VERSION),
+        )])
+        .to_compact_string();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())
+    }
+
     /// Serialises one event as a line.
     ///
     /// # Errors
@@ -503,6 +534,93 @@ mod tests {
             .and_then(Json::as_str)
             .unwrap()
             .contains("oracle"));
+    }
+
+    /// One instance of every variant (`#[non_exhaustive]` — extend when a
+    /// variant is added so the round-trip test keeps covering all of them).
+    fn one_of_each_variant() -> Vec<Event> {
+        vec![
+            Event::ChainSearch {
+                target: -1980,
+                len: 6,
+                shift_adds: 4,
+                adds: 1,
+                subs: 1,
+                shifts: 0,
+                nodes_expanded: Some(123),
+                source: "exhaustive",
+            },
+            Event::MulStrategy {
+                routine: "switched",
+                tier: "nibble-x2",
+                operand: -300,
+                cycles: Some(25),
+            },
+            Event::DivDispatch {
+                routine: "small_dispatch",
+                tier: "inlined-body",
+                divisor: 7,
+                cycles: None,
+            },
+            Event::CacheLookup {
+                op: "x * \"10\"".to_string(),
+                hit: false,
+                entries: 4,
+            },
+            Event::Prepare {
+                label: "x / 7u".to_string(),
+                len: 17,
+            },
+            Event::DivPlan {
+                y: 7,
+                strategy: "magic",
+                magic_a: Some(0x9249_2493),
+                shift_s: Some(2),
+                fixup: "triple-precision",
+                chain_len: None,
+            },
+            Event::Verify {
+                suite: "budget",
+                case: "{\"kind\":\"udiv_const\",\"y\":7,\"x\":21}".to_string(),
+                detail: "81 cycles > budget 80\nsecond line".to_string(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_variant_round_trips_through_json() {
+        let events = one_of_each_variant();
+        let mut discriminators = std::collections::BTreeSet::new();
+        for event in &events {
+            let j = event.to_json();
+            let reparsed =
+                json::parse(&j.to_compact_string()).unwrap_or_else(|e| panic!("{event:?}: {e}"));
+            assert_eq!(reparsed, j, "{event:?} must survive serialise → parse");
+            let disc = j
+                .get("event")
+                .and_then(Json::as_str)
+                .expect("discriminator");
+            discriminators.insert(disc.to_string());
+        }
+        // One distinct discriminator per variant: a collision would make the
+        // JSONL stream ambiguous.
+        assert_eq!(discriminators.len(), events.len());
+    }
+
+    #[test]
+    fn jsonl_header_carries_the_schema_version() {
+        let mut buf = Vec::new();
+        let mut sink = JsonlSink::new(&mut buf);
+        sink.write_header().unwrap();
+        sink.write(&one_of_each_variant()[0]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines = text.lines();
+        let header = json::parse(lines.next().unwrap()).unwrap();
+        assert_eq!(
+            header.get("schema_version").and_then(Json::as_u64),
+            Some(SCHEMA_VERSION)
+        );
+        assert!(lines.next().unwrap().starts_with("{\"event\":"));
     }
 
     #[test]

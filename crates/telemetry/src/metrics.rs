@@ -1,0 +1,521 @@
+//! A dependency-free metrics registry: counters, gauges, and log2-bucketed
+//! histograms, exportable as Prometheus text exposition format and JSON.
+//!
+//! The registry is the aggregation layer of the observability stack: span
+//! streams ([`Registry::record_spans`]) and event streams
+//! ([`Registry::record_events`]) fold into named series, and simulator
+//! counts (per-opcode, per-region, per-workload) are added by the callers
+//! that own them. Series are identified by a metric name plus a sorted
+//! label set, so exports are deterministic.
+//!
+//! Histograms use power-of-two buckets (`le` boundaries `2^0 .. 2^63`,
+//! then `+Inf`): cycle counts and nanosecond durations both span many
+//! orders of magnitude, and log2 resolution is exactly what the paper's
+//! cost envelopes need.
+//!
+//! # Example
+//!
+//! ```
+//! use telemetry::metrics::Registry;
+//!
+//! let mut reg = Registry::new();
+//! reg.inc_counter("hppa_runs_total", &[("workload", "figure5")], 3);
+//! reg.observe("hppa_run_cycles", &[], 17);
+//! let text = reg.to_prometheus();
+//! assert!(text.contains("# TYPE hppa_runs_total counter"));
+//! assert!(text.contains("hppa_runs_total{workload=\"figure5\"} 3"));
+//! assert!(text.contains("hppa_run_cycles_bucket{le=\"32\"} 1"));
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+use crate::span::SpanRecord;
+use crate::Event;
+
+/// Bucket count of a log2 histogram: `le` boundaries `2^0 .. 2^63` plus
+/// the `+Inf` overflow bucket.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` observations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Which bucket `value` lands in: the smallest `i` with
+    /// `value <= 2^i`, or the `+Inf` bucket (index 64) above `2^63`.
+    #[must_use]
+    pub fn bucket_index(value: u64) -> usize {
+        if value <= 1 {
+            0
+        } else {
+            // ceil(log2(value)) for value >= 2.
+            64 - (value - 1).leading_zeros() as usize
+        }
+    }
+
+    /// The inclusive upper bound of bucket `index` (`None` for `+Inf`).
+    #[must_use]
+    pub fn bucket_le(index: usize) -> Option<u64> {
+        (index < HISTOGRAM_BUCKETS - 1).then(|| 1u64 << index)
+    }
+
+    /// Records one observation (the sum saturates at `u64::MAX`).
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of observations.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Raw (non-cumulative) per-bucket counts.
+    #[must_use]
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One series: a metric name plus its sorted label set.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct SeriesKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl SeriesKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> SeriesKey {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+            .collect();
+        labels.sort();
+        SeriesKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// `name{a="x",b="y"}`, with `extra` appended (for `le`).
+    fn render(&self, extra: Option<(&str, &str)>) -> String {
+        let mut pairs: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}={:?}", v))
+            .collect();
+        if let Some((k, v)) = extra {
+            pairs.push(format!("{k}={v:?}"));
+        }
+        if pairs.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}{{{}}}", self.name, pairs.join(","))
+        }
+    }
+}
+
+/// The registry: a deterministic map from series to metric values.
+///
+/// Mixing metric kinds under one name is a programming error and panics.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    series: BTreeMap<SeriesKey, Metric>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn slot(&mut self, name: &str, labels: &[(&str, &str)], fresh: Metric) -> &mut Metric {
+        let entry = self
+            .series
+            .entry(SeriesKey::new(name, labels))
+            .or_insert_with(|| fresh.clone());
+        assert_eq!(
+            entry.type_name(),
+            fresh.type_name(),
+            "metric `{name}` already registered as a {}",
+            entry.type_name()
+        );
+        entry
+    }
+
+    /// Adds `by` to a counter series (creating it at zero).
+    pub fn inc_counter(&mut self, name: &str, labels: &[(&str, &str)], by: u64) {
+        if let Metric::Counter(n) = self.slot(name, labels, Metric::Counter(0)) {
+            *n += by;
+        }
+    }
+
+    /// Sets a gauge series to `value`.
+    pub fn set_gauge(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        if let Metric::Gauge(g) = self.slot(name, labels, Metric::Gauge(0.0)) {
+            *g = value;
+        }
+    }
+
+    /// Records `value` into a histogram series.
+    pub fn observe(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        if let Metric::Histogram(h) = self.slot(name, labels, Metric::Histogram(Histogram::new())) {
+            h.observe(value);
+        }
+    }
+
+    /// Current value of a counter series, if registered.
+    #[must_use]
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self.series.get(&SeriesKey::new(name, labels)) {
+            Some(Metric::Counter(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Current value of a gauge series, if registered.
+    #[must_use]
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        match self.series.get(&SeriesKey::new(name, labels)) {
+            Some(Metric::Gauge(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// A histogram series, if registered.
+    #[must_use]
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Histogram> {
+        match self.series.get(&SeriesKey::new(name, labels)) {
+            Some(Metric::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Whether nothing has been registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Folds a span stream in: per-name span counts plus wall-clock and
+    /// simulated-cycle histograms.
+    pub fn record_spans(&mut self, spans: &[SpanRecord]) {
+        for s in spans {
+            self.inc_counter("hppa_span_total", &[("name", s.name)], 1);
+            self.observe("hppa_span_wall_ns", &[("name", s.name)], s.wall_ns);
+            if s.cycles > 0 {
+                self.observe("hppa_span_cycles", &[("name", s.name)], s.cycles);
+            }
+        }
+    }
+
+    /// Folds an event stream in as per-strategy counters (the same
+    /// `family/detail` keys as [`crate::strategy_histogram`]).
+    pub fn record_events(&mut self, events: &[Event]) {
+        for e in events {
+            self.inc_counter("hppa_strategy_total", &[("strategy", &e.strategy_key())], 1);
+        }
+    }
+
+    /// Prometheus text exposition format: one `# TYPE` line per metric
+    /// name, histogram series expanded to cumulative `_bucket`/`_sum`/
+    /// `_count` lines.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut by_name: BTreeMap<&str, Vec<(&SeriesKey, &Metric)>> = BTreeMap::new();
+        for (key, metric) in &self.series {
+            by_name.entry(&key.name).or_default().push((key, metric));
+        }
+        let mut out = String::new();
+        for (name, series) in by_name {
+            let _ = writeln!(out, "# TYPE {name} {}", series[0].1.type_name());
+            for (key, metric) in series {
+                match metric {
+                    Metric::Counter(n) => {
+                        let _ = writeln!(out, "{} {n}", key.render(None));
+                    }
+                    Metric::Gauge(g) => {
+                        let _ = writeln!(out, "{} {g}", key.render(None));
+                    }
+                    Metric::Histogram(h) => {
+                        let bucket_key = SeriesKey {
+                            name: format!("{name}_bucket"),
+                            labels: key.labels.clone(),
+                        };
+                        let mut cumulative = 0u64;
+                        for (i, count) in h.buckets().iter().enumerate() {
+                            cumulative += count;
+                            // Keep the exposition bounded: only emit the
+                            // buckets that separate observations, plus the
+                            // mandatory +Inf line.
+                            if *count == 0 && i != HISTOGRAM_BUCKETS - 1 {
+                                continue;
+                            }
+                            let le = match Histogram::bucket_le(i) {
+                                Some(b) => b.to_string(),
+                                None => "+Inf".to_string(),
+                            };
+                            let _ = writeln!(
+                                out,
+                                "{} {cumulative}",
+                                bucket_key.render(Some(("le", &le)))
+                            );
+                        }
+                        let sum_key = SeriesKey {
+                            name: format!("{name}_sum"),
+                            labels: key.labels.clone(),
+                        };
+                        let count_key = SeriesKey {
+                            name: format!("{name}_count"),
+                            labels: key.labels.clone(),
+                        };
+                        let _ = writeln!(out, "{} {}", sum_key.render(None), h.sum());
+                        let _ = writeln!(out, "{} {}", count_key.render(None), h.count());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The JSON form: `{"counters": {...}, "gauges": {...},
+    /// "histograms": {...}}` with rendered series names as keys and raw
+    /// (non-cumulative) bucket counts.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for (key, metric) in &self.series {
+            let series = key.render(None);
+            match metric {
+                Metric::Counter(n) => counters.push((series, Json::uint(*n))),
+                Metric::Gauge(g) => gauges.push((series, Json::Float(*g))),
+                Metric::Histogram(h) => {
+                    let buckets: Vec<(String, Json)> = h
+                        .buckets()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &count)| count > 0)
+                        .map(|(i, &count)| {
+                            let le = match Histogram::bucket_le(i) {
+                                Some(b) => b.to_string(),
+                                None => "+Inf".to_string(),
+                            };
+                            (le, Json::uint(count))
+                        })
+                        .collect();
+                    histograms.push((
+                        series,
+                        Json::object(vec![
+                            ("count".to_string(), Json::uint(h.count())),
+                            ("sum".to_string(), Json::uint(h.sum())),
+                            ("buckets".to_string(), Json::object(buckets)),
+                        ]),
+                    ));
+                }
+            }
+        }
+        Json::object(vec![
+            ("counters".to_string(), Json::object(counters)),
+            ("gauges".to_string(), Json::object(gauges)),
+            ("histograms".to_string(), Json::object(histograms)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span;
+
+    #[test]
+    fn bucket_boundaries_at_powers_of_two() {
+        // Zero and one share the first bucket (le = 1).
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        // Exact powers of two land on their own boundary...
+        for k in 1..=63u32 {
+            let v = 1u64 << k;
+            assert_eq!(Histogram::bucket_index(v), k as usize, "2^{k}");
+            assert_eq!(Histogram::bucket_le(k as usize), Some(v));
+            // ...one below shares the bucket (2^(k-1) < 2^k - 1 for k ≥ 2),
+            // and one past the boundary spills into the next bucket.
+            let below = if k >= 2 { k as usize } else { 0 };
+            assert_eq!(Histogram::bucket_index(v - 1), below, "2^{k}-1");
+            if k < 63 {
+                assert_eq!(Histogram::bucket_index(v + 1), k as usize + 1, "2^{k}+1");
+            }
+        }
+        // Above 2^63 everything is +Inf.
+        assert_eq!(Histogram::bucket_index((1u64 << 63) + 1), 64);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_le(64), None);
+    }
+
+    #[test]
+    fn histogram_counts_sum_and_saturation() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 1024, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates instead of wrapping");
+        assert_eq!(h.buckets()[0], 2); // 0 and 1
+        assert_eq!(h.buckets()[1], 1); // 2
+        assert_eq!(h.buckets()[2], 1); // 3
+        assert_eq!(h.buckets()[10], 1); // 1024
+        assert_eq!(h.buckets()[64], 1); // u64::MAX
+        assert_eq!(h.buckets().iter().sum::<u64>(), h.count());
+    }
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let mut reg = Registry::new();
+        reg.inc_counter("runs", &[("workload", "a")], 1);
+        reg.inc_counter("runs", &[("workload", "a")], 2);
+        reg.inc_counter("runs", &[("workload", "b")], 5);
+        reg.set_gauge("speedup", &[], 1.5);
+        reg.set_gauge("speedup", &[], 8.6);
+        assert_eq!(reg.counter("runs", &[("workload", "a")]), Some(3));
+        assert_eq!(reg.counter("runs", &[("workload", "b")]), Some(5));
+        assert_eq!(reg.gauge("speedup", &[]), Some(8.6));
+        assert_eq!(reg.counter("absent", &[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let mut reg = Registry::new();
+        reg.inc_counter("m", &[], 1);
+        reg.set_gauge("m", &[], 1.0);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let mut reg = Registry::new();
+        reg.inc_counter("hppa_runs_total", &[("workload", "f5")], 7);
+        reg.set_gauge("hppa_speedup", &[], 8.5);
+        reg.observe("hppa_cycles", &[], 3);
+        reg.observe("hppa_cycles", &[], 17);
+        let text = reg.to_prometheus();
+        assert!(text.contains("# TYPE hppa_runs_total counter"), "{text}");
+        assert!(
+            text.contains("hppa_runs_total{workload=\"f5\"} 7"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE hppa_speedup gauge"), "{text}");
+        assert!(text.contains("hppa_speedup 8.5"), "{text}");
+        assert!(text.contains("# TYPE hppa_cycles histogram"), "{text}");
+        // Buckets are cumulative: 3 ≤ 4 (1 obs), 17 ≤ 32 (2 obs), +Inf (2).
+        assert!(text.contains("hppa_cycles_bucket{le=\"4\"} 1"), "{text}");
+        assert!(text.contains("hppa_cycles_bucket{le=\"32\"} 2"), "{text}");
+        assert!(text.contains("hppa_cycles_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("hppa_cycles_sum 20"), "{text}");
+        assert!(text.contains("hppa_cycles_count 2"), "{text}");
+    }
+
+    #[test]
+    fn json_export_round_trips_through_parser() {
+        let mut reg = Registry::new();
+        reg.inc_counter("runs", &[("w", "a")], 3);
+        reg.observe("cycles", &[], 1000);
+        let doc = crate::json::parse(&reg.to_json().to_compact_string()).unwrap();
+        assert_eq!(doc.keys(), vec!["counters", "gauges", "histograms"]);
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("runs{w=\"a\"}"))
+                .and_then(Json::as_u64),
+            Some(3)
+        );
+        let hist = doc.get("histograms").and_then(|h| h.get("cycles")).unwrap();
+        assert_eq!(hist.get("count").and_then(Json::as_u64), Some(1));
+        assert_eq!(hist.get("sum").and_then(Json::as_u64), Some(1000));
+        assert_eq!(
+            hist.get("buckets")
+                .and_then(|b| b.get("1024"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn span_and_event_streams_fold_in() {
+        let ((), spans) = span::trace(|| {
+            let mut g = span::enter("execute");
+            g.add_cycles(17);
+            drop(g);
+            drop(span::enter("compile"));
+        });
+        let mut reg = Registry::new();
+        reg.record_spans(&spans);
+        reg.record_events(&[Event::Prepare {
+            label: "x / 3u".to_string(),
+            len: 17,
+        }]);
+        assert_eq!(
+            reg.counter("hppa_span_total", &[("name", "execute")]),
+            Some(1)
+        );
+        assert_eq!(
+            reg.counter("hppa_span_total", &[("name", "compile")]),
+            Some(1)
+        );
+        let cycles = reg
+            .histogram("hppa_span_cycles", &[("name", "execute")])
+            .unwrap();
+        assert_eq!(cycles.sum(), 17);
+        assert_eq!(
+            reg.counter("hppa_strategy_total", &[("strategy", "prepare/program")]),
+            Some(1)
+        );
+    }
+}

@@ -1,0 +1,305 @@
+//! Span tracing: nested, timed regions across the compile → cache →
+//! prepare → execute → verify pipeline.
+//!
+//! The [`Event`](crate::Event) stream records *decisions*; spans record
+//! *where time went*. A span is opened with [`enter`] (or [`enter_with`]
+//! when a dynamic label is worth its allocation), closed when its
+//! [`SpanGuard`] drops, and carries
+//!
+//! * wall-clock duration in nanoseconds,
+//! * simulated-cycle attribution (added by the instrumented stage via
+//!   [`SpanGuard::add_cycles`]), and
+//! * parent linkage — spans opened while another span is live become its
+//!   children, so a trace reconstructs the call tree
+//!   (`compile` → `cache_lookup` → `compile_cold` → `prepare`).
+//!
+//! Like event collection, tracing is **opt-in per thread**: outside a
+//! [`trace`] scope [`enter`] costs one thread-local check and returns an
+//! inert guard, so production paths stay unperturbed. Scopes nest the same
+//! way [`collect`](crate::collect) scopes do: the innermost scope receives
+//! the spans.
+//!
+//! # Example
+//!
+//! ```
+//! use telemetry::span;
+//!
+//! let ((), spans) = span::trace(|| {
+//!     let _compile = span::enter_with("compile", || "x * 10".to_string());
+//!     {
+//!         let mut execute = span::enter("execute");
+//!         execute.add_cycles(2);
+//!     }
+//! });
+//! assert_eq!(spans.len(), 2);
+//! // Children close (and record) before their parents.
+//! assert_eq!(spans[0].name, "execute");
+//! assert_eq!(spans[0].cycles, 2);
+//! assert_eq!(spans[1].name, "compile");
+//! assert_eq!(spans[0].parent, Some(spans[1].id));
+//! ```
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// One closed span: a named, timed region of the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Identifier, unique within one [`trace`] scope (allocated in entry
+    /// order, starting at 1).
+    pub id: u64,
+    /// The span that was live when this one was entered, if any.
+    pub parent: Option<u64>,
+    /// Static stage name (`"compile"`, `"prepare"`, `"execute"`, …).
+    pub name: &'static str,
+    /// Dynamic detail (an operation display form, a routine name); empty
+    /// when the stage had nothing cheap to say.
+    pub label: String,
+    /// Wall-clock duration, enter to exit, in nanoseconds.
+    pub wall_ns: u64,
+    /// Simulated cycles attributed to the span via
+    /// [`SpanGuard::add_cycles`] (0 for host-only stages).
+    pub cycles: u64,
+}
+
+impl SpanRecord {
+    /// The flat JSON object form (the `span` discriminator keeps span
+    /// lines distinguishable from event lines in a shared JSONL stream).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("span".to_string(), Json::str(self.name)),
+            ("id".to_string(), Json::uint(self.id)),
+            ("parent".to_string(), Json::opt_u64(self.parent)),
+            ("label".to_string(), Json::str(&self.label)),
+            ("wall_ns".to_string(), Json::uint(self.wall_ns)),
+            ("cycles".to_string(), Json::uint(self.cycles)),
+        ])
+    }
+}
+
+struct Tracer {
+    records: Vec<SpanRecord>,
+    stack: Vec<u64>,
+    next_id: u64,
+}
+
+thread_local! {
+    static TRACER: RefCell<Option<Tracer>> = const { RefCell::new(None) };
+}
+
+/// Whether a [`trace`] scope is active on this thread.
+#[must_use]
+pub fn is_tracing() -> bool {
+    TRACER.with(|t| t.borrow().is_some())
+}
+
+/// Opens a span named `name`. Returns an inert guard (one thread-local
+/// check, no allocation) when no [`trace`] scope is active.
+#[must_use]
+pub fn enter(name: &'static str) -> SpanGuard {
+    enter_with(name, String::new)
+}
+
+/// Opens a span with a dynamically computed label; the closure runs only
+/// when a [`trace`] scope is listening.
+#[must_use]
+pub fn enter_with(name: &'static str, label: impl FnOnce() -> String) -> SpanGuard {
+    let active = TRACER.with(|t| {
+        let mut slot = t.borrow_mut();
+        let tracer = slot.as_mut()?;
+        let id = tracer.next_id;
+        tracer.next_id += 1;
+        let parent = tracer.stack.last().copied();
+        tracer.stack.push(id);
+        Some(ActiveSpan {
+            id,
+            parent,
+            name,
+            label: label(),
+            start: Instant::now(),
+            cycles: 0,
+        })
+    });
+    SpanGuard { active }
+}
+
+/// Runs `f` with span tracing enabled on this thread, returning its result
+/// together with every span closed inside the scope (in exit order —
+/// children precede their parents). Scopes nest like
+/// [`collect`](crate::collect) scopes.
+pub fn trace<R>(f: impl FnOnce() -> R) -> (R, Vec<SpanRecord>) {
+    let previous = TRACER.with(|t| {
+        t.borrow_mut().replace(Tracer {
+            records: Vec::new(),
+            stack: Vec::new(),
+            next_id: 1,
+        })
+    });
+    let result = f();
+    let spans = TRACER.with(|t| {
+        let mut slot = t.borrow_mut();
+        let collected = slot.take().map(|tr| tr.records).unwrap_or_default();
+        *slot = previous;
+        collected
+    });
+    (result, spans)
+}
+
+#[derive(Debug)]
+struct ActiveSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    label: String,
+    start: Instant,
+    cycles: u64,
+}
+
+/// An open span; records itself into the active trace when dropped.
+///
+/// Guards from an inactive thread are inert: every method is a no-op and
+/// dropping records nothing.
+#[derive(Debug)]
+#[must_use = "a span measures the region it is alive for"]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+impl SpanGuard {
+    /// Attributes simulated cycles to the span (additive across calls).
+    pub fn add_cycles(&mut self, cycles: u64) {
+        if let Some(a) = &mut self.active {
+            a.cycles += cycles;
+        }
+    }
+
+    /// Replaces the span's label (for stages that only know it late).
+    pub fn set_label(&mut self, label: impl FnOnce() -> String) {
+        if let Some(a) = &mut self.active {
+            a.label = label();
+        }
+    }
+
+    /// Whether this guard is actually recording.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.active.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(a) = self.active.take() else { return };
+        let wall_ns = u64::try_from(a.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        TRACER.with(|t| {
+            if let Some(tracer) = t.borrow_mut().as_mut() {
+                // Pop this span (and anything a leaked guard left behind
+                // above it) off the live stack.
+                while let Some(top) = tracer.stack.pop() {
+                    if top == a.id {
+                        break;
+                    }
+                }
+                tracer.records.push(SpanRecord {
+                    id: a.id,
+                    parent: a.parent,
+                    name: a.name,
+                    label: a.label,
+                    wall_ns,
+                    cycles: a.cycles,
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_outside_a_trace_scope() {
+        assert!(!is_tracing());
+        let mut g = enter("compile");
+        assert!(!g.is_active());
+        g.add_cycles(10);
+        drop(g);
+        // Nothing leaked into a later scope.
+        let ((), spans) = trace(|| {});
+        assert!(spans.is_empty());
+    }
+
+    #[test]
+    fn records_nesting_and_cycles() {
+        let ((), spans) = trace(|| {
+            let _outer = enter_with("compile", || "x / 7u".to_string());
+            let mut inner = enter("execute");
+            inner.add_cycles(17);
+            inner.add_cycles(3);
+        });
+        assert_eq!(spans.len(), 2);
+        let inner = &spans[0];
+        let outer = &spans[1];
+        assert_eq!(inner.name, "execute");
+        assert_eq!(inner.cycles, 20);
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(outer.name, "compile");
+        assert_eq!(outer.label, "x / 7u");
+        assert_eq!(outer.parent, None);
+        assert!(outer.wall_ns >= inner.wall_ns || inner.wall_ns == 0);
+    }
+
+    #[test]
+    fn siblings_share_a_parent() {
+        let ((), spans) = trace(|| {
+            let _root = enter("verify");
+            drop(enter("fuzz"));
+            drop(enter("sweep"));
+        });
+        assert_eq!(spans.len(), 3);
+        let root_id = spans[2].id;
+        assert_eq!(spans[0].parent, Some(root_id));
+        assert_eq!(spans[1].parent, Some(root_id));
+        assert_ne!(spans[0].id, spans[1].id);
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        let ((inner_spans, outer_before), outer_spans) = trace(|| {
+            drop(enter("outer-1"));
+            let (_, inner) = trace(|| drop(enter("inner")));
+            drop(enter("outer-2"));
+            (inner, is_tracing())
+        });
+        assert!(outer_before, "outer scope resumes after the inner one");
+        assert_eq!(inner_spans.len(), 1);
+        assert_eq!(inner_spans[0].name, "inner");
+        let names: Vec<&str> = outer_spans.iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["outer-1", "outer-2"]);
+    }
+
+    #[test]
+    fn label_closure_runs_only_when_tracing() {
+        let g = enter_with("compile", || panic!("must not run untraced"));
+        drop(g);
+        let ((), spans) = trace(|| drop(enter_with("compile", || "ran".to_string())));
+        assert_eq!(spans[0].label, "ran");
+    }
+
+    #[test]
+    fn json_form_carries_the_discriminator() {
+        let ((), spans) = trace(|| {
+            let mut g = enter_with("execute", || "udiv".to_string());
+            g.add_cycles(80);
+        });
+        let j = spans[0].to_json();
+        assert_eq!(j.get("span").and_then(Json::as_str), Some("execute"));
+        assert_eq!(j.get("label").and_then(Json::as_str), Some("udiv"));
+        assert_eq!(j.get("cycles").and_then(Json::as_u64), Some(80));
+        assert_eq!(j.get("parent"), Some(&Json::Null));
+        assert!(j.get("wall_ns").and_then(Json::as_u64).is_some());
+    }
+}

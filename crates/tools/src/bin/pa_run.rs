@@ -6,11 +6,14 @@
 //!                  a negative decimal
 //!   -t             print the execution trace
 //!   -p             print the per-instruction profile
-//!   -s             print run statistics (per-opcode histogram and
-//!                  per-label cycle attribution)
+//!   -s             print run statistics: per-opcode histogram, per-label
+//!                  cycle attribution, and a summary line with the
+//!                  nullified-slot percentage and trap/fault counts
 //!   -m CYCLES      cycle budget (default 1000000)
 //!   --precise      use the precise overflow detector instead of the cheap
 //!                  circuit
+//!   --metrics      print the run as a Prometheus text page (implies stats)
+//!   -h, --help     print this help and exit
 //! ```
 //!
 //! Exit status: 0 on completion, 2 on trap, 3 on fault/limit, 1 on usage or
@@ -34,12 +37,29 @@ struct Options {
     trace: bool,
     profile: bool,
     stats: bool,
+    metrics: bool,
     max_cycles: u64,
     precise: bool,
 }
 
+const USAGE: &str = "usage: pa-run [-r REG=VALUE]... [-t] [-p] [-s] [-m CYCLES] [--precise]
+              [--metrics] <file.s>
+
+  -r REG=VALUE   preload a register (repeatable); VALUE may be 0x-hex or a
+                 negative decimal
+  -t             print the execution trace
+  -p             print the per-instruction profile
+  -s             print run statistics: per-opcode histogram, per-label cycle
+                 attribution, and a summary line with the nullified-slot
+                 percentage and trap/fault counts
+  -m CYCLES      cycle budget (default 1000000)
+  --precise      use the precise overflow detector instead of the cheap
+                 circuit
+  --metrics      print the run as a Prometheus text page (implies -s)
+  -h, --help     print this help and exit";
+
 fn usage() -> ExitCode {
-    eprintln!("usage: pa-run [-r REG=VALUE]... [-t] [-p] [-s] [-m CYCLES] [--precise] <file.s>");
+    eprintln!("{USAGE}");
     ExitCode::from(1)
 }
 
@@ -61,6 +81,7 @@ fn parse_args() -> Option<Options> {
         trace: false,
         profile: false,
         stats: false,
+        metrics: false,
         max_cycles: 1_000_000,
         precise: false,
     };
@@ -76,6 +97,10 @@ fn parse_args() -> Option<Options> {
             "-s" => opts.stats = true,
             "-m" => opts.max_cycles = args.next()?.parse().ok()?,
             "--precise" => opts.precise = true,
+            "--metrics" => {
+                opts.metrics = true;
+                opts.stats = true;
+            }
             file if !file.starts_with('-') && opts.file.is_empty() => {
                 opts.file = file.to_string();
             }
@@ -86,6 +111,10 @@ fn parse_args() -> Option<Options> {
 }
 
 fn main() -> ExitCode {
+    if std::env::args().skip(1).any(|a| a == "-h" || a == "--help") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
     let Some(opts) = parse_args() else {
         return usage();
     };
@@ -147,6 +176,23 @@ fn main() -> ExitCode {
                 region.label, region.cycles, region.executed, region.nullified
             );
         }
+        // Every fetched slot costs a cycle, so `cycles` is the fetched-slot
+        // count and the nullified share reads directly off the run result.
+        let nullified_pct = if result.cycles > 0 {
+            result.nullified as f64 * 100.0 / result.cycles as f64
+        } else {
+            0.0
+        };
+        println!(
+            "slots: {} fetched, {} nullified ({nullified_pct:.1}%); traps: {}, faults: {}",
+            result.cycles, result.nullified, stats.traps, stats.faults
+        );
+    }
+    if opts.metrics {
+        print!(
+            "{}",
+            tools::metrics::registry_for_run(&result).to_prometheus()
+        );
     }
     println!(
         "{} in {} cycles ({} executed, {} nullified, {} branches taken)",

@@ -1,12 +1,22 @@
 //! Library backing for the command-line tools.
 //!
-//! The binaries in `src/bin/` stay thin; anything worth testing lives here.
-//! Currently that is [`report`], the `hppa report` builder that replays the
-//! paper-table workloads with full telemetry and writes `BENCH_*.json`, and
-//! [`verify`], the differential-oracle driver behind `hppa verify`.
+//! The binaries in `src/bin/` stay thin; anything worth testing lives here:
+//!
+//! * [`report`] — the `hppa report` builder that replays the paper-table
+//!   workloads with full telemetry and writes `BENCH_*.json`;
+//! * [`verify`] — the differential-oracle driver behind `hppa verify`;
+//! * [`profile`] — the cycle-exact folded-stack builder behind
+//!   `hppa profile`;
+//! * [`sentinel`] — the perf-regression comparator behind
+//!   `hppa bench --compare` and `bench/thresholds.toml`;
+//! * [`metrics`] — the registry builders behind `hppa metrics` and
+//!   `pa-run --metrics`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod metrics;
+pub mod profile;
 pub mod report;
+pub mod sentinel;
 pub mod verify;

@@ -1,0 +1,139 @@
+//! The `hppa profile` builder: fold [`SimStats`](pa_sim::SimStats) per-label
+//! cycle attribution into flamegraph-compatible folded-stack lines.
+//!
+//! Each line is `frame;frame;frame count`, the format consumed by
+//! `flamegraph.pl`, inferno, and speedscope. The stack layers are
+//!
+//! 1. the workload name,
+//! 2. the region label (millicode routines label every loop head and shared
+//!    tail, so this is the paper's per-phase breakdown),
+//! 3. the slot disposition: `executed;straight-line`, `executed;taken-branch`
+//!    (cycles whose instruction redirected control — the `BLR` dispatches
+//!    and millicode returns stand out here), or `nullified`.
+//!
+//! Dispositions partition each region's cycles and regions partition each
+//! workload's cycles, so **the summed counts equal the simulator's cycle
+//! total exactly** — the flamegraph is cycle-exact, not sampled. That
+//! identity is asserted by `workload_lines` and re-checked end-to-end by the
+//! observability tests.
+
+use std::fmt::Write as _;
+
+use crate::report::WorkloadReport;
+
+/// One folded stack: the `;`-joined frames and the cycle count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FoldedStack {
+    /// Frames from root to leaf, already joined with `;`.
+    pub stack: String,
+    /// Cycles attributed to exactly this stack.
+    pub cycles: u64,
+}
+
+/// Folds one workload's region attribution into stacks (zero-cycle stacks
+/// omitted). The returned counts sum to `report.cycles` exactly.
+#[must_use]
+pub fn workload_lines(report: &WorkloadReport) -> Vec<FoldedStack> {
+    let mut lines = Vec::with_capacity(report.regions.len() * 3);
+    let mut total = 0u64;
+    for region in &report.regions {
+        let straight = region.executed - region.taken_branches;
+        let splits = [
+            ("executed;straight-line", straight),
+            ("executed;taken-branch", region.taken_branches),
+            ("nullified", region.nullified),
+        ];
+        for (disposition, cycles) in splits {
+            if cycles > 0 {
+                lines.push(FoldedStack {
+                    stack: format!("{};{};{disposition}", report.workload, region.label),
+                    cycles,
+                });
+                total += cycles;
+            }
+        }
+    }
+    assert_eq!(
+        total, report.cycles,
+        "{}: folded stacks must partition the cycle total",
+        report.workload
+    );
+    lines
+}
+
+/// Folds every workload, preserving report order.
+#[must_use]
+pub fn folded_stacks(reports: &[WorkloadReport]) -> Vec<FoldedStack> {
+    reports.iter().flat_map(workload_lines).collect()
+}
+
+/// Renders stacks in the folded text format, one `stack count` per line.
+#[must_use]
+pub fn render_folded(stacks: &[FoldedStack]) -> String {
+    let mut out = String::new();
+    for s in stacks {
+        let _ = writeln!(out, "{} {}", s.stack, s.cycles);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::paper_workloads;
+
+    #[test]
+    fn folded_cycles_sum_to_the_simstats_total_exactly() {
+        for w in paper_workloads() {
+            let lines = workload_lines(&w);
+            let sum: u64 = lines.iter().map(|l| l.cycles).sum();
+            assert_eq!(sum, w.cycles, "{}", w.workload);
+        }
+    }
+
+    #[test]
+    fn frames_carry_workload_label_and_disposition() {
+        let workloads = paper_workloads();
+        let divide = workloads
+            .iter()
+            .find(|w| w.workload == "general_divide")
+            .unwrap();
+        let lines = workload_lines(divide);
+        assert!(lines.iter().all(|l| l.stack.starts_with("general_divide;")));
+        // The DS divide takes its loop-closing and dispatch branches.
+        assert!(
+            lines.iter().any(|l| l.stack.ends_with("taken-branch")),
+            "{lines:?}"
+        );
+        // The small-divisor dispatch is the workload that nullifies (its
+        // BLR table slots); its folded stacks must say so.
+        let dispatch = workloads
+            .iter()
+            .find(|w| w.workload == "small_divisor_dispatch")
+            .unwrap();
+        let lines = workload_lines(dispatch);
+        assert!(
+            lines.iter().any(|l| l.stack.ends_with("nullified")),
+            "{lines:?}"
+        );
+    }
+
+    #[test]
+    fn rendering_is_one_stack_per_line() {
+        let stacks = vec![
+            FoldedStack {
+                stack: "w;<entry>;executed;straight-line".to_string(),
+                cycles: 3,
+            },
+            FoldedStack {
+                stack: "w;loop;nullified".to_string(),
+                cycles: 1,
+            },
+        ];
+        let text = render_folded(&stacks);
+        assert_eq!(
+            text,
+            "w;<entry>;executed;straight-line 3\nw;loop;nullified 1\n"
+        );
+    }
+}

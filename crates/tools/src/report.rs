@@ -3,9 +3,12 @@
 //! everything into one JSON document:
 //!
 //! ```json
-//! {"workloads": [{"workload": "…", "cycles": N, "executed": N, "nullified": N,
+//! {"schema_version": N,
+//!  "workloads": [{"workload": "…", "cycles": N, "executed": N, "nullified": N,
 //!                 "per_opcode": {"add": N, …},
-//!                 "strategy_histogram": {"mul/nibble-x1": N, …}}, …],
+//!                 "strategy_histogram": {"mul/nibble-x1": N, …},
+//!                 "regions": [{"label": "…", "cycles": N, "executed": N,
+//!                              "nullified": N, "taken_branches": N}, …]}, …],
 //!  "throughput": [{"workload": "e13_multiply_mix", "ops": N,
 //!                  "simulated_cycles": N, "unprepared_ns": N, "prepared_ns": N,
 //!                  "unprepared_ops_per_sec": F, "prepared_ops_per_sec": F,
@@ -35,7 +38,7 @@ use hppa_muldiv::{Compiler, Runtime, DISPATCH_LIMIT};
 use millicode::{divvar, mulvar};
 use mulconst::{compile_mul_const, CodegenConfig};
 use pa_isa::{Program, Reg};
-use pa_sim::{run_fn, ExecConfig, Machine, SimStats};
+use pa_sim::{run_fn, ExecConfig, Machine, RegionCycles, SimStats};
 use telemetry::json::Json;
 use telemetry::Event;
 
@@ -54,6 +57,9 @@ pub struct WorkloadReport {
     pub per_opcode: BTreeMap<&'static str, u64>,
     /// `family/detail` counts folded from the telemetry event stream.
     pub strategy_histogram: BTreeMap<String, u64>,
+    /// Per-label cycle attribution merged across every run of the workload
+    /// (in program order; the folded-stack profiler consumes these).
+    pub regions: Vec<RegionCycles>,
 }
 
 impl WorkloadReport {
@@ -75,6 +81,23 @@ impl WorkloadReport {
             (
                 "strategy_histogram".to_string(),
                 Json::from_counts(&self.strategy_histogram),
+            ),
+            (
+                "regions".to_string(),
+                Json::Array(
+                    self.regions
+                        .iter()
+                        .map(|r| {
+                            Json::object(vec![
+                                ("label".to_string(), Json::str(&r.label)),
+                                ("cycles".to_string(), Json::uint(r.cycles)),
+                                ("executed".to_string(), Json::uint(r.executed)),
+                                ("nullified".to_string(), Json::uint(r.nullified)),
+                                ("taken_branches".to_string(), Json::uint(r.taken_branches)),
+                            ])
+                        })
+                        .collect(),
+                ),
             ),
         ])
     }
@@ -165,10 +188,15 @@ pub fn throughput_workloads_with(n: usize) -> Vec<ThroughputReport> {
     vec![e13_multiply_mix(n), e13_divide_mix(n)]
 }
 
-/// The full report document: `{"workloads": […], "throughput": […]}`.
+/// The full report document:
+/// `{"schema_version": N, "workloads": […], "throughput": […]}`.
 #[must_use]
 pub fn report_json(workloads: &[WorkloadReport], throughput: &[ThroughputReport]) -> Json {
     Json::object(vec![
+        (
+            "schema_version".to_string(),
+            Json::uint(telemetry::SCHEMA_VERSION),
+        ),
         (
             "workloads".to_string(),
             Json::Array(workloads.iter().map(WorkloadReport::to_json).collect()),
@@ -224,6 +252,7 @@ impl Runner {
             nullified,
             per_opcode: self.stats.per_opcode(),
             strategy_histogram: telemetry::strategy_histogram(events),
+            regions: self.stats.regions,
         }
     }
 }
@@ -550,6 +579,29 @@ mod tests {
             let opcode_sum: u64 = w.per_opcode.values().sum();
             assert_eq!(opcode_sum, w.executed, "{}", w.workload);
             assert!(!w.strategy_histogram.is_empty(), "{}", w.workload);
+        }
+    }
+
+    #[test]
+    fn workload_regions_partition_cycles_and_branches() {
+        for w in paper_workloads() {
+            assert!(!w.regions.is_empty(), "{}", w.workload);
+            let cycles: u64 = w.regions.iter().map(|r| r.cycles).sum();
+            assert_eq!(
+                cycles, w.cycles,
+                "{}: regions must partition cycles",
+                w.workload
+            );
+            let executed: u64 = w.regions.iter().map(|r| r.executed).sum();
+            assert_eq!(executed, w.executed, "{}", w.workload);
+            for r in &w.regions {
+                assert!(
+                    r.taken_branches <= r.executed,
+                    "{}/{}: branches are a subset of executed slots",
+                    w.workload,
+                    r.label
+                );
+            }
         }
     }
 

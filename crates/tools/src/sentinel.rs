@@ -1,0 +1,532 @@
+//! The perf-regression sentinel behind `hppa bench --compare` (and `hppa
+//! report --compare`): diff a freshly generated benchmark document against a
+//! committed `BENCH_prN.json` baseline, per workload, against configurable
+//! thresholds, and report regressions for CI to fail on.
+//!
+//! The paper workloads are fully deterministic — their cycle counts are a
+//! property of the generated code, not of the host — so the default cycle
+//! threshold is **zero percent**: any cycle growth is a real codegen or
+//! simulator change and deserves a failing check. Thresholds live in
+//! `bench/thresholds.toml` (a small hand-rolled parser; this workspace takes
+//! no external dependencies), where individual workloads can be granted
+//! slack and the host-noisy throughput comparison can be opted into.
+//!
+//! Baselines from the PR 1–2 era carry no `schema_version` field and are
+//! read as version 1; documents claiming a version newer than
+//! [`telemetry::SCHEMA_VERSION`] are refused with a clear error rather than
+//! mis-read.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use telemetry::json::Json;
+
+/// Thresholds for the comparison, normally loaded from
+/// `bench/thresholds.toml`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Thresholds {
+    /// Allowed cycle growth in percent before a workload regresses.
+    pub cycles_default_pct: f64,
+    /// Per-workload overrides of the cycle threshold.
+    pub cycles_overrides: BTreeMap<String, f64>,
+    /// Whether to also gate on wall-clock throughput (off by default:
+    /// ops/sec is host-noisy and belongs in CI only with generous slack).
+    pub throughput_enabled: bool,
+    /// Allowed `prepared_ops_per_sec` drop in percent.
+    pub throughput_default_pct: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Thresholds {
+        Thresholds {
+            cycles_default_pct: 0.0,
+            cycles_overrides: BTreeMap::new(),
+            throughput_enabled: false,
+            throughput_default_pct: 10.0,
+        }
+    }
+}
+
+impl Thresholds {
+    /// Parses the `bench/thresholds.toml` dialect: `[section]` headers,
+    /// `key = value` pairs (floats, integers, booleans), `#` comments.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the offending line.
+    pub fn from_toml(text: &str) -> Result<Thresholds, String> {
+        let mut t = Thresholds::default();
+        let mut section = String::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let at = |msg: &str| format!("thresholds line {}: {msg}", idx + 1);
+            if let Some(name) = line.strip_prefix('[') {
+                let name = name
+                    .strip_suffix(']')
+                    .ok_or_else(|| at("unterminated section header"))?;
+                section = name.trim().to_string();
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| at("expected `key = value`"))?;
+            let key = key.trim().trim_matches('"');
+            let value = value.trim();
+            let as_pct = || -> Result<f64, String> {
+                value
+                    .parse::<f64>()
+                    .map_err(|_| at(&format!("`{key}` must be a number, got `{value}`")))
+            };
+            match (section.as_str(), key) {
+                ("cycles", "default") => t.cycles_default_pct = as_pct()?,
+                ("cycles.workloads", workload) => {
+                    t.cycles_overrides.insert(workload.to_string(), as_pct()?);
+                }
+                ("throughput", "enabled") => {
+                    t.throughput_enabled = match value {
+                        "true" => true,
+                        "false" => false,
+                        _ => return Err(at("`enabled` must be true or false")),
+                    }
+                }
+                ("throughput", "default") => t.throughput_default_pct = as_pct()?,
+                _ => return Err(at(&format!("unknown key `{key}` in section `[{section}]`"))),
+            }
+        }
+        Ok(t)
+    }
+
+    /// Loads thresholds from a file, or the defaults when `path` is `None`.
+    ///
+    /// # Errors
+    ///
+    /// I/O or parse failures as a human-readable message.
+    pub fn load(path: Option<&str>) -> Result<Thresholds, String> {
+        match path {
+            None => Ok(Thresholds::default()),
+            Some(p) => {
+                let text = std::fs::read_to_string(p)
+                    .map_err(|e| format!("cannot read thresholds {p}: {e}"))?;
+                Thresholds::from_toml(&text)
+            }
+        }
+    }
+
+    fn cycles_pct_for(&self, workload: &str) -> f64 {
+        self.cycles_overrides
+            .get(workload)
+            .copied()
+            .unwrap_or(self.cycles_default_pct)
+    }
+}
+
+/// The schema version a benchmark document declares (documents predating
+/// the field are version 1).
+///
+/// # Errors
+///
+/// A clear message when the field is malformed or newer than this binary
+/// supports.
+pub fn schema_version(doc: &Json) -> Result<u64, String> {
+    let version = match doc.get("schema_version") {
+        None => 1,
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| "schema_version must be a non-negative integer".to_string())?,
+    };
+    if version == 0 || version > telemetry::SCHEMA_VERSION {
+        return Err(format!(
+            "unsupported schema_version {version}: this build reads versions 1..={} — \
+             regenerate the file or update the toolchain",
+            telemetry::SCHEMA_VERSION
+        ));
+    }
+    Ok(version)
+}
+
+/// One workload's cycle diff.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadDelta {
+    /// Workload name.
+    pub workload: String,
+    /// Cycles recorded by the baseline document.
+    pub baseline_cycles: u64,
+    /// Cycles measured now.
+    pub current_cycles: u64,
+    /// Growth in percent (positive = slower now).
+    pub delta_pct: f64,
+    /// The threshold applied.
+    pub threshold_pct: f64,
+    /// Whether the growth exceeds the threshold.
+    pub regressed: bool,
+}
+
+/// One throughput record's ops/sec diff (only populated when enabled).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputDelta {
+    /// Workload name.
+    pub workload: String,
+    /// Baseline `prepared_ops_per_sec`.
+    pub baseline_ops_per_sec: f64,
+    /// Current `prepared_ops_per_sec`.
+    pub current_ops_per_sec: f64,
+    /// Drop in percent (positive = slower now).
+    pub drop_pct: f64,
+    /// The threshold applied.
+    pub threshold_pct: f64,
+    /// Whether the drop exceeds the threshold.
+    pub regressed: bool,
+}
+
+/// The full comparison of a current document against a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Schema version of the baseline document.
+    pub baseline_version: u64,
+    /// Schema version of the current document.
+    pub current_version: u64,
+    /// Per-workload cycle diffs, in current-document order.
+    pub deltas: Vec<WorkloadDelta>,
+    /// Throughput diffs (empty unless enabled in the thresholds).
+    pub throughput: Vec<ThroughputDelta>,
+    /// Workloads the baseline had but the current run lost — counted as a
+    /// regression (coverage must not silently shrink).
+    pub missing_in_current: Vec<String>,
+    /// Workloads new since the baseline (informational).
+    pub new_in_current: Vec<String>,
+}
+
+impl Comparison {
+    /// Whether anything regressed (the CI gate).
+    #[must_use]
+    pub fn regressed(&self) -> bool {
+        !self.missing_in_current.is_empty()
+            || self.deltas.iter().any(|d| d.regressed)
+            || self.throughput.iter().any(|t| t.regressed)
+    }
+
+    /// A human-readable table of the comparison.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "perf sentinel: baseline schema v{}, current schema v{}",
+            self.baseline_version, self.current_version
+        );
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12} {:>12} {:>9}  verdict",
+            "workload", "baseline", "current", "delta"
+        );
+        for d in &self.deltas {
+            let verdict = if d.regressed {
+                "REGRESSED"
+            } else if d.current_cycles < d.baseline_cycles {
+                "improved"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                out,
+                "{:<28} {:>12} {:>12} {:>+8.2}%  {verdict} (threshold {:+.2}%)",
+                d.workload, d.baseline_cycles, d.current_cycles, d.delta_pct, d.threshold_pct
+            );
+        }
+        for t in &self.throughput {
+            let verdict = if t.regressed { "REGRESSED" } else { "ok" };
+            let _ = writeln!(
+                out,
+                "{:<28} {:>10.0}/s {:>10.0}/s {:>+8.2}%  {verdict} (throughput, threshold {:+.2}%)",
+                t.workload,
+                t.baseline_ops_per_sec,
+                t.current_ops_per_sec,
+                -t.drop_pct,
+                t.threshold_pct
+            );
+        }
+        for name in &self.missing_in_current {
+            let _ = writeln!(out, "{name:<28} missing from current run  REGRESSED");
+        }
+        for name in &self.new_in_current {
+            let _ = writeln!(out, "{name:<28} new since baseline (no comparison)");
+        }
+        out
+    }
+}
+
+fn workload_cycles(doc: &Json, section_missing: &str) -> Result<Vec<(String, u64)>, String> {
+    let records = doc
+        .get("workloads")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{section_missing}: no `workloads` array"))?;
+    records
+        .iter()
+        .map(|r| {
+            let name = r
+                .get("workload")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{section_missing}: workload record without a name"))?;
+            let cycles = r
+                .get("cycles")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{section_missing}: `{name}` has no cycles"))?;
+            Ok((name.to_string(), cycles))
+        })
+        .collect()
+}
+
+fn pct_change(baseline: u64, current: u64) -> f64 {
+    if baseline == 0 {
+        if current == 0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (current as f64 - baseline as f64) * 100.0 / baseline as f64
+    }
+}
+
+/// Compares a freshly generated document against a baseline.
+///
+/// # Errors
+///
+/// A human-readable message on schema refusal or malformed documents.
+pub fn compare(
+    current: &Json,
+    baseline: &Json,
+    thresholds: &Thresholds,
+) -> Result<Comparison, String> {
+    let baseline_version =
+        schema_version(baseline).map_err(|e| format!("baseline refused: {e}"))?;
+    let current_version = schema_version(current).map_err(|e| format!("current refused: {e}"))?;
+
+    let base_cycles: BTreeMap<String, u64> =
+        workload_cycles(baseline, "baseline")?.into_iter().collect();
+    let current_list = workload_cycles(current, "current")?;
+
+    let mut deltas = Vec::new();
+    let mut new_in_current = Vec::new();
+    for (name, cycles) in &current_list {
+        match base_cycles.get(name) {
+            Some(&base) => {
+                let delta_pct = pct_change(base, *cycles);
+                let threshold_pct = thresholds.cycles_pct_for(name);
+                deltas.push(WorkloadDelta {
+                    workload: name.clone(),
+                    baseline_cycles: base,
+                    current_cycles: *cycles,
+                    delta_pct,
+                    threshold_pct,
+                    regressed: delta_pct > threshold_pct,
+                });
+            }
+            None => new_in_current.push(name.clone()),
+        }
+    }
+    let current_names: BTreeMap<&str, ()> =
+        current_list.iter().map(|(n, _)| (n.as_str(), ())).collect();
+    let missing_in_current: Vec<String> = base_cycles
+        .keys()
+        .filter(|n| !current_names.contains_key(n.as_str()))
+        .cloned()
+        .collect();
+
+    let mut throughput = Vec::new();
+    if thresholds.throughput_enabled {
+        let records = |doc: &Json| -> BTreeMap<String, f64> {
+            doc.get("throughput")
+                .and_then(Json::as_array)
+                .unwrap_or(&[])
+                .iter()
+                .filter_map(|r| {
+                    let name = r.get("workload").and_then(Json::as_str)?;
+                    let ops = r.get("prepared_ops_per_sec").and_then(Json::as_f64)?;
+                    Some((name.to_string(), ops))
+                })
+                .collect()
+        };
+        let base_tp = records(baseline);
+        for (name, current_ops) in records(current) {
+            if let Some(&base_ops) = base_tp.get(&name) {
+                let drop_pct = if base_ops > 0.0 {
+                    (base_ops - current_ops) * 100.0 / base_ops
+                } else {
+                    0.0
+                };
+                throughput.push(ThroughputDelta {
+                    workload: name,
+                    baseline_ops_per_sec: base_ops,
+                    current_ops_per_sec: current_ops,
+                    drop_pct,
+                    threshold_pct: thresholds.throughput_default_pct,
+                    regressed: drop_pct > thresholds.throughput_default_pct,
+                });
+            }
+        }
+    }
+
+    Ok(Comparison {
+        baseline_version,
+        current_version,
+        deltas,
+        throughput,
+        missing_in_current,
+        new_in_current,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telemetry::json::parse;
+
+    fn doc(version: Option<u64>, workloads: &[(&str, u64)]) -> Json {
+        let mut pairs = Vec::new();
+        if let Some(v) = version {
+            pairs.push(("schema_version".to_string(), Json::uint(v)));
+        }
+        pairs.push((
+            "workloads".to_string(),
+            Json::Array(
+                workloads
+                    .iter()
+                    .map(|(name, cycles)| {
+                        Json::object(vec![
+                            ("workload".to_string(), Json::str(*name)),
+                            ("cycles".to_string(), Json::uint(*cycles)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        pairs.push(("throughput".to_string(), Json::Array(Vec::new())));
+        Json::object(pairs)
+    }
+
+    #[test]
+    fn missing_schema_version_reads_as_v1() {
+        assert_eq!(schema_version(&doc(None, &[])), Ok(1));
+        assert_eq!(
+            schema_version(&doc(Some(telemetry::SCHEMA_VERSION), &[])),
+            Ok(telemetry::SCHEMA_VERSION)
+        );
+    }
+
+    #[test]
+    fn newer_schema_versions_are_refused_clearly() {
+        let err = schema_version(&doc(Some(99), &[])).unwrap_err();
+        assert!(err.contains("unsupported schema_version 99"), "{err}");
+        assert!(err.contains("1..="), "{err}");
+        let err =
+            compare(&doc(None, &[]), &doc(Some(99), &[]), &Thresholds::default()).unwrap_err();
+        assert!(err.contains("baseline refused"), "{err}");
+    }
+
+    #[test]
+    fn equal_cycles_pass_at_zero_threshold() {
+        let base = doc(None, &[("a", 100), ("b", 250)]);
+        let cur = doc(Some(2), &[("a", 100), ("b", 250)]);
+        let cmp = compare(&cur, &base, &Thresholds::default()).unwrap();
+        assert!(!cmp.regressed(), "{}", cmp.render());
+        assert_eq!(cmp.baseline_version, 1);
+        assert_eq!(cmp.current_version, 2);
+    }
+
+    #[test]
+    fn cycle_growth_beyond_threshold_regresses() {
+        let base = doc(None, &[("a", 100)]);
+        let cur = doc(Some(2), &[("a", 110)]);
+        let cmp = compare(&cur, &base, &Thresholds::default()).unwrap();
+        assert!(cmp.regressed());
+        assert!((cmp.deltas[0].delta_pct - 10.0).abs() < 1e-9);
+        assert!(cmp.render().contains("REGRESSED"), "{}", cmp.render());
+
+        // The same growth passes when the workload is granted slack.
+        let mut relaxed = Thresholds::default();
+        relaxed.cycles_overrides.insert("a".to_string(), 15.0);
+        assert!(!compare(&cur, &base, &relaxed).unwrap().regressed());
+    }
+
+    #[test]
+    fn improvements_and_new_workloads_do_not_regress() {
+        let base = doc(None, &[("a", 100)]);
+        let cur = doc(Some(2), &[("a", 90), ("brand_new", 7)]);
+        let cmp = compare(&cur, &base, &Thresholds::default()).unwrap();
+        assert!(!cmp.regressed(), "{}", cmp.render());
+        assert_eq!(cmp.new_in_current, vec!["brand_new".to_string()]);
+        assert!(cmp.render().contains("improved"));
+    }
+
+    #[test]
+    fn lost_workloads_regress() {
+        let base = doc(None, &[("a", 100), ("gone", 5)]);
+        let cur = doc(Some(2), &[("a", 100)]);
+        let cmp = compare(&cur, &base, &Thresholds::default()).unwrap();
+        assert!(cmp.regressed());
+        assert_eq!(cmp.missing_in_current, vec!["gone".to_string()]);
+    }
+
+    #[test]
+    fn toml_parsing_covers_the_dialect() {
+        let t = Thresholds::from_toml(
+            "# comment\n\
+             [cycles]\n\
+             default = 0.5 # inline comment\n\
+             [cycles.workloads]\n\
+             figure5_switched_multiply = 2.0\n\
+             [throughput]\n\
+             enabled = true\n\
+             default = 25\n",
+        )
+        .unwrap();
+        assert!((t.cycles_default_pct - 0.5).abs() < 1e-12);
+        assert_eq!(
+            t.cycles_overrides.get("figure5_switched_multiply"),
+            Some(&2.0)
+        );
+        assert!(t.throughput_enabled);
+        assert!((t.throughput_default_pct - 25.0).abs() < 1e-12);
+        assert_eq!(t.cycles_pct_for("figure5_switched_multiply"), 2.0);
+        assert_eq!(t.cycles_pct_for("other"), 0.5);
+    }
+
+    #[test]
+    fn toml_errors_name_the_line() {
+        let err = Thresholds::from_toml("[cycles]\nnonsense\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = Thresholds::from_toml("[cycles]\ndefault = fast\n").unwrap_err();
+        assert!(err.contains("must be a number"), "{err}");
+        let err = Thresholds::from_toml("[mystery]\nx = 1\n").unwrap_err();
+        assert!(err.contains("unknown key"), "{err}");
+    }
+
+    #[test]
+    fn throughput_gate_is_opt_in() {
+        let with_tp = |ops: f64| {
+            parse(&format!(
+                "{{\"workloads\": [], \"throughput\": [{{\"workload\": \"mix\", \
+                 \"prepared_ops_per_sec\": {ops}}}]}}"
+            ))
+            .unwrap()
+        };
+        let base = with_tp(1000.0);
+        let cur = with_tp(500.0);
+        // Disabled (the default): a 50% drop is ignored.
+        let cmp = compare(&cur, &base, &Thresholds::default()).unwrap();
+        assert!(cmp.throughput.is_empty());
+        assert!(!cmp.regressed());
+        // Enabled: the same drop trips the gate.
+        let enabled = Thresholds {
+            throughput_enabled: true,
+            ..Thresholds::default()
+        };
+        let cmp = compare(&cur, &base, &enabled).unwrap();
+        assert_eq!(cmp.throughput.len(), 1);
+        assert!(cmp.regressed());
+    }
+}

@@ -7,7 +7,8 @@
 //! * **sweep** — `--sweep smoke` (every 257th 16-bit constant) or
 //!   `--sweep full` (all of them; a long lunch) over boundary operands;
 //! * **replay** — `--replay FILE` re-checks previously written failure
-//!   cases (one compact JSON object per line).
+//!   cases (one compact JSON object per line; bare cases, full verify
+//!   events, and the `{"schema_version":N}` header are all accepted).
 //!
 //! On failure the divergences and budget violations are written as
 //! telemetry JSONL to `--failures PATH` and the first divergence is
@@ -165,8 +166,19 @@ pub fn execute(opts: &VerifyOptions) -> Result<VerifyReport, String> {
             if line.trim().is_empty() {
                 continue;
             }
-            let case = Case::parse(line)
-                .ok_or_else(|| format!("{path}:{}: unparseable case `{line}`", idx + 1))?;
+            let doc = telemetry::json::parse(line)
+                .map_err(|e| format!("{path}:{}: not JSON ({e}): `{line}`", idx + 1))?;
+            // Failure artifacts lead with a {"schema_version":N} header.
+            if doc.get("schema_version").is_some() && doc.get("kind").is_none() {
+                continue;
+            }
+            // Accept both bare case objects and telemetry verify events
+            // (which embed the replayable case as a compact JSON string).
+            let case = match doc.get("case").and_then(telemetry::json::Json::as_str) {
+                Some(embedded) => Case::parse(embedded),
+                None => Case::from_json(&doc),
+            }
+            .ok_or_else(|| format!("{path}:{}: unparseable case `{line}`", idx + 1))?;
             verifier.check_case(&case);
         }
     }
@@ -179,7 +191,10 @@ pub fn execute(opts: &VerifyOptions) -> Result<VerifyReport, String> {
     Ok(verifier.finish())
 }
 
-/// Serialises every failure in `report` as telemetry JSONL.
+/// Serialises every failure in `report` as telemetry JSONL, prefixed by a
+/// `{"schema_version":N}` header line. Clean reports write nothing (no
+/// header, no events), so an empty failure file still reads as "no
+/// failures".
 ///
 /// # Errors
 ///
@@ -201,6 +216,10 @@ pub fn write_failures(report: &VerifyReport, w: impl io::Write) -> io::Result<()
             detail: v.to_string(),
         });
     }
+    if events.is_empty() {
+        return Ok(());
+    }
+    sink.write_header()?;
     sink.write_all(&events)
 }
 
@@ -331,7 +350,15 @@ mod tests {
         let mut buf = Vec::new();
         write_failures(&report, &mut buf).unwrap();
         let jsonl = String::from_utf8(buf).unwrap();
-        let first = jsonl.lines().next().expect("at least one failure line");
+        let mut lines = jsonl.lines();
+        let header = telemetry::json::parse(lines.next().expect("header line")).unwrap();
+        assert_eq!(
+            header
+                .get("schema_version")
+                .and_then(telemetry::json::Json::as_u64),
+            Some(telemetry::SCHEMA_VERSION)
+        );
+        let first = lines.next().expect("at least one failure line");
         let parsed = telemetry::json::parse(first).unwrap();
         assert_eq!(
             parsed.get("event").and_then(telemetry::json::Json::as_str),
@@ -367,6 +394,35 @@ mod tests {
         let report = execute(&opts).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(report.cases_run, 2);
+        assert!(report.passed(), "{:?}", report.divergences);
+    }
+
+    #[test]
+    fn replay_accepts_failure_artifacts_verbatim() {
+        // A failures file as write_failures produces it: schema header,
+        // then verify events embedding their cases as compact JSON strings.
+        let path = std::env::temp_dir().join(format!(
+            "hppa_verify_replay_artifact_{}.jsonl",
+            std::process::id()
+        ));
+        std::fs::write(
+            &path,
+            concat!(
+                "{\"schema_version\":2}\n",
+                "{\"event\":\"verify\",\"suite\":\"divergence\",",
+                "\"case\":\"{\\\"kind\\\":\\\"udiv_const\\\",\\\"y\\\":7,\\\"x\\\":123456}\",",
+                "\"detail\":\"[sim vs oracle] values differ\"}\n",
+            ),
+        )
+        .unwrap();
+        let opts = VerifyOptions {
+            replay: Some(path.display().to_string()),
+            cases: 0,
+            ..VerifyOptions::default()
+        };
+        let report = execute(&opts).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(report.cases_run, 1, "header skipped, event unwrapped");
         assert!(report.passed(), "{:?}", report.divergences);
     }
 

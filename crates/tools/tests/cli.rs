@@ -63,6 +63,64 @@ fn pa_run_reports_traps() {
 }
 
 #[test]
+fn pa_run_stats_summarise_nullification_and_faults() {
+    // A small counted loop that completes without traps or faults; the
+    // summary line must still report the (zero) nullified share and counts.
+    let path = write_temp("stats", "    ldo 3(r0),r5\ntop:\n    addib,<> -1,r5,top\n");
+    let out = pa_run()
+        .args(["-s", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let summary = stdout
+        .lines()
+        .find(|l| l.starts_with("slots:"))
+        .unwrap_or_else(|| panic!("no slots summary in:\n{stdout}"));
+    assert!(summary.contains("fetched"), "{summary}");
+    assert!(summary.contains('%'), "{summary}");
+    assert!(summary.contains("traps: 0"), "{summary}");
+    assert!(summary.contains("faults: 0"), "{summary}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn pa_run_help_documents_the_flags() {
+    for flag in ["-h", "--help"] {
+        let out = pa_run().arg(flag).output().unwrap();
+        assert!(out.status.success(), "{flag} must exit 0");
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        assert!(stdout.contains("-s"), "{stdout}");
+        assert!(stdout.contains("nullified-slot percentage"), "{stdout}");
+        assert!(stdout.contains("--metrics"), "{stdout}");
+    }
+}
+
+#[test]
+fn pa_run_metrics_prints_a_prometheus_page() {
+    let path = write_temp(
+        "metrics",
+        "    ldo 3(r0),r5\ntop:\n    addib,<> -1,r5,top\n",
+    );
+    let out = pa_run()
+        .args(["--metrics", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("# TYPE pa_run_cycles_total counter"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("pa_run_traps_total 0"), "{stdout}");
+    assert!(
+        stdout.contains("pa_run_region_cycles_total{label=\"top\"}"),
+        "{stdout}"
+    );
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
 fn pa_run_rejects_bad_input() {
     let path = write_temp("bad", "    frobnicate r1\n");
     let out = pa_run().arg(path.to_str().unwrap()).output().unwrap();

@@ -1,4 +1,4 @@
-//! Golden-schema test for `hppa report`: the written `BENCH_pr2.json` must
+//! Golden-schema test for `hppa report`: the written `BENCH_*.json` must
 //! parse and carry exactly the documented shape. Numbers are workload and
 //! wall-clock dependent, so the test pins names, key sets, and invariants —
 //! not exact counts, and never the nanosecond timings.
@@ -15,13 +15,14 @@ const EXPECTED_WORKLOADS: [&str; 5] = [
     "constant_divide",
 ];
 
-const RECORD_KEYS: [&str; 6] = [
+const RECORD_KEYS: [&str; 7] = [
     "workload",
     "cycles",
     "executed",
     "nullified",
     "per_opcode",
     "strategy_histogram",
+    "regions",
 ];
 
 const EXPECTED_THROUGHPUT: [&str; 2] = ["e13_multiply_mix", "e13_divide_mix"];
@@ -50,13 +51,21 @@ fn written_report() -> Json {
     assert!(out.status.success(), "{out:?}");
     let text = std::fs::read_to_string(&path).unwrap();
     std::fs::remove_file(&path).ok();
-    parse(&text).expect("BENCH_pr2.json must be valid JSON")
+    parse(&text).expect("BENCH_*.json must be valid JSON")
 }
 
 #[test]
 fn bench_json_matches_the_documented_schema() {
     let doc = written_report();
-    assert_eq!(doc.keys(), vec!["workloads", "throughput"]);
+    assert_eq!(
+        doc.keys(),
+        vec!["schema_version", "workloads", "throughput"]
+    );
+    assert_eq!(
+        doc.get("schema_version").and_then(Json::as_u64),
+        Some(telemetry::SCHEMA_VERSION),
+        "documents must declare the schema version they were written with"
+    );
 
     let records = doc
         .get("workloads")
@@ -104,6 +113,17 @@ fn bench_json_matches_the_documented_schema() {
             );
             assert!(hist.get(key).and_then(Json::as_u64).unwrap() > 0);
         }
+
+        let regions = record
+            .get("regions")
+            .and_then(Json::as_array)
+            .expect("regions is an array");
+        assert!(!regions.is_empty(), "{name}: no region attribution");
+        let region_sum: u64 = regions
+            .iter()
+            .map(|r| r.get("cycles").and_then(Json::as_u64).unwrap())
+            .sum();
+        assert_eq!(region_sum, cycles, "{name}: regions partition the cycles");
     }
 
     let throughput = doc
@@ -162,7 +182,10 @@ fn report_stdout_mode_prints_the_same_workloads() {
         .unwrap();
     assert!(out.status.success(), "{out:?}");
     let printed = parse(&String::from_utf8(out.stdout).unwrap()).unwrap();
-    assert_eq!(printed.keys(), vec!["workloads", "throughput"]);
+    assert_eq!(
+        printed.keys(),
+        vec!["schema_version", "workloads", "throughput"]
+    );
     assert_eq!(
         printed.get("workloads").unwrap().to_compact_string(),
         written_report()
