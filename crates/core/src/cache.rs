@@ -7,6 +7,16 @@
 //! the operation kind already carries the constant and the trap flavor, and
 //! the overflow model is baked into the prepared program, so two compilers
 //! that would generate different executables never share an entry.
+//!
+//! Since 0.3 the cache is thread-safe: a [`ShardedCache`] hashes each key
+//! to one of N independent LRU shards, each behind its own `Mutex`, so
+//! worker threads compiling different constants rarely contend on the same
+//! lock while still paying each chain search / magic derivation only once
+//! process-wide.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
 
 use pa_sim::OverflowModel;
 
@@ -26,6 +36,7 @@ pub(crate) struct CacheKey {
 pub(crate) struct CompileCache {
     capacity: usize,
     entries: Vec<(CacheKey, CompiledOp)>,
+    evictions: u64,
 }
 
 impl CompileCache {
@@ -37,6 +48,7 @@ impl CompileCache {
         CompileCache {
             capacity,
             entries: Vec::new(),
+            evictions: 0,
         }
     }
 
@@ -63,7 +75,135 @@ impl CompileCache {
         self.entries.push((key, op));
         while self.entries.len() > self.capacity {
             self.entries.remove(0);
+            self.evictions += 1;
         }
+    }
+}
+
+/// Per-shard occupancy and traffic counters, for telemetry gauges and the
+/// `hppa metrics` exporters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheShardStats {
+    /// Which shard (0-based).
+    pub shard: usize,
+    /// Entries currently resident in this shard.
+    pub entries: usize,
+    /// Lookups that found their key here.
+    pub hits: u64,
+    /// Lookups that missed here (each is followed by a cold compile).
+    pub misses: u64,
+    /// Entries pushed out by the shard's LRU bound.
+    pub evictions: u64,
+}
+
+/// One lockable shard: its LRU plus hit/miss counters. Eviction counting
+/// lives inside [`CompileCache`] itself so the single-shard unit tests see
+/// it too.
+#[derive(Debug)]
+struct Shard {
+    cache: CompileCache,
+    hits: u64,
+    misses: u64,
+}
+
+/// A thread-safe compile cache: `shards` independent LRUs, each behind its
+/// own `Mutex`, with keys routed by hash. Shared by every clone of a
+/// [`Compiler`](crate::Compiler) (behind an `Arc`), so a pool of worker
+/// threads pays each distinct compile once while contending only when two
+/// keys land in the same shard.
+#[derive(Debug)]
+pub(crate) struct ShardedCache {
+    shards: Box<[Mutex<Shard>]>,
+}
+
+impl ShardedCache {
+    /// Default shard count — small enough that per-shard capacity stays
+    /// useful, large enough that an 8-worker pool rarely collides.
+    pub const DEFAULT_SHARDS: usize = 8;
+
+    /// Builds a cache holding at most `capacity` entries in total, spread
+    /// over `shards` locks. The capacity is distributed exactly (the first
+    /// `capacity % shards` shards get one extra slot), so the total bound
+    /// is never exceeded; to keep every shard useful, the shard count is
+    /// clamped to `1..=capacity`. A capacity of zero disables caching.
+    ///
+    /// Eviction is LRU *per shard*: with more than one shard, which entry
+    /// evicts depends on how keys hash. Callers that need the exact global
+    /// LRU order of the pre-0.3 cache should ask for one shard.
+    pub fn new(capacity: usize, shards: usize) -> ShardedCache {
+        let shards = shards.clamp(1, capacity.max(1));
+        let (base, extra) = (capacity / shards, capacity % shards);
+        let shards = (0..shards)
+            .map(|i| {
+                Mutex::new(Shard {
+                    cache: CompileCache::new(base + usize::from(i < extra)),
+                    hits: 0,
+                    misses: 0,
+                })
+            })
+            .collect();
+        ShardedCache { shards }
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard `key` routes to.
+    pub fn shard_for(&self, key: &CacheKey) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() % self.shards.len() as u64) as usize
+    }
+
+    fn lock(&self, idx: usize) -> std::sync::MutexGuard<'_, Shard> {
+        // A poisoned shard only means another thread panicked mid-compile;
+        // the LRU itself is never left half-updated.
+        self.shards[idx]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Looks up `key` in its shard, refreshing recency and counting the
+    /// hit or miss.
+    pub fn lookup(&self, key: &CacheKey) -> Option<CompiledOp> {
+        let mut shard = self.lock(self.shard_for(key));
+        let found = shard.cache.lookup(key);
+        if found.is_some() {
+            shard.hits += 1;
+        } else {
+            shard.misses += 1;
+        }
+        found
+    }
+
+    /// Inserts `op` into `key`'s shard.
+    pub fn insert(&self, key: CacheKey, op: CompiledOp) {
+        let mut shard = self.lock(self.shard_for(&key));
+        shard.cache.insert(key, op);
+    }
+
+    /// Entries resident across all shards.
+    pub fn entries(&self) -> usize {
+        (0..self.shards.len())
+            .map(|i| self.lock(i).cache.len())
+            .sum()
+    }
+
+    /// A stats snapshot per shard, in shard order.
+    pub fn stats(&self) -> Vec<CacheShardStats> {
+        (0..self.shards.len())
+            .map(|i| {
+                let shard = self.lock(i);
+                CacheShardStats {
+                    shard: i,
+                    entries: shard.cache.len(),
+                    hits: shard.hits,
+                    misses: shard.misses,
+                    evictions: shard.cache.evictions,
+                }
+            })
+            .collect()
     }
 }
 
@@ -183,5 +323,77 @@ mod tests {
             overflow: OverflowModel::Precise,
         };
         assert!(cache.lookup(&precise).is_none());
+    }
+
+    #[test]
+    fn sharded_cache_routes_hits_and_misses_per_shard() {
+        let cache = ShardedCache::new(64, 4);
+        assert_eq!(cache.shard_count(), 4);
+        assert!(cache.lookup(&key(10)).is_none(), "cold lookup misses");
+        cache.insert(key(10), op(10));
+        assert!(cache.lookup(&key(10)).is_some());
+        assert_eq!(cache.entries(), 1);
+        let stats = cache.stats();
+        let shard = cache.shard_for(&key(10));
+        assert_eq!(stats[shard].hits, 1);
+        assert_eq!(stats[shard].misses, 1);
+        assert_eq!(stats[shard].entries, 1);
+        let elsewhere: u64 = stats
+            .iter()
+            .filter(|s| s.shard != shard)
+            .map(|s| s.hits + s.misses)
+            .sum();
+        assert_eq!(elsewhere, 0, "traffic lands only on the key's shard");
+    }
+
+    #[test]
+    fn sharded_cache_keys_route_deterministically() {
+        let cache = ShardedCache::new(64, 8);
+        for n in 0..50 {
+            assert_eq!(cache.shard_for(&key(n)), cache.shard_for(&key(n)));
+        }
+    }
+
+    #[test]
+    fn sharded_cache_zero_capacity_disables_caching() {
+        let cache = ShardedCache::new(0, 4);
+        cache.insert(key(10), op(10));
+        assert_eq!(cache.entries(), 0);
+        assert!(cache.lookup(&key(10)).is_none());
+    }
+
+    #[test]
+    fn sharded_cache_counts_evictions() {
+        // One shard, capacity 2: the third distinct key must evict.
+        let cache = ShardedCache::new(2, 1);
+        for n in [2i64, 3, 5, 7] {
+            cache.insert(key(n), op(n));
+        }
+        assert_eq!(cache.entries(), 2);
+        assert_eq!(cache.stats()[0].evictions, 2);
+    }
+
+    #[test]
+    fn sharded_cache_is_shareable_across_threads() {
+        use std::sync::Arc;
+        let cache = Arc::new(ShardedCache::new(64, 4));
+        let seeded = op(7);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                let seeded = seeded.clone();
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        if cache.lookup(&key(7)).is_none() {
+                            cache.insert(key(7), seeded.clone());
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.entries(), 1, "all threads converged on one entry");
+        let stats = cache.stats();
+        let total: u64 = stats.iter().map(|s| s.hits + s.misses).sum();
+        assert_eq!(total, 400);
     }
 }

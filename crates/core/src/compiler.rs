@@ -1,14 +1,14 @@
 //! The compile-time facade: constants into straight-line code.
 
 use core::fmt;
-use std::cell::RefCell;
+use std::sync::Arc;
 
 use divconst::{DivCodegenConfig, DivCodegenError, Signedness};
 use mulconst::{CodegenConfig, CodegenError};
 use pa_isa::{Program, Reg};
 use pa_sim::{ExecConfig, Machine, OverflowModel, PreparedProgram, Termination, TrapKind};
 
-use crate::cache::{CacheKey, CompileCache};
+use crate::cache::{CacheKey, CacheShardStats, CompileCache, ShardedCache};
 use crate::session::BatchOutcome;
 use crate::{Error, Result};
 
@@ -266,6 +266,7 @@ pub struct CompilerBuilder {
     max_cycles: u64,
     stats: bool,
     cache_capacity: usize,
+    cache_shards: usize,
 }
 
 impl CompilerBuilder {
@@ -276,6 +277,7 @@ impl CompilerBuilder {
             max_cycles: ExecConfig::default().max_cycles,
             stats: false,
             cache_capacity: CompileCache::DEFAULT_CAPACITY,
+            cache_shards: ShardedCache::DEFAULT_SHARDS,
         }
     }
 
@@ -316,6 +318,17 @@ impl CompilerBuilder {
         self
     }
 
+    /// Number of independent lock shards the cache is split into (clamped
+    /// to at least one). More shards means less contention when many worker
+    /// threads compile concurrently; strict validation lives on
+    /// [`RuntimeBuilder::cache_shards`](crate::RuntimeBuilder::cache_shards),
+    /// whose `build` can report errors.
+    #[must_use]
+    pub fn cache_shards(mut self, shards: usize) -> CompilerBuilder {
+        self.cache_shards = shards;
+        self
+    }
+
     /// Builds the compiler.
     #[must_use]
     pub fn build(self) -> Compiler {
@@ -331,7 +344,7 @@ impl CompilerBuilder {
             div_cfg: DivCodegenConfig::default(),
             exec,
             trapping_mul: self.trapping_mul,
-            cache: RefCell::new(CompileCache::new(self.cache_capacity)),
+            cache: Arc::new(ShardedCache::new(self.cache_capacity, self.cache_shards)),
         }
     }
 }
@@ -340,6 +353,11 @@ impl CompilerBuilder {
 /// compilers' code generator does. Compiled programs are memoised in a
 /// bounded, strategy-keyed cache: compiling the same constant twice does
 /// the chain search / magic derivation once.
+///
+/// The cache is sharded and thread-safe, and it sits behind an `Arc`:
+/// `Compiler` is `Send + Sync`, `&Compiler` can be used from many threads
+/// at once, and **clones share the same cache**, so a worker pool holding
+/// one clone each still pays every distinct compile exactly once.
 ///
 /// # Example
 ///
@@ -360,7 +378,7 @@ pub struct Compiler {
     div_cfg: DivCodegenConfig,
     exec: ExecConfig,
     trapping_mul: bool,
-    cache: RefCell<CompileCache>,
+    cache: Arc<ShardedCache>,
 }
 
 impl Compiler {
@@ -439,10 +457,25 @@ impl Compiler {
         self.compile(OpKind::SremConst { y })
     }
 
-    /// Cached programs currently resident.
+    /// Cached programs currently resident (summed across shards).
     #[must_use]
     pub fn cached_ops(&self) -> usize {
-        self.cache.borrow().len()
+        self.cache.entries()
+    }
+
+    /// Per-shard occupancy and hit/miss/eviction counters, in shard order.
+    /// Counters are cumulative over the cache's lifetime and shared with
+    /// every clone of this compiler.
+    #[must_use]
+    pub fn cache_stats(&self) -> Vec<CacheShardStats> {
+        self.cache.stats()
+    }
+
+    /// Lock shards the cache is split into (after clamping to the
+    /// capacity, so every shard holds at least one entry).
+    #[must_use]
+    pub fn cache_shard_count(&self) -> usize {
+        self.cache.shard_count()
     }
 
     fn compile(&self, kind: OpKind) -> Result<CompiledOp> {
@@ -453,22 +486,22 @@ impl Compiler {
         };
         let cached = {
             let _lookup = telemetry::span::enter("cache_lookup");
-            self.cache.borrow_mut().lookup(&key)
+            self.cache.lookup(&key)
         };
         if let Some(op) = cached {
             telemetry::emit(|| telemetry::Event::CacheLookup {
                 op: kind.to_string(),
                 hit: true,
-                entries: self.cache.borrow().len(),
+                entries: self.cache.entries(),
             });
             return Ok(op);
         }
         let op = self.compile_cold(kind)?;
-        self.cache.borrow_mut().insert(key, op.clone());
+        self.cache.insert(key, op.clone());
         telemetry::emit(|| telemetry::Event::CacheLookup {
             op: kind.to_string(),
             hit: false,
-            entries: self.cache.borrow().len(),
+            entries: self.cache.entries(),
         });
         Ok(op)
     }

@@ -3,11 +3,10 @@
 //! Each substrate crate keeps its own precise error enum (`IsaError`,
 //! `ChainError`, `CodegenError`, …), but the façade methods all return
 //! [`crate::Result`] so callers handle a single type. `From` impls lift
-//! every substrate error — and the legacy [`CompilerError`] /
-//! [`RuntimeError`] shim types — into [`Error`].
+//! every substrate error — and the legacy [`CompilerError`] shim type —
+//! into [`Error`].
 //!
 //! [`CompilerError`]: crate::CompilerError
-//! [`RuntimeError`]: crate::RuntimeError
 
 use core::fmt;
 
@@ -50,6 +49,9 @@ pub enum Error {
     Trapped(TrapKind),
     /// The simulated code did not run to completion (watchdog).
     DidNotComplete,
+    /// A builder was given an invalid knob value (for example
+    /// `RuntimeBuilder::workers(0)`); the message names the knob.
+    InvalidConfig(&'static str),
 }
 
 impl fmt::Display for Error {
@@ -64,6 +66,7 @@ impl fmt::Display for Error {
             Error::Trapped(TrapKind::Overflow) => write!(f, "overflow trap"),
             Error::Trapped(TrapKind::Break(code)) => write!(f, "break trap (code {code})"),
             Error::DidNotComplete => write!(f, "execution did not complete"),
+            Error::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
         }
     }
 }
@@ -127,16 +130,6 @@ impl From<crate::CompilerError> for Error {
     }
 }
 
-impl From<crate::RuntimeError> for Error {
-    fn from(e: crate::RuntimeError) -> Error {
-        match e {
-            crate::RuntimeError::DivideByZero => Error::DivideByZero,
-            crate::RuntimeError::Trapped(kind) => Error::Trapped(kind),
-            crate::RuntimeError::DidNotComplete => Error::DidNotComplete,
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,6 +151,10 @@ mod tests {
         );
         let e: Error = CodegenError::NotOverflowSafe.into();
         assert!(e.to_string().starts_with("multiply codegen:"));
+        assert_eq!(
+            Error::InvalidConfig("workers must be non-zero").to_string(),
+            "invalid configuration: workers must be non-zero"
+        );
     }
 
     #[test]

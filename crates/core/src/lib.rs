@@ -14,7 +14,8 @@
 //!   values unknown until run time (§6's switched algorithm, §4's
 //!   `DS`/`ADDC` divide), reporting exact cycle counts from the bundled
 //!   simulator. Open a [`Session`] to replay operand batches through one
-//!   reusable machine;
+//!   reusable machine, or a [`ParallelExecutor`] ([`Runtime::engine`]) to
+//!   partition batches across a worker pool with bit-identical results;
 //! * [`analysis`] — the distribution-weighted summaries of §8 ("the average
 //!   multiply requires about six cycles and the average divide takes about
 //!   40");
@@ -51,6 +52,12 @@
 //! let mut session = rt.session();
 //! let products = session.mul_batch(&[(3, 4), (-5, 6)])?;
 //! assert_eq!(products.values, vec![12, -30]);
+//!
+//! // Multi-core: an engine partitions batches across worker threads.
+//! // Results are bit-identical to the serial batch for any worker count.
+//! let engine = rt.engine();
+//! let parallel = engine.mul_batch(&[(3, 4), (-5, 6)])?;
+//! assert_eq!(parallel, products);
 //! # Ok(())
 //! # }
 //! ```
@@ -70,7 +77,11 @@
 //!     .build();
 //! assert!(compiler.mul_const(5)?.run_i32(i32::MAX).is_err()); // traps
 //!
-//! let rt = Runtime::builder().dispatch_limit(12).build()?;
+//! let rt = Runtime::builder()
+//!     .dispatch_limit(12)
+//!     .workers(4)        // ParallelExecutor pool size
+//!     .cache_shards(8)   // compile-cache lock shards
+//!     .build()?;
 //! assert_eq!(rt.div_dispatch(100, 7)?.value, 14);
 //! # Ok(())
 //! # }
@@ -82,15 +93,18 @@
 pub mod analysis;
 mod cache;
 mod compiler;
+mod engine;
 mod error;
 mod runtime;
 mod session;
 pub mod strength;
 
+pub use cache::CacheShardStats;
 pub use compiler::{CompiledOp, Compiler, CompilerBuilder, CompilerError, OpKind};
 pub use divconst::Signedness;
+pub use engine::ParallelExecutor;
 pub use error::{Error, Result};
-pub use runtime::{Runtime, RuntimeBuilder, RuntimeError, DISPATCH_LIMIT};
+pub use runtime::{Runtime, RuntimeBuilder, DISPATCH_LIMIT};
 pub use session::{BatchOutcome, RunOutcome, Session};
 
 // The substrate crates, re-exported under stable names.

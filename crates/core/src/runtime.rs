@@ -1,11 +1,13 @@
 //! The run-time facade: millicode calls with cycle accounting.
 
-use core::fmt;
+use std::num::NonZeroUsize;
+use std::sync::Arc;
 
 use millicode::{divvar, mulvar};
 use pa_isa::Program;
-use pa_sim::{ExecConfig, OverflowModel, PreparedProgram, TrapKind};
+use pa_sim::{ExecConfig, OverflowModel, PreparedProgram};
 
+use crate::engine::ParallelExecutor;
 use crate::session::{BatchOutcome, RunOutcome, Session};
 use crate::{Error, Result};
 
@@ -13,41 +15,20 @@ use crate::{Error, Result};
 /// by default (override with [`RuntimeBuilder::dispatch_limit`]).
 pub const DISPATCH_LIMIT: u32 = 20;
 
-/// Legacy error type of the pre-0.2 [`Runtime`] API, still returned by the
-/// deprecated tuple-style methods. New code should match on
-/// [`crate::Error`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[non_exhaustive]
-pub enum RuntimeError {
-    /// Division by zero (the millicode `BREAK`).
-    DivideByZero,
-    /// The routine trapped unexpectedly.
-    Trapped(TrapKind),
-    /// The routine did not complete (simulator watchdog).
-    DidNotComplete,
-}
-
-impl fmt::Display for RuntimeError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            RuntimeError::DivideByZero => write!(f, "division by zero"),
-            RuntimeError::Trapped(TrapKind::Overflow) => write!(f, "overflow trap"),
-            RuntimeError::Trapped(TrapKind::Break(code)) => {
-                write!(f, "break trap (code {code})")
-            }
-            RuntimeError::DidNotComplete => write!(f, "execution did not complete"),
-        }
-    }
-}
-
-impl std::error::Error for RuntimeError {}
-
-fn legacy(e: Error) -> RuntimeError {
-    match e {
-        Error::DivideByZero => RuntimeError::DivideByZero,
-        Error::Trapped(kind) => RuntimeError::Trapped(kind),
-        _ => RuntimeError::DidNotComplete,
-    }
+/// The prepared routines a runtime executes, plus the execution
+/// configuration they were prepared under. One `Routines` is built per
+/// runtime and shared behind an `Arc` by the runtime itself, every
+/// [`Session`], and every [`ParallelExecutor`] worker — handing a session
+/// to another thread is a reference-count bump.
+#[derive(Debug)]
+pub(crate) struct Routines {
+    pub mul_signed: PreparedProgram,
+    pub mul_unsigned: PreparedProgram,
+    pub udiv: PreparedProgram,
+    pub sdiv: PreparedProgram,
+    pub dispatch: PreparedProgram,
+    pub dispatch_limit: u32,
+    pub exec: ExecConfig,
 }
 
 /// Configures a [`Runtime`].
@@ -58,7 +39,7 @@ fn legacy(e: Error) -> RuntimeError {
 /// use hppa_muldiv::Runtime;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let rt = Runtime::builder().dispatch_limit(12).build()?;
+/// let rt = Runtime::builder().dispatch_limit(12).workers(4).build()?;
 /// assert_eq!(rt.div_dispatch(100, 7)?.value, 14);
 /// # Ok(())
 /// # }
@@ -69,6 +50,8 @@ pub struct RuntimeBuilder {
     max_cycles: u64,
     stats: bool,
     dispatch_limit: u32,
+    workers: usize,
+    cache_shards: usize,
 }
 
 impl RuntimeBuilder {
@@ -78,6 +61,8 @@ impl RuntimeBuilder {
             max_cycles: ExecConfig::default().max_cycles,
             stats: false,
             dispatch_limit: DISPATCH_LIMIT,
+            workers: std::thread::available_parallelism().map_or(1, NonZeroUsize::get),
+            cache_shards: crate::cache::ShardedCache::DEFAULT_SHARDS,
         }
     }
 
@@ -110,12 +95,38 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Worker threads the [`ParallelExecutor`] from [`Runtime::engine`]
+    /// partitions batches across. Defaults to the host's available
+    /// parallelism. Zero is rejected by [`build`](RuntimeBuilder::build)
+    /// with [`Error::InvalidConfig`].
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> RuntimeBuilder {
+        self.workers = workers;
+        self
+    }
+
+    /// Lock shards for the engine's shared compile cache. More shards
+    /// means less contention between workers compiling concurrently. Zero
+    /// is rejected by [`build`](RuntimeBuilder::build) with
+    /// [`Error::InvalidConfig`].
+    #[must_use]
+    pub fn cache_shards(mut self, shards: usize) -> RuntimeBuilder {
+        self.cache_shards = shards;
+        self
+    }
+
     /// Builds all routines and pre-decodes them for the fast path.
     ///
     /// # Errors
     ///
-    /// Propagates `pa_isa` construction errors (a bug if it ever fires).
+    /// [`Error::InvalidConfig`] when `workers` or `cache_shards` is zero;
+    /// otherwise propagates `pa_isa` construction errors (a bug if it ever
+    /// fires).
     pub fn build(self) -> Result<Runtime> {
+        let workers = NonZeroUsize::new(self.workers)
+            .ok_or(Error::InvalidConfig("workers must be non-zero"))?;
+        let cache_shards = NonZeroUsize::new(self.cache_shards)
+            .ok_or(Error::InvalidConfig("cache_shards must be non-zero"))?;
         let _span = telemetry::span::enter("build_routines");
         let config = ExecConfig {
             overflow: self.overflow,
@@ -132,7 +143,7 @@ impl RuntimeBuilder {
             });
             prepared
         };
-        Ok(Runtime {
+        let routines = Routines {
             mul_signed: prepare(mulvar::switched(true)?, "mul_signed"),
             mul_unsigned: prepare(mulvar::switched(false)?, "mul_unsigned"),
             udiv: prepare(divvar::udiv()?, "udiv"),
@@ -142,6 +153,12 @@ impl RuntimeBuilder {
                 "udiv_dispatch",
             ),
             dispatch_limit: self.dispatch_limit,
+            exec: config,
+        };
+        Ok(Runtime {
+            routines: Arc::new(routines),
+            workers,
+            cache_shards,
         })
     }
 }
@@ -153,7 +170,13 @@ impl RuntimeBuilder {
 /// [`divvar::udiv`], [`divvar::sdiv`], [`divvar::small_dispatch`]) and
 /// pre-decodes each into a [`PreparedProgram`]; calls are then cheap
 /// simulator runs. For call-heavy workloads, open a [`Session`]
-/// ([`Runtime::session`]) to also reuse one machine across calls.
+/// ([`Runtime::session`]) to also reuse one machine across calls; for
+/// multi-core workloads, ask for a [`ParallelExecutor`]
+/// ([`Runtime::engine`]).
+///
+/// `Runtime` is `Send + Sync` and cloning is cheap (the routines sit
+/// behind an `Arc`), so one runtime can serve any number of threads, each
+/// with its own session.
 ///
 /// # Example
 ///
@@ -170,12 +193,9 @@ impl RuntimeBuilder {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Runtime {
-    mul_signed: PreparedProgram,
-    mul_unsigned: PreparedProgram,
-    udiv: PreparedProgram,
-    sdiv: PreparedProgram,
-    dispatch: PreparedProgram,
-    dispatch_limit: u32,
+    routines: Arc<Routines>,
+    workers: NonZeroUsize,
+    cache_shards: NonZeroUsize,
 }
 
 impl Runtime {
@@ -194,36 +214,38 @@ impl Runtime {
         RuntimeBuilder::new()
     }
 
-    /// Opens a call session owning one reusable machine.
+    /// Opens a call session owning one reusable machine. Sessions share
+    /// the runtime's routines by reference count, so they are `Send` and
+    /// any number can be open at once — one per worker thread, say.
     #[must_use]
-    pub fn session(&self) -> Session<'_> {
-        Session::new(self)
+    pub fn session(&self) -> Session {
+        Session::new(Arc::clone(&self.routines))
+    }
+
+    /// Builds a worker-pool executor over this runtime's routines, using
+    /// the builder-configured [`workers`](RuntimeBuilder::workers) and
+    /// [`cache_shards`](RuntimeBuilder::cache_shards).
+    #[must_use]
+    pub fn engine(&self) -> ParallelExecutor {
+        ParallelExecutor::new(Arc::clone(&self.routines), self.workers, self.cache_shards)
     }
 
     /// The dispatch-table divisor cutoff this runtime was built with.
     #[must_use]
     pub fn dispatch_limit(&self) -> u32 {
-        self.dispatch_limit
+        self.routines.dispatch_limit
     }
 
-    pub(crate) fn prepared_mul_signed(&self) -> &PreparedProgram {
-        &self.mul_signed
+    /// Worker threads [`Runtime::engine`] will use.
+    #[must_use]
+    pub fn workers(&self) -> NonZeroUsize {
+        self.workers
     }
 
-    pub(crate) fn prepared_mul_unsigned(&self) -> &PreparedProgram {
-        &self.mul_unsigned
-    }
-
-    pub(crate) fn prepared_udiv(&self) -> &PreparedProgram {
-        &self.udiv
-    }
-
-    pub(crate) fn prepared_sdiv(&self) -> &PreparedProgram {
-        &self.sdiv
-    }
-
-    pub(crate) fn prepared_dispatch(&self) -> &PreparedProgram {
-        &self.dispatch
+    /// Compile-cache lock shards [`Runtime::engine`] will use.
+    #[must_use]
+    pub fn cache_shards(&self) -> NonZeroUsize {
+        self.cache_shards
     }
 
     /// Signed multiply via the §6 switched algorithm (wrapping, like C on
@@ -293,87 +315,15 @@ impl Runtime {
         self.session().div_dispatch_batch(pairs)
     }
 
-    /// Signed multiply: `(product, cycles)`.
-    ///
-    /// # Errors
-    ///
-    /// Only simulator faults (never expected).
-    #[deprecated(since = "0.2.0", note = "use `mul`, which returns a `RunOutcome`")]
-    pub fn mul_i32(&self, x: i32, y: i32) -> core::result::Result<(i32, u64), RuntimeError> {
-        let out = self.mul(x, y).map_err(legacy)?;
-        Ok((out.value, out.cycles))
-    }
-
-    /// Unsigned multiply: `(product, cycles)`.
-    ///
-    /// # Errors
-    ///
-    /// Only simulator faults (never expected).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `mul_unsigned`, which returns a `RunOutcome`"
-    )]
-    pub fn mul_u32(&self, x: u32, y: u32) -> core::result::Result<(u32, u64), RuntimeError> {
-        let out = self.mul_unsigned(x, y).map_err(legacy)?;
-        Ok((out.value, out.cycles))
-    }
-
-    /// Unsigned divide: `(quotient, remainder, cycles)`.
-    ///
-    /// # Errors
-    ///
-    /// [`RuntimeError::DivideByZero`] for `y = 0`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `div_unsigned`, which returns a `RunOutcome`"
-    )]
-    pub fn udiv(&self, x: u32, y: u32) -> core::result::Result<(u32, u32, u64), RuntimeError> {
-        let out = self.div_unsigned(x, y).map_err(legacy)?;
-        Ok((
-            out.value,
-            out.rem.expect("udiv yields a remainder"),
-            out.cycles,
-        ))
-    }
-
-    /// Signed divide: `(quotient, remainder, cycles)`.
-    ///
-    /// # Errors
-    ///
-    /// [`RuntimeError::DivideByZero`] for `y = 0`.
-    #[deprecated(since = "0.2.0", note = "use `div`, which returns a `RunOutcome`")]
-    pub fn sdiv(&self, x: i32, y: i32) -> core::result::Result<(i32, i32, u64), RuntimeError> {
-        let out = self.div(x, y).map_err(legacy)?;
-        Ok((
-            out.value,
-            out.rem.expect("sdiv yields a remainder"),
-            out.cycles,
-        ))
-    }
-
-    /// Dispatch-table unsigned divide: `(quotient, cycles)`.
-    ///
-    /// # Errors
-    ///
-    /// [`RuntimeError::DivideByZero`] for `y = 0`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `div_dispatch`, which returns a `RunOutcome`"
-    )]
-    pub fn udiv_dispatch(&self, x: u32, y: u32) -> core::result::Result<(u32, u64), RuntimeError> {
-        let out = self.div_dispatch(x, y).map_err(legacy)?;
-        Ok((out.value, out.cycles))
-    }
-
     /// The underlying routines, for inspection or disassembly.
     #[must_use]
     pub fn programs(&self) -> [(&'static str, &Program); 5] {
         [
-            ("mul_signed", self.mul_signed.program()),
-            ("mul_unsigned", self.mul_unsigned.program()),
-            ("udiv", self.udiv.program()),
-            ("sdiv", self.sdiv.program()),
-            ("udiv_dispatch", self.dispatch.program()),
+            ("mul_signed", self.routines.mul_signed.program()),
+            ("mul_unsigned", self.routines.mul_unsigned.program()),
+            ("udiv", self.routines.udiv.program()),
+            ("sdiv", self.routines.sdiv.program()),
+            ("udiv_dispatch", self.routines.dispatch.program()),
         ]
     }
 }
@@ -426,26 +376,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_tuple_shims_still_work() {
-        let rt = Runtime::new().unwrap();
-        let (p, c) = rt.mul_i32(-123, 456).unwrap();
-        assert_eq!(p, -56088);
-        assert!(c > 0);
-        let (p, _) = rt.mul_u32(7, 9).unwrap();
-        assert_eq!(p, 63);
-        let (q, r, _) = rt.udiv(1000, 7).unwrap();
-        assert_eq!((q, r), (142, 6));
-        let (q, r, _) = rt.sdiv(-1000, 7).unwrap();
-        assert_eq!((q, r), (-142, -6));
-        let (q, _) = rt.udiv_dispatch(100, 7).unwrap();
-        assert_eq!(q, 14);
-        assert_eq!(rt.udiv(5, 0), Err(RuntimeError::DivideByZero));
-        assert_eq!(rt.sdiv(5, 0), Err(RuntimeError::DivideByZero));
-        assert_eq!(rt.udiv_dispatch(5, 0), Err(RuntimeError::DivideByZero));
-    }
-
-    #[test]
     fn runtime_calls_emit_strategy_events() {
         let rt = Runtime::new().unwrap();
         let ((), events) = telemetry::collect(|| {
@@ -480,6 +410,46 @@ mod tests {
         // Divisors beyond the table fall to the general path but still
         // produce the right quotient.
         assert_eq!(rt.div_dispatch(100, 9).unwrap().value, 11);
+    }
+
+    #[test]
+    fn builder_rejects_zero_workers_and_shards() {
+        assert_eq!(
+            Runtime::builder().workers(0).build().unwrap_err(),
+            Error::InvalidConfig("workers must be non-zero")
+        );
+        assert_eq!(
+            Runtime::builder().cache_shards(0).build().unwrap_err(),
+            Error::InvalidConfig("cache_shards must be non-zero")
+        );
+        let rt = Runtime::builder()
+            .workers(3)
+            .cache_shards(5)
+            .build()
+            .unwrap();
+        assert_eq!(rt.workers().get(), 3);
+        assert_eq!(rt.cache_shards().get(), 5);
+    }
+
+    #[test]
+    fn runtime_and_session_cross_thread_contracts_hold() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        fn assert_send<T: Send>() {}
+        assert_send_sync::<Runtime>();
+        assert_send::<crate::Session>();
+
+        // Sessions opened from one shared runtime really do run on other
+        // threads, concurrently, with per-call results intact.
+        let rt = Runtime::new().unwrap();
+        let serial = rt.mul(-123, 456).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let mut session = rt.session();
+                scope.spawn(move || {
+                    assert_eq!(session.mul(-123, 456).unwrap(), serial);
+                });
+            }
+        });
     }
 
     #[test]

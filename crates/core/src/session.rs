@@ -1,10 +1,12 @@
 //! Reusable execution sessions and structured call outcomes.
 
+use std::sync::Arc;
+
 use millicode::{divvar, mulvar};
 use pa_isa::Reg;
 use pa_sim::{Machine, PreparedProgram, Termination, TrapKind};
 
-use crate::runtime::Runtime;
+use crate::runtime::Routines;
 use crate::{Error, Result};
 
 /// The outcome of one runtime or compiled-op call.
@@ -42,10 +44,54 @@ impl<T> BatchOutcome<T> {
     }
 }
 
+/// Order-sensitive FNV-1a over 32-bit words: equal checksums mean equal
+/// word sequences for practical purposes, and a reordering changes the sum.
+fn fnv1a(words: impl IntoIterator<Item = u32>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for w in words {
+        h ^= u64::from(w);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl BatchOutcome<u32> {
+    /// An order-sensitive checksum over values then remainders, for cheap
+    /// parallel-vs-serial equivalence checks.
+    #[must_use]
+    pub fn checksum(&self) -> u64 {
+        fnv1a(
+            self.values
+                .iter()
+                .copied()
+                .chain(self.rems.iter().flatten().copied()),
+        )
+    }
+}
+
+impl BatchOutcome<i32> {
+    /// An order-sensitive checksum over values then remainders, for cheap
+    /// parallel-vs-serial equivalence checks.
+    #[must_use]
+    pub fn checksum(&self) -> u64 {
+        fnv1a(
+            self.values
+                .iter()
+                .chain(self.rems.iter().flatten())
+                .map(|&v| v as u32),
+        )
+    }
+}
+
 /// A call session that owns one reusable [`Machine`], avoiding a fresh
 /// register-file allocation per call. The machine is reset before every
 /// call, so results and cycle counts are identical to the per-call
-/// [`Runtime`] methods.
+/// [`Runtime`](crate::Runtime) methods.
+///
+/// Sessions hold the runtime's routines by `Arc`, not by borrow: they are
+/// `Send`, [`Runtime::session`](crate::Runtime::session) can be called any
+/// number of times concurrently, and a session outlives the runtime handle
+/// it came from.
 ///
 /// # Example
 ///
@@ -62,21 +108,23 @@ impl<T> BatchOutcome<T> {
 /// # }
 /// ```
 #[derive(Debug)]
-pub struct Session<'rt> {
-    rt: &'rt Runtime,
+pub struct Session {
+    routines: Arc<Routines>,
     machine: Machine,
 }
 
-impl<'rt> Session<'rt> {
-    pub(crate) fn new(rt: &'rt Runtime) -> Session<'rt> {
+impl Session {
+    pub(crate) fn new(routines: Arc<Routines>) -> Session {
         Session {
-            rt,
+            routines,
             machine: Machine::new(),
         }
     }
 
-    fn call(&mut self, p: &PreparedProgram, a: u32, b: u32) -> Result<(u32, u32, u64)> {
-        let m = &mut self.machine;
+    /// Runs `p` on `machine` with the millicode argument conventions.
+    /// A free function over the machine field (not `&mut self`) so the
+    /// routine reference can borrow `self.routines` disjointly.
+    fn call(m: &mut Machine, p: &PreparedProgram, a: u32, b: u32) -> Result<(u32, u32, u64)> {
         m.reset();
         m.set_reg(Reg::R26, a);
         m.set_reg(Reg::R25, b);
@@ -98,7 +146,12 @@ impl<'rt> Session<'rt> {
     ///
     /// Only simulator faults (never expected).
     pub fn mul(&mut self, x: i32, y: i32) -> Result<RunOutcome<i32>> {
-        let (v, _, cycles) = self.call(self.rt.prepared_mul_signed(), x as u32, y as u32)?;
+        let (v, _, cycles) = Session::call(
+            &mut self.machine,
+            &self.routines.mul_signed,
+            x as u32,
+            y as u32,
+        )?;
         telemetry::emit(|| {
             let (tier, driver) = mulvar::tier_for(true, x as u32, y as u32);
             telemetry::Event::MulStrategy {
@@ -121,7 +174,7 @@ impl<'rt> Session<'rt> {
     ///
     /// Only simulator faults (never expected).
     pub fn mul_unsigned(&mut self, x: u32, y: u32) -> Result<RunOutcome<u32>> {
-        let (v, _, cycles) = self.call(self.rt.prepared_mul_unsigned(), x, y)?;
+        let (v, _, cycles) = Session::call(&mut self.machine, &self.routines.mul_unsigned, x, y)?;
         telemetry::emit(|| {
             let (tier, driver) = mulvar::tier_for(false, x, y);
             telemetry::Event::MulStrategy {
@@ -144,7 +197,8 @@ impl<'rt> Session<'rt> {
     ///
     /// [`Error::DivideByZero`] for `y = 0`.
     pub fn div(&mut self, x: i32, y: i32) -> Result<RunOutcome<i32>> {
-        let (q, r, cycles) = self.call(self.rt.prepared_sdiv(), x as u32, y as u32)?;
+        let (q, r, cycles) =
+            Session::call(&mut self.machine, &self.routines.sdiv, x as u32, y as u32)?;
         telemetry::emit(|| telemetry::Event::DivDispatch {
             routine: "sdiv",
             tier: divvar::general_tier(true, y as u32),
@@ -165,7 +219,7 @@ impl<'rt> Session<'rt> {
     ///
     /// [`Error::DivideByZero`] for `y = 0`.
     pub fn div_unsigned(&mut self, x: u32, y: u32) -> Result<RunOutcome<u32>> {
-        let (q, r, cycles) = self.call(self.rt.prepared_udiv(), x, y)?;
+        let (q, r, cycles) = Session::call(&mut self.machine, &self.routines.udiv, x, y)?;
         telemetry::emit(|| telemetry::Event::DivDispatch {
             routine: "udiv",
             tier: divvar::general_tier(false, y),
@@ -187,10 +241,10 @@ impl<'rt> Session<'rt> {
     ///
     /// [`Error::DivideByZero`] for `y = 0`.
     pub fn div_dispatch(&mut self, x: u32, y: u32) -> Result<RunOutcome<u32>> {
-        let (q, _, cycles) = self.call(self.rt.prepared_dispatch(), x, y)?;
+        let (q, _, cycles) = Session::call(&mut self.machine, &self.routines.dispatch, x, y)?;
         telemetry::emit(|| telemetry::Event::DivDispatch {
             routine: "small_dispatch",
-            tier: divvar::dispatch_tier(self.rt.dispatch_limit(), y),
+            tier: divvar::dispatch_tier(self.routines.dispatch_limit, y),
             divisor: i64::from(y),
             cycles: Some(cycles),
         });
@@ -277,6 +331,7 @@ impl<'rt> Session<'rt> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Runtime;
 
     #[test]
     fn session_matches_runtime_methods() {

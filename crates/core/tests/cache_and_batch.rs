@@ -137,9 +137,14 @@ fn eviction_preserves_correctness() {
 /// Interleaved multiply and divide compiles share one recency list: the
 /// telemetry hit/miss stream shows recently touched entries of either
 /// family surviving while the stale one — whatever its family — evicts.
+/// One shard pins down the exact global LRU order (with several shards,
+/// eviction order depends on how keys hash across them).
 #[test]
 fn interleaved_mul_div_eviction_is_lru_across_families() {
-    let c = Compiler::builder().cache_capacity(4).build();
+    let c = Compiler::builder()
+        .cache_capacity(4)
+        .cache_shards(1)
+        .build();
     // Fill: mul 3, udiv 3, urem 3, sdiv 3 — four distinct keys, one
     // constant, recency order oldest→newest as listed.
     c.mul_const(3).unwrap();

@@ -39,6 +39,8 @@
 //! # Ok::<(), pa_isa::IsaError>(())
 //! ```
 
+use std::sync::Arc;
+
 use pa_isa::{BitSense, Cond, Op, Program, Reg};
 
 use crate::exec::{run, ExecConfig, Fault, RunResult, Termination, Trap, TrapKind};
@@ -317,10 +319,15 @@ fn predecode(op: &Op) -> PreparedOp {
 /// The original [`Program`] is retained for listings, label lookups and
 /// instrumented (stats/trace/profile) runs, which delegate to the
 /// interpreter verbatim.
+///
+/// The source program and the decoded stream sit behind [`Arc`]s, so
+/// cloning a prepared program is a pair of reference-count bumps:
+/// `PreparedProgram` is `Send + Sync` and clones can be handed to worker
+/// threads without re-decoding or copying code.
 #[derive(Debug, Clone)]
 pub struct PreparedProgram {
-    program: Program,
-    code: Box<[PreparedOp]>,
+    program: Arc<Program>,
+    code: Arc<[PreparedOp]>,
     config: ExecConfig,
 }
 
@@ -332,7 +339,7 @@ impl PreparedProgram {
             telemetry::span::enter_with("prepare", || format!("{} instructions", program.len()));
         let code = program.iter().map(|insn| predecode(&insn.op)).collect();
         PreparedProgram {
-            program: program.clone(),
+            program: Arc::new(program.clone()),
             code,
             config,
         }
@@ -737,6 +744,28 @@ mod tests {
         let r = prepared.run(&mut m);
         assert!(r.stats.is_some(), "delegated run must carry stats");
         assert_eq!(r.profile, vec![1, 3]);
+    }
+
+    #[test]
+    fn prepared_programs_share_code_across_clones_and_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PreparedProgram>();
+
+        let mut b = ProgramBuilder::new();
+        b.sh2add(Reg::R26, Reg::R26, Reg::R28);
+        let p = b.build().unwrap();
+        let prepared = PreparedProgram::new(&p, ExecConfig::default());
+        let clone = prepared.clone();
+        // Clones are reference-count bumps, not re-decodes.
+        assert!(Arc::ptr_eq(&prepared.code, &clone.code));
+        assert!(Arc::ptr_eq(&prepared.program, &clone.program));
+        // And a clone runs fine on another thread.
+        let handle = std::thread::spawn(move || {
+            let mut m = Machine::with_regs(&[(Reg::R26, 7)]);
+            clone.run(&mut m);
+            m.reg(Reg::R28)
+        });
+        assert_eq!(handle.join().unwrap(), 35);
     }
 
     #[test]

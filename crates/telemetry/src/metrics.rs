@@ -110,7 +110,9 @@ impl Histogram {
 enum Metric {
     Counter(u64),
     Gauge(f64),
-    Histogram(Histogram),
+    // Boxed: a histogram carries its full bucket array, which would
+    // otherwise dominate the enum's size for every counter and gauge.
+    Histogram(Box<Histogram>),
 }
 
 impl Metric {
@@ -206,7 +208,7 @@ impl Registry {
 
     /// Records `value` into a histogram series.
     pub fn observe(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
-        if let Metric::Histogram(h) = self.slot(name, labels, Metric::Histogram(Histogram::new())) {
+        if let Metric::Histogram(h) = self.slot(name, labels, Metric::Histogram(Box::default())) {
             h.observe(value);
         }
     }
@@ -233,7 +235,7 @@ impl Registry {
     #[must_use]
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Histogram> {
         match self.series.get(&SeriesKey::new(name, labels)) {
-            Some(Metric::Histogram(h)) => Some(h),
+            Some(Metric::Histogram(h)) => Some(h.as_ref()),
             _ => None,
         }
     }

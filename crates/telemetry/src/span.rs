@@ -98,14 +98,14 @@ pub fn is_tracing() -> bool {
 
 /// Opens a span named `name`. Returns an inert guard (one thread-local
 /// check, no allocation) when no [`trace`] scope is active.
-#[must_use]
+#[must_use = "dropping the guard immediately closes the span"]
 pub fn enter(name: &'static str) -> SpanGuard {
     enter_with(name, String::new)
 }
 
 /// Opens a span with a dynamically computed label; the closure runs only
 /// when a [`trace`] scope is listening.
-#[must_use]
+#[must_use = "dropping the guard immediately closes the span"]
 pub fn enter_with(name: &'static str, label: impl FnOnce() -> String) -> SpanGuard {
     let active = TRACER.with(|t| {
         let mut slot = t.borrow_mut();

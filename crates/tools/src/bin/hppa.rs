@@ -1,7 +1,7 @@
 //! `hppa` — the top-level workbench command.
 //!
 //! ```sh
-//! hppa report                    # write BENCH_pr3.json in the current dir
+//! hppa report                    # write BENCH_pr7.json in the current dir
 //! hppa report -o out/bench.json  # write elsewhere
 //! hppa report --stdout           # print the document instead
 //! hppa report --ops 20000        # size the throughput batches
@@ -17,10 +17,12 @@
 //!
 //! `report` replays the paper-table workloads (Figure 5 multiply classes,
 //! the general divide, the §7 dispatch, constant multiply/divide) with
-//! cycle-attribution stats and telemetry enabled, then times the E13 operand
-//! mix through the one-shot path and the cached/pre-decoded hot path. The
-//! output is one JSON object:
-//! `{"schema_version": N, "workloads": […], "throughput": […]}`.
+//! cycle-attribution stats and telemetry enabled, times the E13 operand
+//! mix through the one-shot path and the cached/pre-decoded hot path, and
+//! measures the same mix through the worker-pool engine at 1/2/4/8
+//! threads. The output is one JSON object:
+//! `{"schema_version": N, "workloads": […], "throughput": […],
+//! "parallel": […]}`.
 //!
 //! `verify` runs every generated case through the interpreter, the prepared
 //! fast path, a batched session, and the independent reference oracle, and
@@ -170,7 +172,7 @@ fn compare_against(
 }
 
 fn run_report(args: &[String]) -> ExitCode {
-    let mut out_path = String::from("BENCH_pr3.json");
+    let mut out_path = String::from("BENCH_pr7.json");
     let mut to_stdout = false;
     let mut ops = 1_000usize;
     let mut compare: Option<String> = None;
@@ -216,7 +218,8 @@ fn run_report(args: &[String]) -> ExitCode {
 
     let workloads = report::paper_workloads();
     let throughput = report::throughput_workloads_with(ops);
-    let json = report::report_json(&workloads, &throughput);
+    let parallel = report::parallel_workloads_with(ops);
+    let json = report::report_json(&workloads, &throughput, &parallel);
     let doc = json.to_pretty_string();
     if to_stdout {
         print!("{doc}");
@@ -237,6 +240,16 @@ fn run_report(args: &[String]) -> ExitCode {
                         t.unprepared_ops_per_sec(),
                         t.prepared_ops_per_sec(),
                         t.speedup()
+                    );
+                }
+                for p in &parallel {
+                    eprintln!(
+                        "{:<28} {:>8} ops @ {} threads: {:>12.0} ops/s ({:.2}x vs 1 thread)",
+                        p.workload,
+                        p.ops,
+                        p.threads,
+                        p.ops_per_sec(),
+                        p.speedup_vs_1
                     );
                 }
                 eprintln!("wrote {out_path}");
@@ -337,7 +350,7 @@ fn run_bench(args: &[String]) -> ExitCode {
     // CI unless the thresholds file opts in AND a throughput-bearing
     // document is compared via `hppa report --compare`.
     let workloads = report::paper_workloads();
-    let current = report::report_json(&workloads, &[]);
+    let current = report::report_json(&workloads, &[], &[]);
     if let Some(p) = &out_path {
         if let Err(e) = std::fs::write(p, current.to_pretty_string()) {
             eprintln!("hppa bench: cannot write {p}: {e}");

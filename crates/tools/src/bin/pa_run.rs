@@ -49,9 +49,9 @@ const USAGE: &str = "usage: pa-run [-r REG=VALUE]... [-t] [-p] [-s] [-m CYCLES] 
                  negative decimal
   -t             print the execution trace
   -p             print the per-instruction profile
-  -s             print run statistics: per-opcode histogram, per-label cycle
-                 attribution, and a summary line with the nullified-slot
-                 percentage and trap/fault counts
+  -s             print run statistics: per-opcode histogram, per-label
+                 cycle attribution, and a summary line with the
+                 nullified-slot percentage and trap/fault counts
   -m CYCLES      cycle budget (default 1000000)
   --precise      use the precise overflow detector instead of the cheap
                  circuit

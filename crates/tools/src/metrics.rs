@@ -5,6 +5,7 @@
 //! `telemetry` cannot depend on `pa-sim` (the simulator depends on it for
 //! spans), so the SimStats → registry feeding lives here in the tools layer.
 
+use hppa_muldiv::CacheShardStats;
 use telemetry::metrics::Registry;
 
 use crate::report::{self, WorkloadReport};
@@ -17,7 +18,31 @@ pub fn paper_metrics() -> Registry {
     let (workloads, spans) = telemetry::span::trace(report::paper_workloads);
     let mut registry = registry_from_workloads(&workloads);
     registry.record_spans(&spans);
+    // Drive the §5 constant range through the sharded compile cache twice —
+    // a miss pass and a hit pass — so the per-shard series export live
+    // values rather than zeros.
+    let compiler = hppa_muldiv::Compiler::new();
+    for _ in 0..2 {
+        for n in 2..=33i64 {
+            let _ = compiler.mul_const(n);
+        }
+    }
+    record_cache_shards(&mut registry, &compiler.cache_stats());
     registry
+}
+
+/// Folds per-shard compile-cache statistics into the registry: the
+/// `hppa_cache_shard_{hits,misses,evictions}_total` counters and the
+/// `hppa_cache_shard_entries` gauge, all labelled by shard index.
+pub fn record_cache_shards(reg: &mut Registry, stats: &[CacheShardStats]) {
+    for s in stats {
+        let shard = s.shard.to_string();
+        let labels = [("shard", shard.as_str())];
+        reg.inc_counter("hppa_cache_shard_hits_total", &labels, s.hits);
+        reg.inc_counter("hppa_cache_shard_misses_total", &labels, s.misses);
+        reg.inc_counter("hppa_cache_shard_evictions_total", &labels, s.evictions);
+        reg.set_gauge("hppa_cache_shard_entries", &labels, s.entries as f64);
+    }
 }
 
 /// Folds finished workload reports into a registry (no spans).
@@ -144,6 +169,49 @@ mod tests {
             reg.counter("pa_run_taken_branches_total", &[]),
             Some(result.taken_branches)
         );
+    }
+
+    #[test]
+    fn cache_shard_series_fold_hits_misses_and_residency() {
+        let compiler = hppa_muldiv::Compiler::builder()
+            .cache_capacity(8)
+            .cache_shards(2)
+            .build();
+        for _ in 0..2 {
+            for n in [3i64, 5, 7, 9] {
+                let _ = compiler.mul_const(n);
+            }
+        }
+        let stats = compiler.cache_stats();
+        let mut reg = Registry::new();
+        record_cache_shards(&mut reg, &stats);
+        let mut hits = 0;
+        let mut misses = 0;
+        let mut entries = 0.0;
+        for s in &stats {
+            let shard = s.shard.to_string();
+            let labels = [("shard", shard.as_str())];
+            hits += reg.counter("hppa_cache_shard_hits_total", &labels).unwrap();
+            misses += reg
+                .counter("hppa_cache_shard_misses_total", &labels)
+                .unwrap();
+            assert_eq!(
+                reg.counter("hppa_cache_shard_evictions_total", &labels),
+                Some(s.evictions)
+            );
+            entries += reg.gauge("hppa_cache_shard_entries", &labels).unwrap();
+        }
+        // Four distinct constants, compiled twice: miss then hit each.
+        assert_eq!(misses, 4);
+        assert_eq!(hits, 4);
+        assert!((entries - 4.0).abs() < 1e-12);
+        // And the hppa metrics entry point exports the same series.
+        let text = paper_metrics().to_prometheus();
+        assert!(
+            text.contains("hppa_cache_shard_hits_total{shard="),
+            "{text}"
+        );
+        assert!(text.contains("hppa_cache_shard_entries{shard="), "{text}");
     }
 
     #[test]

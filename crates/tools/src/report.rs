@@ -12,7 +12,10 @@
 //!  "throughput": [{"workload": "e13_multiply_mix", "ops": N,
 //!                  "simulated_cycles": N, "unprepared_ns": N, "prepared_ns": N,
 //!                  "unprepared_ops_per_sec": F, "prepared_ops_per_sec": F,
-//!                  "speedup": F}, …]}
+//!                  "speedup": F}, …],
+//!  "parallel": [{"workload": "e13_parallel_mix", "threads": N, "ops": N,
+//!                "wall_ns": N, "ops_per_sec": F, "simulated_cycles": N,
+//!                "checksum": N, "speedup_vs_1": F}, …]}
 //! ```
 //!
 //! The five `workloads` records mirror the paper's measurement tables: the
@@ -164,6 +167,61 @@ impl ThroughputReport {
     }
 }
 
+/// One thread-count measurement of the E13 mixed workload through the
+/// worker-pool [`hppa_muldiv::ParallelExecutor`].
+///
+/// Records at different `threads` values are directly comparable: the
+/// engine guarantees bit-identical results and summed simulated cycles
+/// for any pool width, and the builder asserts both, so only `wall_ns`
+/// may differ between records.
+#[derive(Debug, Clone)]
+pub struct ParallelReport {
+    /// Stable workload name (`"e13_parallel_mix"`).
+    pub workload: &'static str,
+    /// Worker threads the batch was partitioned across.
+    pub threads: u64,
+    /// Operations executed (multiplies plus dispatch divides).
+    pub ops: u64,
+    /// Wall-clock nanoseconds for the timed pass (after an untimed warm
+    /// pass that populates caches and faults in the routines).
+    pub wall_ns: u64,
+    /// Simulated cycles consumed — identical at every thread count by
+    /// assertion.
+    pub simulated_cycles: u64,
+    /// FNV-1a checksum over both batch outcomes — identical at every
+    /// thread count by assertion.
+    pub checksum: u64,
+    /// Wall-clock speedup relative to the single-thread record of the
+    /// same run (1.0 for the single-thread record itself).
+    pub speedup_vs_1: f64,
+}
+
+impl ParallelReport {
+    /// Host operations per second of the timed pass.
+    #[must_use]
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 * 1e9 / self.wall_ns.max(1) as f64
+    }
+
+    /// The JSON object form, matching the `BENCH_*.json` schema.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("workload".to_string(), Json::str(self.workload)),
+            ("threads".to_string(), Json::uint(self.threads)),
+            ("ops".to_string(), Json::uint(self.ops)),
+            ("wall_ns".to_string(), Json::uint(self.wall_ns)),
+            ("ops_per_sec".to_string(), Json::Float(self.ops_per_sec())),
+            (
+                "simulated_cycles".to_string(),
+                Json::uint(self.simulated_cycles),
+            ),
+            ("checksum".to_string(), Json::uint(self.checksum)),
+            ("speedup_vs_1".to_string(), Json::Float(self.speedup_vs_1)),
+        ])
+    }
+}
+
 /// Every paper-table workload, in report order.
 #[must_use]
 pub fn paper_workloads() -> Vec<WorkloadReport> {
@@ -188,10 +246,92 @@ pub fn throughput_workloads_with(n: usize) -> Vec<ThroughputReport> {
     vec![e13_multiply_mix(n), e13_divide_mix(n)]
 }
 
-/// The full report document:
-/// `{"schema_version": N, "workloads": […], "throughput": […]}`.
+/// The thread counts every parallel scaling run measures.
+pub const PARALLEL_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// The E13 parallel scaling measurements at the default batch size.
 #[must_use]
-pub fn report_json(workloads: &[WorkloadReport], throughput: &[ThroughputReport]) -> Json {
+pub fn parallel_workloads() -> Vec<ParallelReport> {
+    parallel_workloads_with(1_000)
+}
+
+/// The E13 mixed workload (multiplies plus dispatch divides, `n` ops
+/// total) replayed through the worker-pool engine at each thread count in
+/// [`PARALLEL_THREADS`].
+///
+/// The engine is built once — every record shares the same prepared
+/// routines and compile cache via [`hppa_muldiv::ParallelExecutor::with_workers`] —
+/// and each thread count gets one untimed warm pass before the timed one.
+/// Results are asserted bit-identical across thread counts (checksums and
+/// summed simulated cycles), so the records differ only in wall clock.
+///
+/// # Panics
+///
+/// If any thread count produces a different checksum or cycle total than
+/// the single-thread baseline — that would be an engine determinism bug.
+#[must_use]
+pub fn parallel_workloads_with(n: usize) -> Vec<ParallelReport> {
+    let half = (n / 2).max(1);
+    let mul_pairs = Figure5Mix::new().pairs(13, half);
+    let div_pairs: Vec<(u32, u32)> = DivMix::default()
+        .ops(13, half)
+        .into_iter()
+        .map(|op| match op {
+            DivOp::Constant { x, y } | DivOp::Variable { x, y } => (x, y),
+        })
+        .collect();
+    let ops = (mul_pairs.len() + div_pairs.len()) as u64;
+
+    let rt = Runtime::new().expect("routines build");
+    let engine = rt.engine();
+    let mut reports: Vec<ParallelReport> = Vec::with_capacity(PARALLEL_THREADS.len());
+    for threads in PARALLEL_THREADS {
+        let pool = engine.with_workers(threads).expect("non-zero threads");
+        // Warm pass: faults in code paths and populates the shared cache
+        // so the timed pass measures steady-state execution only.
+        pool.mul_batch(&mul_pairs).expect("warm multiply");
+        pool.div_dispatch_batch(&div_pairs).expect("warm divide");
+        let started = Instant::now();
+        let mul_out = pool.mul_batch(&mul_pairs).expect("timed multiply");
+        let div_out = pool.div_dispatch_batch(&div_pairs).expect("timed divide");
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        let simulated_cycles = mul_out.cycles + div_out.cycles;
+        let checksum = mul_out
+            .checksum()
+            .wrapping_mul(0x100_0000_01b3)
+            .wrapping_add(div_out.checksum());
+        if let Some(base) = reports.first() {
+            assert_eq!(checksum, base.checksum, "{threads} threads: checksum");
+            assert_eq!(
+                simulated_cycles, base.simulated_cycles,
+                "{threads} threads: cycles"
+            );
+        }
+        let speedup_vs_1 = reports.first().map_or(1.0, |base| {
+            base.wall_ns.max(1) as f64 / wall_ns.max(1) as f64
+        });
+        reports.push(ParallelReport {
+            workload: "e13_parallel_mix",
+            threads: threads as u64,
+            ops,
+            wall_ns,
+            simulated_cycles,
+            checksum,
+            speedup_vs_1,
+        });
+    }
+    reports
+}
+
+/// The full report document:
+/// `{"schema_version": N, "workloads": […], "throughput": […],
+/// "parallel": […]}`.
+#[must_use]
+pub fn report_json(
+    workloads: &[WorkloadReport],
+    throughput: &[ThroughputReport],
+    parallel: &[ParallelReport],
+) -> Json {
     Json::object(vec![
         (
             "schema_version".to_string(),
@@ -204,6 +344,10 @@ pub fn report_json(workloads: &[WorkloadReport], throughput: &[ThroughputReport]
         (
             "throughput".to_string(),
             Json::Array(throughput.iter().map(ThroughputReport::to_json).collect()),
+        ),
+        (
+            "parallel".to_string(),
+            Json::Array(parallel.iter().map(ParallelReport::to_json).collect()),
         ),
     ])
 }
@@ -607,8 +751,8 @@ mod tests {
 
     #[test]
     fn workload_section_is_deterministic() {
-        let a = report_json(&paper_workloads(), &[]).to_compact_string();
-        let b = report_json(&paper_workloads(), &[]).to_compact_string();
+        let a = report_json(&paper_workloads(), &[], &[]).to_compact_string();
+        let b = report_json(&paper_workloads(), &[], &[]).to_compact_string();
         assert_eq!(a, b);
     }
 
@@ -685,5 +829,61 @@ mod tests {
         );
         assert!((t.speedup() - 10.0).abs() < 1e-9);
         assert_eq!(json.get("speedup").and_then(Json::as_f64), Some(10.0));
+    }
+
+    #[test]
+    fn parallel_records_are_deterministic_across_thread_counts() {
+        let reports = parallel_workloads_with(120);
+        assert_eq!(reports.len(), PARALLEL_THREADS.len());
+        let base = &reports[0];
+        assert_eq!(base.threads, 1);
+        assert!((base.speedup_vs_1 - 1.0).abs() < 1e-12);
+        for r in &reports {
+            assert_eq!(r.workload, "e13_parallel_mix");
+            assert_eq!(r.ops, base.ops);
+            // The builder itself asserts these; restated here so a future
+            // refactor cannot silently drop the identity checks.
+            assert_eq!(r.checksum, base.checksum, "{} threads", r.threads);
+            assert_eq!(
+                r.simulated_cycles, base.simulated_cycles,
+                "{} threads",
+                r.threads
+            );
+            assert!(r.wall_ns > 0);
+            assert!(r.speedup_vs_1 > 0.0);
+            assert!(r.ops_per_sec() > 0.0);
+        }
+    }
+
+    #[test]
+    fn parallel_json_carries_the_documented_keys() {
+        let r = ParallelReport {
+            workload: "e13_parallel_mix",
+            threads: 4,
+            ops: 1_000,
+            wall_ns: 2_000_000,
+            simulated_cycles: 50_000,
+            checksum: 0xdead_beef,
+            speedup_vs_1: 2.5,
+        };
+        let json = r.to_json();
+        assert_eq!(
+            json.keys(),
+            vec![
+                "workload",
+                "threads",
+                "ops",
+                "wall_ns",
+                "ops_per_sec",
+                "simulated_cycles",
+                "checksum",
+                "speedup_vs_1",
+            ]
+        );
+        assert_eq!(json.get("speedup_vs_1").and_then(Json::as_f64), Some(2.5));
+        assert_eq!(
+            json.get("ops_per_sec").and_then(Json::as_f64),
+            Some(500_000.0)
+        );
     }
 }

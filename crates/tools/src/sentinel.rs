@@ -34,6 +34,14 @@ pub struct Thresholds {
     pub throughput_enabled: bool,
     /// Allowed `prepared_ops_per_sec` drop in percent.
     pub throughput_default_pct: f64,
+    /// Whether to gate on the parallel scaling section (off by default:
+    /// multi-thread wall-clock speedup depends entirely on how many host
+    /// cores the runner actually has).
+    pub parallel_enabled: bool,
+    /// Minimum acceptable `speedup_vs_1` at [`Thresholds::parallel_at_threads`].
+    pub parallel_min_speedup: f64,
+    /// The thread count the speedup gate inspects.
+    pub parallel_at_threads: u64,
 }
 
 impl Default for Thresholds {
@@ -43,6 +51,9 @@ impl Default for Thresholds {
             cycles_overrides: BTreeMap::new(),
             throughput_enabled: false,
             throughput_default_pct: 10.0,
+            parallel_enabled: false,
+            parallel_min_speedup: 2.0,
+            parallel_at_threads: 4,
         }
     }
 }
@@ -93,6 +104,19 @@ impl Thresholds {
                     }
                 }
                 ("throughput", "default") => t.throughput_default_pct = as_pct()?,
+                ("parallel", "enabled") => {
+                    t.parallel_enabled = match value {
+                        "true" => true,
+                        "false" => false,
+                        _ => return Err(at("`enabled` must be true or false")),
+                    }
+                }
+                ("parallel", "min_speedup") => t.parallel_min_speedup = as_pct()?,
+                ("parallel", "at_threads") => {
+                    t.parallel_at_threads = value.parse::<u64>().map_err(|_| {
+                        at(&format!("`at_threads` must be an integer, got `{value}`"))
+                    })?;
+                }
                 _ => return Err(at(&format!("unknown key `{key}` in section `[{section}]`"))),
             }
         }
@@ -181,6 +205,24 @@ pub struct ThroughputDelta {
     pub regressed: bool,
 }
 
+/// The opt-in absolute gate on the current document's parallel scaling
+/// section: `speedup_vs_1` at the configured thread count must reach the
+/// configured minimum. Unlike the cycle and throughput gates this does not
+/// diff against the baseline — scaling is a property of the current build
+/// on the current host.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelCheck {
+    /// The thread count inspected.
+    pub threads: u64,
+    /// `speedup_vs_1` the current document reports at that thread count
+    /// (0.0 when the record is missing — which also regresses).
+    pub speedup_vs_1: f64,
+    /// The minimum the thresholds demand.
+    pub min_speedup: f64,
+    /// Whether the gate failed.
+    pub regressed: bool,
+}
+
 /// The full comparison of a current document against a baseline.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Comparison {
@@ -192,6 +234,8 @@ pub struct Comparison {
     pub deltas: Vec<WorkloadDelta>,
     /// Throughput diffs (empty unless enabled in the thresholds).
     pub throughput: Vec<ThroughputDelta>,
+    /// The parallel scaling gate (`None` unless enabled in the thresholds).
+    pub parallel: Option<ParallelCheck>,
     /// Workloads the baseline had but the current run lost — counted as a
     /// regression (coverage must not silently shrink).
     pub missing_in_current: Vec<String>,
@@ -206,6 +250,7 @@ impl Comparison {
         !self.missing_in_current.is_empty()
             || self.deltas.iter().any(|d| d.regressed)
             || self.throughput.iter().any(|t| t.regressed)
+            || self.parallel.as_ref().is_some_and(|p| p.regressed)
     }
 
     /// A human-readable table of the comparison.
@@ -246,6 +291,14 @@ impl Comparison {
                 t.current_ops_per_sec,
                 -t.drop_pct,
                 t.threshold_pct
+            );
+        }
+        if let Some(p) = &self.parallel {
+            let verdict = if p.regressed { "REGRESSED" } else { "ok" };
+            let _ = writeln!(
+                out,
+                "{:<28} {:>10.2}x @ {} threads  {verdict} (parallel, minimum {:.2}x)",
+                "e13_parallel_mix", p.speedup_vs_1, p.threads, p.min_speedup
             );
         }
         for name in &self.missing_in_current {
@@ -370,11 +423,31 @@ pub fn compare(
         }
     }
 
+    let parallel = thresholds.parallel_enabled.then(|| {
+        let speedup = current
+            .get("parallel")
+            .and_then(Json::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .find(|r| {
+                r.get("threads").and_then(Json::as_u64) == Some(thresholds.parallel_at_threads)
+            })
+            .and_then(|r| r.get("speedup_vs_1").and_then(Json::as_f64))
+            .unwrap_or(0.0);
+        ParallelCheck {
+            threads: thresholds.parallel_at_threads,
+            speedup_vs_1: speedup,
+            min_speedup: thresholds.parallel_min_speedup,
+            regressed: speedup < thresholds.parallel_min_speedup,
+        }
+    });
+
     Ok(Comparison {
         baseline_version,
         current_version,
         deltas,
         throughput,
+        parallel,
         missing_in_current,
         new_in_current,
     })
@@ -528,5 +601,59 @@ mod tests {
         let cmp = compare(&cur, &base, &enabled).unwrap();
         assert_eq!(cmp.throughput.len(), 1);
         assert!(cmp.regressed());
+    }
+
+    #[test]
+    fn parallel_toml_keys_parse() {
+        let t = Thresholds::from_toml(
+            "[parallel]\n\
+             enabled = true\n\
+             min_speedup = 1.5\n\
+             at_threads = 8\n",
+        )
+        .unwrap();
+        assert!(t.parallel_enabled);
+        assert!((t.parallel_min_speedup - 1.5).abs() < 1e-12);
+        assert_eq!(t.parallel_at_threads, 8);
+        let err = Thresholds::from_toml("[parallel]\nat_threads = many\n").unwrap_err();
+        assert!(err.contains("must be an integer"), "{err}");
+    }
+
+    #[test]
+    fn parallel_gate_is_opt_in_and_absolute() {
+        let cur = parse(
+            "{\"workloads\": [], \"throughput\": [], \"parallel\": [\
+             {\"workload\": \"e13_parallel_mix\", \"threads\": 1, \"speedup_vs_1\": 1.0},\
+             {\"workload\": \"e13_parallel_mix\", \"threads\": 4, \"speedup_vs_1\": 1.3}]}",
+        )
+        .unwrap();
+        let base = parse("{\"workloads\": [], \"throughput\": []}").unwrap();
+        // Disabled (the default): sub-minimum scaling is ignored entirely.
+        let cmp = compare(&cur, &base, &Thresholds::default()).unwrap();
+        assert!(cmp.parallel.is_none());
+        assert!(!cmp.regressed());
+        // Enabled: 1.3x at 4 threads misses the default 2x floor.
+        let enabled = Thresholds {
+            parallel_enabled: true,
+            ..Thresholds::default()
+        };
+        let cmp = compare(&cur, &base, &enabled).unwrap();
+        let p = cmp.parallel.clone().unwrap();
+        assert_eq!(p.threads, 4);
+        assert!((p.speedup_vs_1 - 1.3).abs() < 1e-12);
+        assert!(p.regressed);
+        assert!(cmp.regressed());
+        assert!(cmp.render().contains("parallel"), "{}", cmp.render());
+        // A relaxed floor passes the same document.
+        let relaxed = Thresholds {
+            parallel_enabled: true,
+            parallel_min_speedup: 1.25,
+            ..Thresholds::default()
+        };
+        assert!(!compare(&cur, &base, &relaxed).unwrap().regressed());
+        // A missing record regresses when the gate is on: the section must
+        // not silently disappear while CI claims scaling holds.
+        let cmp = compare(&base, &base, &enabled).unwrap();
+        assert!(cmp.parallel.unwrap().regressed);
     }
 }

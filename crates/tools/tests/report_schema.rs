@@ -27,6 +27,17 @@ const RECORD_KEYS: [&str; 7] = [
 
 const EXPECTED_THROUGHPUT: [&str; 2] = ["e13_multiply_mix", "e13_divide_mix"];
 
+const PARALLEL_KEYS: [&str; 8] = [
+    "workload",
+    "threads",
+    "ops",
+    "wall_ns",
+    "ops_per_sec",
+    "simulated_cycles",
+    "checksum",
+    "speedup_vs_1",
+];
+
 const THROUGHPUT_KEYS: [&str; 8] = [
     "workload",
     "ops",
@@ -59,7 +70,7 @@ fn bench_json_matches_the_documented_schema() {
     let doc = written_report();
     assert_eq!(
         doc.keys(),
-        vec!["schema_version", "workloads", "throughput"]
+        vec!["schema_version", "workloads", "throughput", "parallel"]
     );
     assert_eq!(
         doc.get("schema_version").and_then(Json::as_u64),
@@ -160,6 +171,41 @@ fn bench_json_matches_the_documented_schema() {
             assert!(v > 0.0, "{name}: {key} must be positive");
         }
     }
+
+    let parallel = doc
+        .get("parallel")
+        .and_then(Json::as_array)
+        .expect("parallel is an array");
+    let threads: Vec<u64> = parallel
+        .iter()
+        .map(|r| r.get("threads").and_then(Json::as_u64).unwrap())
+        .collect();
+    assert_eq!(threads, vec![1, 2, 4, 8]);
+    let base = &parallel[0];
+    for record in parallel {
+        let t = record.get("threads").and_then(Json::as_u64).unwrap();
+        assert_eq!(
+            record.keys(),
+            PARALLEL_KEYS,
+            "{t} threads: unexpected key set"
+        );
+        assert_eq!(
+            record.get("workload").and_then(Json::as_str),
+            Some("e13_parallel_mix")
+        );
+        assert!(record.get("wall_ns").and_then(Json::as_u64).unwrap() > 0);
+        assert!(record.get("ops_per_sec").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(record.get("speedup_vs_1").and_then(Json::as_f64).unwrap() > 0.0);
+        // The determinism contract: every thread count reports the same
+        // results and the same simulated cost.
+        for key in ["ops", "simulated_cycles", "checksum"] {
+            assert_eq!(
+                record.get(key).and_then(Json::as_u64),
+                base.get(key).and_then(Json::as_u64),
+                "{t} threads: {key} must not depend on the thread count"
+            );
+        }
+    }
 }
 
 #[test]
@@ -184,7 +230,7 @@ fn report_stdout_mode_prints_the_same_workloads() {
     let printed = parse(&String::from_utf8(out.stdout).unwrap()).unwrap();
     assert_eq!(
         printed.keys(),
-        vec!["schema_version", "workloads", "throughput"]
+        vec!["schema_version", "workloads", "throughput", "parallel"]
     );
     assert_eq!(
         printed.get("workloads").unwrap().to_compact_string(),

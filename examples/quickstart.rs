@@ -79,6 +79,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         products.values, products.cycles
     );
 
+    // Large batches fan out across a worker pool; results, checksums and
+    // simulated cycles are bit-identical to the serial session for any
+    // worker count.
+    let pairs: Vec<(i32, i32)> = (0..64).map(|i| (i * 3 - 90, 7 - i)).collect();
+    let serial = rt.session().mul_batch(&pairs)?;
+    let engine = rt.engine();
+    let parallel = engine.mul_batch(&pairs)?;
+    assert_eq!(serial.values, parallel.values);
+    assert_eq!(serial.cycles, parallel.cycles);
+    println!(
+        "engine batch: {} ops, checksum {:#018x} at any worker count",
+        parallel.ops(),
+        parallel.checksum()
+    );
+
     // And the paper's famous summary numbers, re-measured:
     let mul = analysis::multiply_summary(42, 500);
     let div = analysis::divide_summary(42, 500);
